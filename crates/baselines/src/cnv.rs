@@ -1,0 +1,76 @@
+//! Conventional sensor (CNV): pixel-wise uniform 8-bit quantization.
+
+use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
+    Objective, QualityMetric};
+use crate::Result;
+use leca_tensor::Tensor;
+
+/// The conventional full-precision baseline: every pixel quantized to
+/// 8 bits. `CR = 1` by definition — this is the reference all compression
+/// ratios are measured against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cnv;
+
+impl Cnv {
+    /// Creates the conventional codec.
+    pub fn new() -> Self {
+        Cnv
+    }
+}
+
+impl Codec for Cnv {
+    fn name(&self) -> &'static str {
+        "CNV"
+    }
+
+    fn transcode(&self, img: &Tensor) -> Result<CodecOutput> {
+        expect_rgb(img)?;
+        let reconstruction = img.map(|v| (v.clamp(0.0, 1.0) * 255.0).round() / 255.0);
+        Ok(CodecOutput {
+            reconstruction,
+            compression_ratio: 1.0,
+        })
+    }
+
+    fn traits(&self) -> CodecTraits {
+        CodecTraits {
+            domain: EncodingDomain::Analog,
+            objective: Objective::TaskAgnostic,
+            metric: QualityMetric::Psnr,
+            overhead: HwOverhead::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantizes_to_256_levels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = Cnv::new().transcode(&img).unwrap();
+        assert_eq!(out.compression_ratio, 1.0);
+        for (a, b) in img.as_slice().iter().zip(out.reconstruction.as_slice()) {
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+            // Values land exactly on the 8-bit grid.
+            let code = b * 255.0;
+            assert!((code - code.round()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_non_rgb() {
+        assert!(Cnv::new().transcode(&Tensor::zeros(&[1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn name_and_traits() {
+        let c = Cnv::new();
+        assert_eq!(c.name(), "CNV");
+        assert_eq!(c.traits().objective, Objective::TaskAgnostic);
+    }
+}

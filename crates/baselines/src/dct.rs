@@ -1,0 +1,202 @@
+//! Type-II / type-III discrete cosine transform on square blocks.
+//!
+//! Shared by the compressive-sensing reconstruction (sparsifying basis) and
+//! the JPEG-like codec.
+
+/// Precomputed orthonormal DCT basis for `n x n` blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dct {
+    n: usize,
+    /// `basis[k * n + i] = c(k) * cos(pi/n * (i + 0.5) * k)`.
+    basis: Vec<f32>,
+}
+
+impl Dct {
+    /// Builds the transform for `n`-point rows/columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "DCT size must be positive");
+        let mut basis = vec![0.0f32; n * n];
+        for k in 0..n {
+            let scale = if k == 0 {
+                (1.0 / n as f32).sqrt()
+            } else {
+                (2.0 / n as f32).sqrt()
+            };
+            for i in 0..n {
+                basis[k * n + i] =
+                    scale * (std::f32::consts::PI / n as f32 * (i as f32 + 0.5) * k as f32).cos();
+            }
+        }
+        Dct { n, basis }
+    }
+
+    /// Block size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    fn rows_forward(&self, input: &[f32], out: &mut [f32]) {
+        let n = self.n;
+        for r in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += self.basis[k * n + i] * input[r * n + i];
+                }
+                out[r * n + k] = acc;
+            }
+        }
+    }
+
+    fn rows_inverse(&self, input: &[f32], out: &mut [f32]) {
+        let n = self.n;
+        for r in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += self.basis[k * n + i] * input[r * n + k];
+                }
+                out[r * n + i] = acc;
+            }
+        }
+    }
+
+    fn transpose(&self, m: &[f32], out: &mut [f32]) {
+        let n = self.n;
+        for r in 0..n {
+            for c in 0..n {
+                out[c * n + r] = m[r * n + c];
+            }
+        }
+    }
+
+    /// Forward 2-D DCT of a row-major `n x n` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block size is wrong.
+    pub fn forward2d(&self, block: &[f32]) -> Vec<f32> {
+        assert_eq!(block.len(), self.n * self.n, "block size mismatch");
+        let mut a = vec![0.0; block.len()];
+        let mut b = vec![0.0; block.len()];
+        self.rows_forward(block, &mut a);
+        self.transpose(&a, &mut b);
+        self.rows_forward(&b, &mut a);
+        self.transpose(&a, &mut b);
+        b
+    }
+
+    /// Inverse 2-D DCT of a row-major `n x n` coefficient block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block size is wrong.
+    pub fn inverse2d(&self, coeffs: &[f32]) -> Vec<f32> {
+        assert_eq!(coeffs.len(), self.n * self.n, "block size mismatch");
+        let mut a = vec![0.0; coeffs.len()];
+        let mut b = vec![0.0; coeffs.len()];
+        self.transpose(coeffs, &mut a);
+        self.rows_inverse(&a, &mut b);
+        self.transpose(&b, &mut a);
+        self.rows_inverse(&a, &mut b);
+        b
+    }
+}
+
+/// Zig-zag scan order of an `n x n` block (JPEG coefficient ordering).
+pub fn zigzag_order(n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n * n);
+    for s in 0..(2 * n - 1) {
+        let range: Vec<usize> = (0..n).filter(|&i| s >= i && s - i < n).collect();
+        if s % 2 == 0 {
+            for &i in range.iter().rev() {
+                order.push(i * n + (s - i));
+            }
+        } else {
+            for &i in &range {
+                order.push(i * n + (s - i));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let dct = Dct::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let block: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let back = dct.inverse2d(&dct.forward2d(&block));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_block_is_pure_dc() {
+        let dct = Dct::new(4);
+        let coeffs = dct.forward2d(&[0.5; 16]);
+        assert!((coeffs[0] - 0.5 * 4.0).abs() < 1e-5, "DC = mean * n");
+        for &c in &coeffs[1..] {
+            assert!(c.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transform_is_orthonormal() {
+        // Parseval: energy preserved.
+        let dct = Dct::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let block: Vec<f32> = (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let coeffs = dct.forward2d(&block);
+        let e_in: f32 = block.iter().map(|x| x * x).sum();
+        let e_out: f32 = coeffs.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4);
+    }
+
+    #[test]
+    fn smooth_signals_compact_into_low_frequencies() {
+        let dct = Dct::new(8);
+        let block: Vec<f32> = (0..64).map(|i| (i % 8) as f32 / 8.0).collect();
+        let coeffs = dct.forward2d(&block);
+        let low: f32 = coeffs[..8].iter().map(|x| x * x).sum();
+        let total: f32 = coeffs.iter().map(|x| x * x).sum();
+        assert!(low / total > 0.95, "energy compaction {}", low / total);
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        for n in [2usize, 4, 8] {
+            let order = zigzag_order(n);
+            assert_eq!(order.len(), n * n);
+            let mut seen = vec![false; n * n];
+            for &i in &order {
+                assert!(!seen[i], "duplicate index {i}");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn zigzag_8_starts_correctly() {
+        let order = zigzag_order(8);
+        // Standard JPEG zig-zag prefix: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2).
+        assert_eq!(&order[..6], &[0, 1, 8, 16, 9, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn wrong_block_size_panics() {
+        Dct::new(4).forward2d(&[0.0; 15]);
+    }
+}

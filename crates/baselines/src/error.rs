@@ -1,0 +1,51 @@
+use leca_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by baseline codecs.
+#[derive(Debug)]
+pub enum CodecError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// The codec was configured with meaningless parameters.
+    InvalidConfig(String),
+    /// The input image shape is unsupported by this codec.
+    UnsupportedShape(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CodecError::InvalidConfig(m) => write!(f, "invalid codec config: {m}"),
+            CodecError::UnsupportedShape(m) => write!(f, "unsupported image shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CodecError {
+    fn from(e: TensorError) -> Self {
+        CodecError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_source() {
+        let e: CodecError = TensorError::InvalidGeometry("x".into()).into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CodecError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Low-resolution quantizer (LR): pixel-wise uniform quantization at
+//! reduced bit depth.
+//!
+//! The paper's bit-depth-only baseline: full spatial resolution, but each
+//! pixel quantized to 3-bit, 1.5-bit (ternary) or 1-bit for its three
+//! compression points.
+
+use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
+    Objective, QualityMetric};
+use crate::{CodecError, Result};
+use leca_nn::quant::{quantize_uniform, BitDepth};
+use leca_tensor::Tensor;
+
+/// Pixel-wise low-resolution quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lr {
+    depth: BitDepth,
+    qbit: f32,
+}
+
+impl Lr {
+    /// Creates an LR codec at the given `Q_bit` (1, 1.5, 2, 3, 4, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for unsupported bit depths.
+    pub fn new(qbit: f32) -> Result<Self> {
+        let depth = BitDepth::from_qbit(qbit)
+            .map_err(|e| CodecError::InvalidConfig(e.to_string()))?;
+        Ok(Lr { depth, qbit })
+    }
+
+    /// The paper's configuration for CR in `{4, 6, 8}` (3-, 1.5- and 1-bit;
+    /// the paper labels these compression ratios 4, 6 and 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for other ratios.
+    pub fn for_cr(cr: usize) -> Result<Self> {
+        match cr {
+            4 => Lr::new(3.0),
+            6 => Lr::new(1.5),
+            8 => Lr::new(1.0),
+            other => Err(CodecError::InvalidConfig(format!(
+                "LR has no paper configuration for CR {other}"
+            ))),
+        }
+    }
+
+    /// The configured bit depth.
+    pub fn qbit(&self) -> f32 {
+        self.qbit
+    }
+}
+
+impl Codec for Lr {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn transcode(&self, img: &Tensor) -> Result<CodecOutput> {
+        expect_rgb(img)?;
+        let levels = self.depth.levels();
+        let reconstruction = img.map(|v| quantize_uniform(v, 0.0, 1.0, levels));
+        Ok(CodecOutput {
+            reconstruction,
+            compression_ratio: 8.0 / self.depth.effective_bits(),
+        })
+    }
+
+    fn traits(&self) -> CodecTraits {
+        CodecTraits {
+            domain: EncodingDomain::Analog,
+            objective: Objective::TaskAgnostic,
+            metric: QualityMetric::Psnr,
+            overhead: HwOverhead::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_bit_binarizes() {
+        let img = Tensor::from_vec(vec![0.1, 0.6, 0.4, 0.9].repeat(3), &[3, 2, 2]).unwrap();
+        let out = Lr::new(1.0).unwrap().transcode(&img).unwrap();
+        assert_eq!(out.reconstruction.as_slice()[..4], [0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(out.compression_ratio, 8.0);
+    }
+
+    #[test]
+    fn ternary_produces_three_levels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = Lr::new(1.5).unwrap().transcode(&img).unwrap();
+        for &v in out.reconstruction.as_slice() {
+            assert!(v == 0.0 || v == 0.5 || v == 1.0, "unexpected level {v}");
+        }
+        assert!((out.compression_ratio - 8.0 / 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn three_bit_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let out = Lr::new(3.0).unwrap().transcode(&img).unwrap();
+        let step = 1.0 / 7.0;
+        for (a, b) in img.as_slice().iter().zip(out.reconstruction.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(Lr::for_cr(4).unwrap().qbit(), 3.0);
+        assert_eq!(Lr::for_cr(6).unwrap().qbit(), 1.5);
+        assert_eq!(Lr::for_cr(8).unwrap().qbit(), 1.0);
+        assert!(Lr::for_cr(3).is_err());
+        assert!(Lr::new(0.5).is_err());
+    }
+
+    #[test]
+    fn lower_depth_means_more_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        let e3 = img
+            .sub(&Lr::new(3.0).unwrap().transcode(&img).unwrap().reconstruction)
+            .unwrap()
+            .norm_sq();
+        let e1 = img
+            .sub(&Lr::new(1.0).unwrap().transcode(&img).unwrap().reconstruction)
+            .unwrap()
+            .norm_sq();
+        assert!(e1 > e3);
+    }
+
+    #[test]
+    fn rejects_non_rgb() {
+        assert!(Lr::new(2.0).unwrap().transcode(&Tensor::zeros(&[4, 4])).is_err());
+    }
+}

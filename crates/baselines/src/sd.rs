@@ -1,0 +1,196 @@
+//! Spatial down-sampling (SD): block-wise averaging + bilinear upsampling.
+//!
+//! The paper's SD baseline uses 2x2, 2x3 and 2x4 average pooling (with
+//! bilinear interpolation back to full resolution) to reach compression
+//! ratios of 4, 6 and 8 respectively, keeping 8-bit precision.
+
+use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
+    Objective, QualityMetric};
+use crate::{CodecError, Result};
+use leca_tensor::Tensor;
+
+/// Spatial down-sampling by a `ky x kx` averaging window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sd {
+    ky: usize,
+    kx: usize,
+}
+
+impl Sd {
+    /// Creates an SD codec with the given pooling window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for zero-sized windows.
+    pub fn new(ky: usize, kx: usize) -> Result<Self> {
+        if ky == 0 || kx == 0 {
+            return Err(CodecError::InvalidConfig("pooling window must be positive".into()));
+        }
+        Ok(Sd { ky, kx })
+    }
+
+    /// The paper's configuration for a given compression ratio in
+    /// `{4, 6, 8}` (2x2, 2x3, 2x4 windows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidConfig`] for other ratios.
+    pub fn for_cr(cr: usize) -> Result<Self> {
+        match cr {
+            4 => Sd::new(2, 2),
+            6 => Sd::new(2, 3),
+            8 => Sd::new(2, 4),
+            other => Err(CodecError::InvalidConfig(format!(
+                "SD has no paper configuration for CR {other}"
+            ))),
+        }
+    }
+}
+
+/// Bilinearly samples channel plane `src` (h x w) at fractional coords.
+fn bilinear(src: &[f32], h: usize, w: usize, y: f32, x: f32) -> f32 {
+    let y = y.clamp(0.0, (h - 1) as f32);
+    let x = x.clamp(0.0, (w - 1) as f32);
+    let (y0, x0) = (y.floor() as usize, x.floor() as usize);
+    let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
+    let (fy, fx) = (y - y0 as f32, x - x0 as f32);
+    let v00 = src[y0 * w + x0];
+    let v01 = src[y0 * w + x1];
+    let v10 = src[y1 * w + x0];
+    let v11 = src[y1 * w + x1];
+    v00 * (1.0 - fy) * (1.0 - fx) + v01 * (1.0 - fy) * fx + v10 * fy * (1.0 - fx) + v11 * fy * fx
+}
+
+impl Codec for Sd {
+    fn name(&self) -> &'static str {
+        "SD"
+    }
+
+    fn transcode(&self, img: &Tensor) -> Result<CodecOutput> {
+        let (h, w) = expect_rgb(img)?;
+        if h % self.ky != 0 || w % self.kx != 0 {
+            return Err(CodecError::UnsupportedShape(format!(
+                "{h}x{w} not divisible by {}x{} window",
+                self.ky, self.kx
+            )));
+        }
+        let (oh, ow) = (h / self.ky, w / self.kx);
+        let mut recon = Tensor::zeros(img.shape());
+        for c in 0..3 {
+            // Average-pool with 8-bit quantization of the pooled values.
+            let plane = &img.as_slice()[c * h * w..(c + 1) * h * w];
+            let mut pooled = vec![0.0f32; oh * ow];
+            let inv = 1.0 / (self.ky * self.kx) as f32;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..self.ky {
+                        for dx in 0..self.kx {
+                            acc += plane[(oy * self.ky + dy) * w + ox * self.kx + dx];
+                        }
+                    }
+                    pooled[oy * ow + ox] =
+                        ((acc * inv).clamp(0.0, 1.0) * 255.0).round() / 255.0;
+                }
+            }
+            // Bilinear upsample back to (h, w), aligning block centers.
+            let out = &mut recon.as_mut_slice()[c * h * w..(c + 1) * h * w];
+            for y in 0..h {
+                for x in 0..w {
+                    let sy = (y as f32 + 0.5) / self.ky as f32 - 0.5;
+                    let sx = (x as f32 + 0.5) / self.kx as f32 - 0.5;
+                    out[y * w + x] = bilinear(&pooled, oh, ow, sy, sx);
+                }
+            }
+        }
+        Ok(CodecOutput {
+            reconstruction: recon,
+            compression_ratio: (self.ky * self.kx) as f32,
+        })
+    }
+
+    fn traits(&self) -> CodecTraits {
+        CodecTraits {
+            domain: EncodingDomain::Mixed,
+            objective: Objective::TaskAgnostic,
+            metric: QualityMetric::Psnr,
+            overhead: HwOverhead::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_configurations() {
+        assert_eq!(Sd::for_cr(4).unwrap(), Sd { ky: 2, kx: 2 });
+        assert_eq!(Sd::for_cr(6).unwrap(), Sd { ky: 2, kx: 3 });
+        assert_eq!(Sd::for_cr(8).unwrap(), Sd { ky: 2, kx: 4 });
+        assert!(Sd::for_cr(5).is_err());
+        assert!(Sd::new(0, 2).is_err());
+    }
+
+    #[test]
+    fn constant_image_is_preserved() {
+        let img = Tensor::full(&[3, 8, 8], 0.5);
+        let out = Sd::for_cr(4).unwrap().transcode(&img).unwrap();
+        for v in out.reconstruction.as_slice() {
+            assert!((v - 0.5).abs() < 1.0 / 255.0);
+        }
+        assert_eq!(out.compression_ratio, 4.0);
+    }
+
+    #[test]
+    fn smooth_gradient_survives_downsampling() {
+        let mut img = Tensor::zeros(&[3, 16, 16]);
+        for c in 0..3 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    img.set(&[c, y, x], x as f32 / 15.0);
+                }
+            }
+        }
+        let out = Sd::for_cr(4).unwrap().transcode(&img).unwrap();
+        let err = img.sub(&out.reconstruction).unwrap().map(f32::abs).mean();
+        assert!(err < 0.03, "mean error {err}");
+    }
+
+    #[test]
+    fn high_frequency_detail_is_destroyed() {
+        // Checkerboard at pixel pitch averages to gray — the information
+        // loss SD trades for compression.
+        let mut img = Tensor::zeros(&[3, 8, 8]);
+        for c in 0..3 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    img.set(&[c, y, x], ((x + y) % 2) as f32);
+                }
+            }
+        }
+        let out = Sd::for_cr(4).unwrap().transcode(&img).unwrap();
+        for v in out.reconstruction.as_slice() {
+            assert!((v - 0.5).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn reconstruction_shape_matches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let img = Tensor::rand_uniform(&[3, 8, 12], 0.0, 1.0, &mut rng);
+        for cr in [4usize, 6, 8] {
+            let out = Sd::for_cr(cr).unwrap().transcode(&img).unwrap();
+            assert_eq!(out.reconstruction.shape(), img.shape());
+            assert_eq!(out.compression_ratio, cr as f32);
+        }
+    }
+
+    #[test]
+    fn indivisible_shape_rejected() {
+        let img = Tensor::zeros(&[3, 9, 8]);
+        assert!(Sd::for_cr(4).unwrap().transcode(&img).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+use crate::Result;
+use leca_tensor::Tensor;
+
+/// Where a codec's encoding computation runs (Table 1, "Encoding Domain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingDomain {
+    /// After full digitization.
+    Digital,
+    /// Partly before, partly after digitization.
+    Mixed,
+    /// Entirely before digitization.
+    Analog,
+}
+
+/// What the codec optimizes (Table 1, "Objective Function").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Generic signal fidelity, independent of the downstream task.
+    TaskAgnostic,
+    /// Trained against the downstream task loss.
+    TaskSpecific,
+}
+
+/// The quality measure a codec is evaluated by (Table 1, "Quality Metric").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QualityMetric {
+    /// Reconstruction fidelity (PSNR/SSIM).
+    Psnr,
+    /// Downstream task accuracy.
+    Accuracy,
+}
+
+/// Sensor-side hardware cost (Table 1, "Hardware Overhead").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HwOverhead {
+    /// Little or no additional circuitry.
+    Low,
+    /// Moderate additional circuitry.
+    Medium,
+    /// A dedicated digital compression engine.
+    High,
+}
+
+/// Table 1 characterization of a compression method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodecTraits {
+    /// Encoding domain.
+    pub domain: EncodingDomain,
+    /// Objective function.
+    pub objective: Objective,
+    /// Quality metric.
+    pub metric: QualityMetric,
+    /// Hardware overhead.
+    pub overhead: HwOverhead,
+}
+
+/// Result of transcoding an image through a codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecOutput {
+    /// Decoded image at the original `(3, H, W)` resolution, `[0, 1]`.
+    pub reconstruction: Tensor,
+    /// Achieved compression ratio: original bits / transmitted bits.
+    pub compression_ratio: f32,
+}
+
+/// A sensor-side compression method evaluated by the paper's protocol:
+/// encode, decode, feed the reconstruction to a frozen downstream model.
+pub trait Codec {
+    /// Short display name ("CNV", "SD", ...).
+    fn name(&self) -> &'static str;
+
+    /// Encodes and decodes `img` (`(3, H, W)` RGB in `[0, 1]`), reporting
+    /// the reconstruction and the achieved compression ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::CodecError`] for unsupported shapes or internal
+    /// failures.
+    fn transcode(&self, img: &Tensor) -> Result<CodecOutput>;
+
+    /// The Table 1 characterization of this method.
+    fn traits(&self) -> CodecTraits;
+}
+
+/// Validates a `(3, H, W)` image shape, returning `(h, w)`.
+///
+/// # Errors
+///
+/// Returns [`crate::CodecError::UnsupportedShape`] otherwise.
+pub(crate) fn expect_rgb(img: &Tensor) -> Result<(usize, usize)> {
+    match img.shape() {
+        [3, h, w] => Ok((*h, *w)),
+        other => Err(crate::CodecError::UnsupportedShape(format!(
+            "expected (3, H, W), got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_orders() {
+        assert!(HwOverhead::Low < HwOverhead::Medium);
+        assert!(HwOverhead::Medium < HwOverhead::High);
+    }
+
+    #[test]
+    fn expect_rgb_validates() {
+        assert_eq!(expect_rgb(&Tensor::zeros(&[3, 4, 5])).unwrap(), (4, 5));
+        assert!(expect_rgb(&Tensor::zeros(&[1, 4, 5])).is_err());
+        assert!(expect_rgb(&Tensor::zeros(&[3, 4])).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the analog circuit models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_circuit::adc::{AdcModel, AdcResolution};
+use leca_circuit::pe::AnalogPe;
+use leca_circuit::scm::ScmModel;
+use leca_circuit::CircuitParams;
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+fn bench_circuit(c: &mut Criterion) {
+    let params = CircuitParams::paper_65nm();
+    let mut group = c.benchmark_group("circuit");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let scm = ScmModel::new(params.clone());
+    group.bench_function("scm_mac_chain_16", |bench| {
+        bench.iter(|| {
+            let mut v = params.vcm;
+            for i in 0..16u32 {
+                v = scm.step(v, 0.5 + (i as f32) * 0.01, 60.0);
+            }
+            std::hint::black_box(v)
+        });
+    });
+    group.bench_function("scm_step_grads", |bench| {
+        bench.iter(|| std::hint::black_box(scm.step_grads(0.58, 0.7, 60.0)));
+    });
+
+    let adc = AdcModel::new(AdcResolution::Sar(4), 0.35).expect("adc");
+    group.bench_function("adc_quantize_4bit", |bench| {
+        bench.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..64 {
+                acc += adc.quantize(-0.35 + i as f32 * 0.011);
+            }
+            std::hint::black_box(acc)
+        });
+    });
+
+    let pe = AnalogPe::typical(&params, AdcResolution::Sar(3)).expect("pe");
+    let pixels: Vec<f32> = (0..16).map(|i| i as f32 / 15.0).collect();
+    let weights = vec![vec![7i32; 16]; 4];
+    group.bench_function("pe_encode_block_4_kernels", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(
+                pe.encode_block::<StdRng>(&pixels, 4, &weights, None)
+                    .expect("encode"),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the baseline codecs' transcode throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_baselines::agt::Agt;
+use leca_baselines::cnv::Cnv;
+use leca_baselines::cs::Cs;
+use leca_baselines::jpeg::Jpeg;
+use leca_baselines::lr::Lr;
+use leca_baselines::ms::Ms;
+use leca_baselines::sd::Sd;
+use leca_baselines::Codec;
+use leca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let img = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("codecs");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+        ("cnv", Box::new(Cnv::new())),
+        ("sd_cr4", Box::new(Sd::for_cr(4).expect("cfg"))),
+        ("lr_cr4", Box::new(Lr::for_cr(4).expect("cfg"))),
+        ("ms", Box::new(Ms::new())),
+        ("agt", Box::new(Agt::paper())),
+        ("jpeg_q50", Box::new(Jpeg::new(50).expect("cfg"))),
+        ("cs_4x", Box::new(Cs::paper_4x(0).expect("cfg"))),
+    ];
+    for (name, codec) in &codecs {
+        group.bench_function(format!("transcode_32x32_{name}"), |bench| {
+            bench.iter(|| std::hint::black_box(codec.transcode(&img).expect("transcode")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

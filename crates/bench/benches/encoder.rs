@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the LeCA encoder's three modalities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_core::config::LecaConfig;
+use leca_core::encoder::{LecaEncoder, Modality};
+use leca_nn::{Layer, Mode};
+use leca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_encoder(c: &mut Criterion) {
+    let cfg = LecaConfig::new(2, 4, 3.0).expect("config");
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::rand_uniform(&[8, 3, 32, 32], 0.05, 0.95, &mut rng);
+    let mut group = c.benchmark_group("leca_encoder");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for (name, modality) in [
+        ("soft", Modality::Soft),
+        ("hard", Modality::Hard),
+        ("noisy", Modality::Noisy),
+    ] {
+        let mut enc = LecaEncoder::new(&cfg, modality, 0).expect("encoder");
+        group.bench_function(format!("forward_{name}_8x3x32x32"), |bench| {
+            bench.iter(|| std::hint::black_box(enc.forward(&x, Mode::Eval).expect("forward")));
+        });
+    }
+
+    let mut enc = LecaEncoder::new(&cfg, Modality::Hard, 0).expect("encoder");
+    group.bench_function("forward_backward_hard_8x3x32x32", |bench| {
+        bench.iter(|| {
+            enc.zero_grad();
+            let y = enc.forward(&x, Mode::Train).expect("forward");
+            std::hint::black_box(enc.backward(&Tensor::ones(y.shape())).expect("backward"))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

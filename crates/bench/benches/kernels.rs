@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for the tensor kernels that dominate
+//! training time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
+    group.bench_function("matmul_64x144x4096", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b).expect("matmul")));
+    });
+
+    let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+    group.bench_function("conv2d_8x16x32x32_3x3", |bench| {
+        bench.iter(|| std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv")));
+    });
+    group.bench_function("conv2d_grad_weight", |bench| {
+        let gout = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+        bench.iter(|| {
+            std::hint::black_box(ops::conv2d_grad_weight(&x, &gout, 3, 3, 1, 1).expect("grad"))
+        });
+    });
+
+    // The LeCA encoder geometry: 2x2 stride-2 on RGB.
+    let img = Tensor::rand_uniform(&[8, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let enc_w = Tensor::rand_uniform(&[8, 3, 2, 2], -1.0, 1.0, &mut rng);
+    group.bench_function("conv2d_leca_encoder_geometry", |bench| {
+        bench.iter(|| std::hint::black_box(ops::conv2d(&img, &enc_w, None, 2, 0).expect("conv")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

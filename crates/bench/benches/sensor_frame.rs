@@ -1,0 +1,63 @@
+//! Criterion benchmarks for full-frame sensor capture and the energy /
+//! timing models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_sensor::energy::EnergyModel;
+use leca_sensor::timing::TimingModel;
+use leca_sensor::{LecaSensor, SensorGeometry};
+use rand::rngs::StdRng;
+use std::time::Duration;
+
+fn bench_sensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // A 64x64 raw array (32x32 RGB) — the proxy deployment size.
+    let geom = SensorGeometry {
+        rows: 64,
+        cols: 64,
+        n_ch: 4,
+    };
+    let mut sensor = LecaSensor::new(geom, 3.0).expect("sensor");
+    sensor
+        .program_weights(vec![vec![7i32; 16]; 4])
+        .expect("weights");
+    let scene: Vec<f32> = (0..64 * 64).map(|i| (i % 64) as f32 / 63.0).collect();
+    group.bench_function("capture_64x64_leca", |bench| {
+        bench.iter(|| std::hint::black_box(sensor.capture::<StdRng>(&scene, None).expect("capture")));
+    });
+    group.bench_function("capture_64x64_normal", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(sensor.capture_normal::<StdRng>(&scene, None).expect("capture"))
+        });
+    });
+
+    let energy = EnergyModel::paper();
+    group.bench_function("energy_model_full_sweep", |bench| {
+        bench.iter(|| {
+            let g4 = SensorGeometry::paper(8);
+            let g8 = SensorGeometry::paper(4);
+            std::hint::black_box((
+                energy.cnv_frame(448, 448).expect("cnv"),
+                energy.leca_frame(&g4, 3.0).expect("cr4"),
+                energy.leca_frame(&g8, 3.0).expect("cr8"),
+                energy.cs_frame(448, 448).expect("cs"),
+            ))
+        });
+    });
+
+    let timing = TimingModel::paper();
+    group.bench_function("timing_model", |bench| {
+        bench.iter(|| {
+            std::hint::black_box((
+                timing.fps(&SensorGeometry::paper(4)),
+                timing.fps(&SensorGeometry::hd1080(4)),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensor);
+criterion_main!(benches);

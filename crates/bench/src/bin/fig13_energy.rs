@@ -1,0 +1,143 @@
+//! Fig. 13(a,b): frame-energy comparison between conventional,
+//! compressive, and LeCA sensors — absolute per-component energies and the
+//! normalized breakdown.
+
+use leca_sensor::energy::{EnergyBreakdown, EnergyModel};
+use leca_sensor::SensorGeometry;
+
+fn row(label: &str, b: &EnergyBreakdown, reference: f64) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.2}", b.pixel_uj),
+        format!("{:.2}", b.adc_uj),
+        format!("{:.2}", b.pe_uj),
+        format!("{:.2}", b.sram_uj),
+        format!("{:.2}", b.comm_uj),
+        format!("{:.2}", b.digital_uj),
+        format!("{:.2}", b.total_uj()),
+        format!("{:.2}x", b.total_uj() / reference),
+    ]
+}
+
+fn main() {
+    let m = EnergyModel::paper();
+    let (rows_px, cols_px) = (448usize, 448usize);
+
+    let cnv = m.cnv_frame(rows_px, cols_px).expect("cnv model");
+    let sd = m.sd_frame(rows_px, cols_px, 2).expect("sd model");
+    let lr = m.lr_frame(rows_px, cols_px, 2.0).expect("lr model");
+    let cs = m.cs_frame(rows_px, cols_px).expect("cs model");
+    let ms = m.ms_frame(rows_px, cols_px).expect("ms model");
+    let agt = m.agt_frame(rows_px, cols_px).expect("agt model");
+    let leca4 = m
+        .leca_frame(&SensorGeometry::paper(8), 3.0)
+        .expect("leca cr4"); // 8|3
+    let leca6 = m
+        .leca_frame(&SensorGeometry::paper(4), 4.0)
+        .expect("leca cr6"); // 4|4
+    let leca8 = m
+        .leca_frame(&SensorGeometry::paper(4), 3.0)
+        .expect("leca cr8"); // 4|3
+
+    let reference = leca4.total_uj();
+    let rows = vec![
+        row("CNV (8-bit full res)", &cnv, reference),
+        row("SD (2x2 avg, 8-bit)", &sd, reference),
+        row("LR (2-bit)", &lr, reference),
+        row("CS (4x, 8-bit meas.)", &cs, reference),
+        row("MS (2-bit + digital)", &ms, reference),
+        row("AGT (grad. skipping)", &agt, reference),
+        row("LeCA CR=4 (8|3)", &leca4, reference),
+        row("LeCA CR=6 (4|4)", &leca6, reference),
+        row("LeCA CR=8 (4|3)", &leca8, reference),
+    ];
+    leca_bench::print_table(
+        "Fig. 13(a) — absolute frame energy at 448x448 (uJ; normalized column vs LeCA CR=4)",
+        &["Sensor", "Pixel", "ADC", "PE", "SRAM", "Comm", "Digital", "Total", "Norm"],
+        &rows,
+    );
+
+    // Headline ratios the paper reports.
+    leca_bench::print_table(
+        "Headline ratios",
+        &["Quantity", "Model", "Paper"],
+        &[
+            vec![
+                "CNV / LeCA(CR=8) total".into(),
+                leca_bench::ratio(cnv.total_uj() / leca8.total_uj()),
+                "6.3x".into(),
+            ],
+            vec![
+                "CS / LeCA(CR=8) total".into(),
+                leca_bench::ratio(cs.total_uj() / leca8.total_uj()),
+                "2.2x".into(),
+            ],
+            vec![
+                "CNV ADC / LeCA(CR=4) ADC".into(),
+                leca_bench::ratio(cnv.adc_uj / leca4.adc_uj),
+                "10.1x".into(),
+            ],
+            vec![
+                "CNV comm / LeCA(CR=4) comm".into(),
+                leca_bench::ratio(cnv.comm_uj / leca4.comm_uj),
+                "5x".into(),
+            ],
+            vec![
+                "SD ADC / LeCA(CR=4) ADC".into(),
+                leca_bench::ratio(sd.adc_uj / leca4.adc_uj),
+                "5x (paper)".into(),
+            ],
+            vec![
+                "LR ADC / LeCA(CR=4) ADC".into(),
+                leca_bench::ratio(lr.adc_uj / leca4.adc_uj),
+                "6.6x (paper)".into(),
+            ],
+            vec![
+                "CS vs LeCA(CR=4)".into(),
+                format!("{:.0}% less", (1.0 - leca4.total_uj() / cs.total_uj()) * 100.0),
+                "11% less".into(),
+            ],
+            vec![
+                "MS vs LeCA(CR=4)".into(),
+                format!("{:.0}% less", (1.0 - leca4.total_uj() / ms.total_uj()) * 100.0),
+                "57% less".into(),
+            ],
+            vec![
+                "AGT vs LeCA(CR=4)".into(),
+                format!("{:.0}% less", (1.0 - leca4.total_uj() / agt.total_uj()) * 100.0),
+                "31% less".into(),
+            ],
+        ],
+    );
+
+    // Fig. 13(b): normalized component shares.
+    let share = |b: &EnergyBreakdown| {
+        let t = b.total_uj();
+        vec![
+            format!("{:.0}%", b.pixel_uj / t * 100.0),
+            format!("{:.0}%", b.adc_uj / t * 100.0),
+            format!("{:.0}%", b.pe_uj / t * 100.0),
+            format!("{:.0}%", b.sram_uj / t * 100.0),
+            format!("{:.0}%", b.comm_uj / t * 100.0),
+            format!("{:.0}%", b.digital_uj / t * 100.0),
+        ]
+    };
+    let mut rows = Vec::new();
+    for (label, b) in [
+        ("CNV", &cnv),
+        ("MS", &ms),
+        ("CS", &cs),
+        ("LeCA CR=4", &leca4),
+        ("LeCA CR=6", &leca6),
+        ("LeCA CR=8", &leca8),
+    ] {
+        let mut r = vec![label.to_string()];
+        r.extend(share(b));
+        rows.push(r);
+    }
+    leca_bench::print_table(
+        "Fig. 13(b) — normalized energy breakdown",
+        &["Sensor", "Pixel", "ADC", "PE", "SRAM", "Comm", "Digital"],
+        &rows,
+    );
+}

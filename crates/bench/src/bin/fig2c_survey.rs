@@ -1,0 +1,50 @@
+//! Fig. 2(c): ADC and output-buffer overheads from the CIS survey.
+
+use leca_sensor::survey::{aggregate, survey_entries, PAPER_AREA_PCT, PAPER_POWER_PCT,
+    PAPER_READOUT_PCT};
+
+fn main() {
+    let entries = survey_entries();
+    let agg = aggregate(&entries);
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.label.clone(),
+                e.year.to_string(),
+                format!("{:.1}", e.power_pct),
+                format!("{:.1}", e.readout_time_pct),
+                format!("{:.1}", e.area_pct),
+            ]
+        })
+        .collect();
+    leca_bench::print_table(
+        "Fig. 2(c) — CIS survey (synthesized entries, aggregate-matched; see DESIGN.md)",
+        &["Design", "Year", "Power %", "Readout-time %", "Area %"],
+        &rows,
+    );
+
+    leca_bench::print_table(
+        "Aggregate (ADC + output buffer share)",
+        &["Metric", "Survey mean", "Paper value"],
+        &[
+            vec![
+                "Sensor power".into(),
+                format!("{:.1}%", agg.power_pct),
+                format!("{PAPER_POWER_PCT:.0}%"),
+            ],
+            vec![
+                "Pixel-row readout time".into(),
+                format!("{:.1}%", agg.readout_time_pct),
+                format!("{PAPER_READOUT_PCT:.0}%"),
+            ],
+            vec![
+                "Pixel-array area".into(),
+                format!("{:.1}%", agg.area_pct),
+                format!(">{PAPER_AREA_PCT:.0}%"),
+            ],
+        ],
+    );
+    println!("\nsurveyed designs: {}", agg.count);
+}

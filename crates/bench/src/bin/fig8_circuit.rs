@@ -1,0 +1,57 @@
+//! Fig. 8: device-model vs ideal-analytical validation sweep.
+//!
+//! Sweeps `{V_pixel, w}` with the ADC at 4-bit (positive weights, offset-
+//! binary codes 0–7) and reports the output-code surface plus the error
+//! against the ideal analytical chain. The paper's claim: absolute error
+//! within 1 LSB.
+
+use leca_circuit::validate::fig8_sweep;
+use leca_circuit::CircuitParams;
+
+fn main() {
+    let sweep = fig8_sweep(&CircuitParams::paper_65nm()).expect("sweep runs");
+
+    // (a) output-code surface: rows = weight code, cols = pixel value.
+    println!("== Fig. 8(a) — device output code vs {{V_pixel, w}} (4-bit, offset-binary) ==");
+    print!("        ");
+    for pi in 0..=16 {
+        print!("{:>3}", format!("{:.0}", pi as f32 / 16.0 * 100.0));
+    }
+    println!("   (pixel %)");
+    for w in 1..=15u32 {
+        print!("w={w:>2}    ");
+        for pi in 0..=16 {
+            let pixel = pi as f32 / 16.0;
+            let p = sweep
+                .points
+                .iter()
+                .find(|p| p.w_code == w && (p.pixel - pixel).abs() < 1e-6)
+                .expect("grid point exists");
+            print!("{:>3}", p.code_device);
+        }
+        println!();
+    }
+
+    // (b) error map.
+    println!("\n== Fig. 8(b) — |device - ideal| error (LSB) ==");
+    for w in 1..=15u32 {
+        print!("w={w:>2}    ");
+        for pi in 0..=16 {
+            let pixel = pi as f32 / 16.0;
+            let p = sweep
+                .points
+                .iter()
+                .find(|p| p.w_code == w && (p.pixel - pixel).abs() < 1e-6)
+                .expect("grid point exists");
+            print!("{:>3}", p.err_lsb());
+        }
+        println!();
+    }
+
+    println!(
+        "\nmax |error| = {} LSB (paper: within 1 LSB); mean |error| = {:.3} LSB over {} points",
+        sweep.max_err_lsb,
+        sweep.mean_err_lsb,
+        sweep.points.len()
+    );
+}

@@ -1,0 +1,35 @@
+//! Frame-rate table (Sec. 4.2 / Sec. 6.4): 209 fps at 448x448, 86 fps at
+//! 1080p, plus the repetitive-readout cost of larger N_ch.
+
+use leca_sensor::timing::TimingModel;
+use leca_sensor::SensorGeometry;
+
+fn main() {
+    let t = TimingModel::paper();
+    let mut rows = Vec::new();
+    for (label, geom, paper_fps) in [
+        ("448x448, N_ch<=4 (paper: 209 fps)", SensorGeometry::paper(4), Some(209.0)),
+        ("448x448, N_ch=8 (repetitive readout)", SensorGeometry::paper(8), None),
+        ("1080p, N_ch<=4 (paper: 86 fps)", SensorGeometry::hd1080(4), Some(86.0)),
+        ("1080p, N_ch=8", SensorGeometry::hd1080(8), None),
+    ] {
+        let fps = t.fps(&geom);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}x{}", geom.cols, geom.rows),
+            geom.readout_passes().to_string(),
+            format!("{:.2}", t.frame_latency_ns(&geom) / 1e6),
+            format!("{fps:.1}"),
+            paper_fps.map(|p| format!("{p:.0}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    leca_bench::print_table(
+        "Frame rate from the Sec. 4.2 timing model",
+        &["Configuration", "Raw array", "Passes", "Frame latency (ms)", "fps (model)", "fps (paper)"],
+        &rows,
+    );
+    println!(
+        "\n1080p at N_ch<=4 comfortably supports 60 fps moving-object recording: {}",
+        t.fps(&SensorGeometry::hd1080(4)) > 60.0
+    );
+}

@@ -1,0 +1,84 @@
+//! Table 1: comparison of image compression methods.
+//!
+//! Regenerates the qualitative characterization table from each codec's
+//! self-reported [`leca_baselines::CodecTraits`], plus the LeCA row.
+
+use leca_baselines::agt::Agt;
+use leca_baselines::cnv::Cnv;
+use leca_baselines::cs::Cs;
+use leca_baselines::jpeg::Jpeg;
+use leca_baselines::lr::Lr;
+use leca_baselines::ms::Ms;
+use leca_baselines::sd::Sd;
+use leca_baselines::{Codec, CodecTraits, EncodingDomain, HwOverhead, Objective, QualityMetric};
+
+fn domain(d: EncodingDomain) -> &'static str {
+    match d {
+        EncodingDomain::Digital => "Digital",
+        EncodingDomain::Mixed => "Mixed",
+        EncodingDomain::Analog => "Analog",
+    }
+}
+
+fn objective(o: Objective) -> &'static str {
+    match o {
+        Objective::TaskAgnostic => "Task Agnostic",
+        Objective::TaskSpecific => "Task Specific",
+    }
+}
+
+fn metric(m: QualityMetric) -> &'static str {
+    match m {
+        QualityMetric::Psnr => "PSNR",
+        QualityMetric::Accuracy => "Accuracy",
+    }
+}
+
+fn overhead(h: HwOverhead) -> &'static str {
+    match h {
+        HwOverhead::Low => "Low",
+        HwOverhead::Medium => "Medium",
+        HwOverhead::High => "High",
+    }
+}
+
+fn row(label: &str, t: CodecTraits) -> Vec<String> {
+    vec![
+        label.to_string(),
+        domain(t.domain).to_string(),
+        objective(t.objective).to_string(),
+        metric(t.metric).to_string(),
+        overhead(t.overhead).to_string(),
+    ]
+}
+
+fn main() {
+    let jpeg = Jpeg::new(50).expect("quality in range");
+    let sd = Sd::for_cr(4).expect("paper config");
+    let lr = Lr::for_cr(4).expect("paper config");
+    let cs = Cs::paper_4x(0).expect("paper config");
+
+    let rows = vec![
+        row("Standard (JPEG-like)", jpeg.traits()),
+        row("Heuristic acquisition (MS)", Ms::new().traits()),
+        row("Heuristic acquisition (AGT)", Agt::paper().traits()),
+        row("Spatial down-sampling (SD)", sd.traits()),
+        row("Low-resolution (LR)", lr.traits()),
+        row("Compressive sensing (CS)", cs.traits()),
+        row("Conventional (CNV)", Cnv::new().traits()),
+        // LeCA's row: analog-domain, task-specific, accuracy-driven, low
+        // overhead (Table 1, "Ours - LeCA").
+        vec![
+            "LeCA (ours)".into(),
+            "Analog".into(),
+            "Task Specific".into(),
+            "Accuracy".into(),
+            "Low".into(),
+        ],
+    ];
+    leca_bench::print_table(
+        "Table 1 — Comparison of Image Compression Methods",
+        &["Method", "Encoding Domain", "Objective", "Quality Metric", "HW Overhead"],
+        &rows,
+    );
+}

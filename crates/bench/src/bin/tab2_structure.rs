@@ -1,0 +1,33 @@
+//! Table 2: network structure of the LeCA encoder and decoder.
+//!
+//! Prints the layer shape algebra for the paper's 224x224 input and the
+//! reproduction's experiment scales, for each paper design point.
+
+use leca_core::config::LecaConfig;
+
+fn main() {
+    for (label, h, w) in [
+        ("paper scale (ImageNet)", 224usize, 224usize),
+        ("full pipeline (SynthVision-48)", 48, 48),
+        ("proxy pipeline (SynthVision-24)", 24, 24),
+    ] {
+        println!("\n### {label}: {w}x{h} input");
+        for cr in [4usize, 6, 8] {
+            let cfg = LecaConfig::paper_for_cr(cr).expect("paper design point");
+            println!(
+                "\n-- CR {cr}x  (K={}, N_ch={}, Q_bit={}, Eq.(1) CR = {:.1}) --",
+                cfg.k,
+                cfg.n_ch,
+                cfg.qbit,
+                cfg.compression_ratio()
+            );
+            for line in cfg.table2(h, w).expect("divisible input") {
+                println!("  {line}");
+            }
+            println!(
+                "  encoder parameters: {} (incl. 1 trainable ADC boundary)",
+                cfg.encoder_params()
+            );
+        }
+    }
+}

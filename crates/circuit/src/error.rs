@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced by circuit-model configuration and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A voltage argument fell outside the stage's valid input window.
+    VoltageOutOfRange {
+        /// Which stage rejected the voltage.
+        stage: &'static str,
+        /// The offending value (volts).
+        value: f32,
+        /// Valid low bound (volts).
+        lo: f32,
+        /// Valid high bound (volts).
+        hi: f32,
+    },
+    /// A digital weight code exceeded the SCM's signed-magnitude precision.
+    WeightCodeOutOfRange {
+        /// The offending code.
+        code: i32,
+        /// Maximum legal magnitude.
+        max_magnitude: i32,
+    },
+    /// An unsupported ADC resolution was requested.
+    UnsupportedResolution(f32),
+    /// A configuration value was physically meaningless.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::VoltageOutOfRange { stage, value, lo, hi } => {
+                write!(f, "{stage}: voltage {value} V outside [{lo}, {hi}] V")
+            }
+            CircuitError::WeightCodeOutOfRange { code, max_magnitude } => {
+                write!(f, "weight code {code} outside ±{max_magnitude}")
+            }
+            CircuitError::UnsupportedResolution(q) => {
+                write!(f, "unsupported ADC resolution {q} bit")
+            }
+            CircuitError::InvalidConfig(msg) => write!(f, "invalid circuit config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CircuitError::VoltageOutOfRange {
+            stage: "psf",
+            value: 2.0,
+            lo: 0.2,
+            hi: 1.0,
+        };
+        assert!(e.to_string().contains("psf"));
+        assert!(CircuitError::UnsupportedResolution(5.5)
+            .to_string()
+            .contains("5.5"));
+        assert!(CircuitError::WeightCodeOutOfRange {
+            code: 99,
+            max_magnitude: 15
+        }
+        .to_string()
+        .contains("99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

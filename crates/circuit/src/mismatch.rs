@@ -1,0 +1,213 @@
+//! Monte-Carlo mismatch extraction → training-time LUT models.
+//!
+//! Sec. 5.3: each buffer stage's readout effect is modeled for training as
+//! `N(LUT(v), σ(v))` where the LUT and sigma tables come from a 200-sample
+//! Monte-Carlo simulation of the device. This module is that extraction:
+//! it sweeps a voltage grid across sampled device instances and tabulates
+//! the mean transfer and its spread. `leca-core`'s hard/noisy training
+//! consumes these LUTs (value + local slope for backprop, sigma for noise
+//! injection).
+
+use crate::fvf::FvfDevice;
+use crate::params::CircuitParams;
+use crate::psf::PsfDevice;
+use crate::{CircuitError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's Monte-Carlo sample count.
+pub const PAPER_MC_SAMPLES: usize = 200;
+
+/// A tabulated transfer function with per-point spread: `N(mean(v), σ(v))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut {
+    lo: f32,
+    step: f32,
+    mean: Vec<f32>,
+    sigma: Vec<f32>,
+}
+
+impl Lut {
+    /// Builds a LUT from explicit tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidConfig`] for empty/mismatched tables
+    /// or a non-positive step.
+    pub fn new(lo: f32, step: f32, mean: Vec<f32>, sigma: Vec<f32>) -> Result<Self> {
+        if mean.len() < 2 || mean.len() != sigma.len() {
+            return Err(CircuitError::InvalidConfig(
+                "LUT needs ≥2 points with matching sigma table".into(),
+            ));
+        }
+        if step <= 0.0 {
+            return Err(CircuitError::InvalidConfig("LUT step must be positive".into()));
+        }
+        Ok(Lut { lo, step, mean, sigma })
+    }
+
+    /// Input-domain lower bound.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// Input-domain upper bound.
+    pub fn hi(&self) -> f32 {
+        self.lo + self.step * (self.mean.len() - 1) as f32
+    }
+
+    fn locate(&self, x: f32) -> (usize, f32) {
+        let t = ((x - self.lo) / self.step).clamp(0.0, (self.mean.len() - 1) as f32);
+        let idx = (t.floor() as usize).min(self.mean.len() - 2);
+        (idx, t - idx as f32)
+    }
+
+    /// Linearly-interpolated mean transfer at `x` (clamped to the domain).
+    pub fn value(&self, x: f32) -> f32 {
+        let (i, frac) = self.locate(x);
+        self.mean[i] * (1.0 - frac) + self.mean[i + 1] * frac
+    }
+
+    /// Linearly-interpolated sigma at `x` (clamped to the domain).
+    pub fn sigma(&self, x: f32) -> f32 {
+        let (i, frac) = self.locate(x);
+        self.sigma[i] * (1.0 - frac) + self.sigma[i + 1] * frac
+    }
+
+    /// Local slope `d value / dx` at `x` — the backward-pass linearization
+    /// of the tabulated transfer.
+    pub fn slope(&self, x: f32) -> f32 {
+        let (i, _) = self.locate(x);
+        (self.mean[i + 1] - self.mean[i]) / self.step
+    }
+}
+
+/// Extracts the PSF's `N(LUT(v), σ(v))` model over the pixel-voltage window
+/// from `n_instances` Monte-Carlo device samples.
+pub fn extract_psf_lut(
+    params: &CircuitParams,
+    n_instances: usize,
+    grid_points: usize,
+    seed: u64,
+) -> Lut {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instances: Vec<PsfDevice> = (0..n_instances.max(1))
+        .map(|_| PsfDevice::sample(params, &mut rng))
+        .collect();
+    let (lo, hi) = instances[0].input_window();
+    extract(grid_points, lo, hi, |v| {
+        instances
+            .iter()
+            .map(|d| d.transfer(v).expect("grid stays in window"))
+            .collect()
+    })
+}
+
+/// Extracts the FVF's `N(LUT(v), σ(v))` model over the rail-to-rail window.
+pub fn extract_fvf_lut(
+    params: &CircuitParams,
+    n_instances: usize,
+    grid_points: usize,
+    seed: u64,
+) -> Lut {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let instances: Vec<FvfDevice> = (0..n_instances.max(1))
+        .map(|_| FvfDevice::sample(params, &mut rng))
+        .collect();
+    let (lo, hi) = instances[0].input_window();
+    extract(grid_points, lo, hi, |v| {
+        instances
+            .iter()
+            .map(|d| d.transfer(v).expect("grid stays in window"))
+            .collect()
+    })
+}
+
+fn extract(grid_points: usize, lo: f32, hi: f32, f: impl Fn(f32) -> Vec<f32>) -> Lut {
+    let n = grid_points.max(2);
+    let step = (hi - lo) / (n - 1) as f32;
+    let mut mean = Vec::with_capacity(n);
+    let mut sigma = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = lo + step * i as f32;
+        let outs = f(v);
+        let m: f32 = outs.iter().sum::<f32>() / outs.len() as f32;
+        let var: f32 = outs.iter().map(|o| (o - m).powi(2)).sum::<f32>() / outs.len() as f32;
+        mean.push(m);
+        sigma.push(var.sqrt());
+    }
+    Lut::new(lo, step, mean, sigma).expect("grid construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psf::PsfModel;
+
+    fn params() -> CircuitParams {
+        CircuitParams::paper_65nm()
+    }
+
+    #[test]
+    fn lut_interpolates_linearly() {
+        let lut = Lut::new(0.0, 1.0, vec![0.0, 2.0, 4.0], vec![0.1, 0.1, 0.1]).unwrap();
+        assert_eq!(lut.value(0.5), 1.0);
+        assert_eq!(lut.value(1.5), 3.0);
+        assert_eq!(lut.slope(0.2), 2.0);
+        assert_eq!(lut.hi(), 2.0);
+    }
+
+    #[test]
+    fn lut_clamps_out_of_domain() {
+        let lut = Lut::new(0.0, 1.0, vec![1.0, 2.0], vec![0.0, 0.0]).unwrap();
+        assert_eq!(lut.value(-5.0), 1.0);
+        assert_eq!(lut.value(9.0), 2.0);
+    }
+
+    #[test]
+    fn lut_validation() {
+        assert!(Lut::new(0.0, 1.0, vec![1.0], vec![0.0]).is_err());
+        assert!(Lut::new(0.0, 1.0, vec![1.0, 2.0], vec![0.0]).is_err());
+        assert!(Lut::new(0.0, 0.0, vec![1.0, 2.0], vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn psf_lut_tracks_linear_model() {
+        let p = params();
+        let lut = extract_psf_lut(&p, 50, 33, 0);
+        let m = PsfModel::nominal();
+        for i in 0..=10 {
+            let v = lut.lo() + (lut.hi() - lut.lo()) * i as f32 / 10.0;
+            assert!((lut.value(v) - m.transfer(v)).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn psf_lut_sigma_reflects_mismatch() {
+        let p = params();
+        let lut = extract_psf_lut(&p, PAPER_MC_SAMPLES, 17, 1);
+        let mid = 0.5 * (lut.lo() + lut.hi());
+        assert!(lut.sigma(mid) > 1e-4, "sigma {}", lut.sigma(mid));
+        assert!(lut.sigma(mid) < 0.02);
+    }
+
+    #[test]
+    fn fvf_lut_monotone_slope() {
+        let p = params();
+        let lut = extract_fvf_lut(&p, 50, 33, 2);
+        for i in 0..=10 {
+            let v = lut.lo() + (lut.hi() - lut.lo()) * i as f32 / 10.0;
+            assert!(lut.slope(v) > 0.0, "slope must stay positive at {v}");
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic_per_seed() {
+        let p = params();
+        let a = extract_psf_lut(&p, 20, 9, 7);
+        let b = extract_psf_lut(&p, 20, 9, 7);
+        assert_eq!(a, b);
+        let c = extract_psf_lut(&p, 20, 9, 8);
+        assert_ne!(a, c);
+    }
+}

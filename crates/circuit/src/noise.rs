@@ -1,0 +1,152 @@
+//! Pixel-array noise models: photon shot noise and read noise.
+//!
+//! Sec. 5.3: *"The pixel array noise is added to the images to emulate real
+//! CIS sensing effect, including shot noise and read noise, which are
+//! formulated as Poisson and Gaussian distribution, respectively. We first
+//! convert the digital image to its voltage intensity, add the equivalent
+//! noise in the voltage domain, and finally convert it back."*
+
+use crate::psf::gaussian;
+use rand::Rng;
+
+/// Pixel noise model in the electron domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelNoise {
+    /// Full-well capacity in electrons (signal at pixel value 1.0).
+    pub full_well_e: f32,
+    /// RMS read noise in electrons.
+    pub read_noise_e: f32,
+}
+
+impl PixelNoise {
+    /// A typical 65 nm CIS operating point: 9 ke⁻ full well, 2.5 e⁻ read
+    /// noise.
+    pub fn typical() -> Self {
+        PixelNoise {
+            full_well_e: 9_000.0,
+            read_noise_e: 2.5,
+        }
+    }
+
+    /// A noiseless model (for ablation).
+    pub fn none() -> Self {
+        PixelNoise {
+            full_well_e: f32::INFINITY,
+            read_noise_e: 0.0,
+        }
+    }
+
+    /// Applies shot + read noise to a normalized pixel value in `[0, 1]`.
+    ///
+    /// Shot noise is Poisson in the photo-electron count; above ~20 e⁻ the
+    /// Gaussian approximation `N(n, √n)` is indistinguishable and far
+    /// cheaper, so that is what we sample.
+    pub fn apply<R: Rng + ?Sized>(&self, x: f32, rng: &mut R) -> f32 {
+        if !self.full_well_e.is_finite() {
+            return x.clamp(0.0, 1.0);
+        }
+        let electrons = x.clamp(0.0, 1.0) * self.full_well_e;
+        let shot_sigma = electrons.max(0.0).sqrt();
+        let noisy = electrons + shot_sigma * gaussian(rng) + self.read_noise_e * gaussian(rng);
+        (noisy / self.full_well_e).clamp(0.0, 1.0)
+    }
+
+    /// Standard deviation (in normalized pixel units) the model adds at
+    /// signal level `x` — used to build analytic noise budgets.
+    pub fn sigma_at(&self, x: f32) -> f32 {
+        if !self.full_well_e.is_finite() {
+            return 0.0;
+        }
+        let electrons = x.clamp(0.0, 1.0) * self.full_well_e;
+        (electrons + self.read_noise_e * self.read_noise_e).sqrt() / self.full_well_e
+    }
+
+    /// Signal-to-noise ratio in dB at signal level `x`.
+    pub fn snr_db(&self, x: f32) -> f32 {
+        let sigma = self.sigma_at(x);
+        if sigma <= 0.0 {
+            return f32::INFINITY;
+        }
+        20.0 * (x.max(1e-9) / sigma).log10()
+    }
+}
+
+/// kTC (reset) noise sigma in volts for a capacitance in femtofarads at
+/// 300 K.
+pub fn ktc_noise_v(c_ff: f32) -> f32 {
+    // kT at 300 K = 4.1419e-21 J; sigma = sqrt(kT / C).
+    const KT: f32 = 4.1419e-21;
+    (KT / (c_ff * 1e-15)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = PixelNoise::none();
+        assert_eq!(n.apply(0.47, &mut rng), 0.47);
+        assert_eq!(n.sigma_at(0.47), 0.0);
+        assert_eq!(n.snr_db(0.5), f32::INFINITY);
+    }
+
+    #[test]
+    fn shot_noise_scales_with_sqrt_signal() {
+        let n = PixelNoise::typical();
+        // sigma(x) ∝ √x ⇒ sigma(0.64)/sigma(0.16) ≈ 2.
+        let ratio = n.sigma_at(0.64) / n.sigma_at(0.16);
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn read_noise_dominates_in_the_dark() {
+        let n = PixelNoise::typical();
+        let dark_sigma_e = n.sigma_at(0.0) * n.full_well_e;
+        assert!((dark_sigma_e - n.read_noise_e).abs() < 0.1);
+    }
+
+    #[test]
+    fn empirical_sigma_matches_analytic() {
+        let n = PixelNoise::typical();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = 0.5;
+        let samples: Vec<f32> = (0..8000).map(|_| n.apply(x, &mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let std: f32 =
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / samples.len() as f32).sqrt();
+        assert!((mean - x).abs() < 1e-3, "mean {mean}");
+        let expected = n.sigma_at(x);
+        assert!((std - expected).abs() / expected < 0.1, "{std} vs {expected}");
+    }
+
+    #[test]
+    fn snr_improves_with_light() {
+        let n = PixelNoise::typical();
+        assert!(n.snr_db(0.9) > n.snr_db(0.1));
+        // Peak SNR of a 9 ke- full well is ~39.5 dB.
+        assert!((n.snr_db(1.0) - 39.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn output_stays_in_unit_range() {
+        let n = PixelNoise::typical();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = n.apply(1.0, &mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ktc_magnitude() {
+        // 135 fF at 300 K → ~175 µV.
+        let sigma = ktc_noise_v(135.0);
+        assert!((sigma - 1.75e-4).abs() < 2e-5, "sigma {sigma}");
+        // Bigger caps are quieter.
+        assert!(ktc_noise_v(270.0) < sigma);
+    }
+}

@@ -1,0 +1,328 @@
+//! Switched-capacitor multiplier (SCM) — the charge-domain MAC engine.
+//!
+//! Each `φ_sample`/`φ_transfer` cycle samples the buffered pixel voltage
+//! onto a digitally-programmed fraction of `C_sample` and redistributes the
+//! charge onto the o-buffer capacitor `C_out`, realizing Eq. (3):
+//!
+//! ```text
+//! V_out[i] = (C_s[i]·(2·V_CM − V_in[i]) + C_out·V_out[i−1]) / (C_out + C_s[i])
+//! ```
+//!
+//! With the paper's aggressive `C_out / C_sample,tot = 1` sizing, charge
+//! transfer is *intentionally* incomplete — each MAC leaks part of the
+//! accumulated value. Hardware-aware training absorbs this (Sec. 4.3
+//! "O-buffer"); naive soft-to-hard weight transfer does not, which is what
+//! Fig. 11 demonstrates.
+//!
+//! [`ScmModel`] is the exact analytical recursion (used for hard training,
+//! where its closed-form partial derivatives back-propagate through the MAC
+//! chain); [`ScmDevice`] adds switch charge injection, incomplete-transfer
+//! gain error and per-code capacitor mismatch.
+
+use crate::params::CircuitParams;
+use crate::psf::gaussian;
+use crate::{CircuitError, Result};
+use rand::Rng;
+
+/// Fraction of sampled charge lost to parasitics in the device model.
+const TRANSFER_LOSS: f32 = 0.015;
+/// Switch charge-injection offset per transfer (V onto `C_out`).
+const CHARGE_INJECTION: f32 = 0.0012;
+/// Per-unit-capacitor mismatch sigma (fractional).
+const SIGMA_CAP: f32 = 0.006;
+/// Output-referred noise per MAC step (V, kTC + switch noise).
+const STEP_NOISE: f32 = 1.8e-4;
+
+/// Exact analytical SCM (Eq. (3)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScmModel {
+    params: CircuitParams,
+}
+
+impl ScmModel {
+    /// Creates the analytical model from circuit parameters.
+    pub fn new(params: CircuitParams) -> Self {
+        ScmModel { params }
+    }
+
+    /// The underlying circuit parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// One MAC cycle of Eq. (3): returns the new o-buffer voltage.
+    ///
+    /// `c_sample` is the connected sampling capacitance in fF (0 = no-op).
+    pub fn step(&self, v_out_prev: f32, v_in: f32, c_sample: f32) -> f32 {
+        if c_sample <= 0.0 {
+            return v_out_prev;
+        }
+        let c_out = self.params.c_out_ff;
+        (c_sample * (2.0 * self.params.vcm - v_in) + c_out * v_out_prev) / (c_out + c_sample)
+    }
+
+    /// One MAC cycle from a digital magnitude code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WeightCodeOutOfRange`] for codes beyond the
+    /// SCM's magnitude precision.
+    pub fn step_code(&self, v_out_prev: f32, v_in: f32, magnitude: u32) -> Result<f32> {
+        if magnitude > self.params.max_weight_code() as u32 {
+            return Err(CircuitError::WeightCodeOutOfRange {
+                code: magnitude as i32,
+                max_magnitude: self.params.max_weight_code(),
+            });
+        }
+        Ok(self.step(v_out_prev, v_in, self.params.csample_for_code(magnitude)))
+    }
+
+    /// Partial derivatives of [`ScmModel::step`] wrt
+    /// `(v_out_prev, v_in, c_sample)` — used by hard/noisy training to
+    /// back-propagate through the MAC recursion.
+    pub fn step_grads(&self, v_out_prev: f32, v_in: f32, c_sample: f32) -> (f32, f32, f32) {
+        if c_sample <= 0.0 {
+            // Degenerate no-op step: output == v_out_prev. The derivative
+            // wrt c_sample at 0⁺ still exists and drives learning away from
+            // dead weights.
+            let c_out = self.params.c_out_ff;
+            let d_cs = (2.0 * self.params.vcm - v_in - v_out_prev) / c_out;
+            return (1.0, 0.0, d_cs);
+        }
+        let c_out = self.params.c_out_ff;
+        let denom = c_out + c_sample;
+        let d_prev = c_out / denom;
+        let d_vin = -c_sample / denom;
+        let d_cs = c_out * (2.0 * self.params.vcm - v_in - v_out_prev) / (denom * denom);
+        (d_prev, d_vin, d_cs)
+    }
+}
+
+/// Device-accurate SCM instance with mismatch and noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScmDevice {
+    model: ScmModel,
+    /// Per-magnitude-code multiplicative capacitance error (index = code).
+    cap_err: Vec<f32>,
+    transfer_loss: f32,
+    charge_injection: f32,
+}
+
+impl ScmDevice {
+    /// The typical-corner device (no mismatch, but with the deterministic
+    /// non-idealities: transfer loss and charge injection).
+    pub fn typical(params: &CircuitParams) -> Self {
+        let codes = params.max_weight_code() as usize + 1;
+        ScmDevice {
+            model: ScmModel::new(params.clone()),
+            cap_err: vec![0.0; codes],
+            transfer_loss: TRANSFER_LOSS,
+            charge_injection: CHARGE_INJECTION,
+        }
+    }
+
+    /// Samples a Monte-Carlo mismatch instance: each binary-weighted unit
+    /// capacitor gets an independent fractional error, accumulated per code.
+    pub fn sample<R: Rng + ?Sized>(params: &CircuitParams, rng: &mut R) -> Self {
+        let mut d = ScmDevice::typical(params);
+        let bits = params.weight_mag_bits as usize;
+        // One error per binary-weighted unit in the capacitor DAC.
+        let unit_errs: Vec<f32> = (0..bits).map(|_| SIGMA_CAP * gaussian(rng)).collect();
+        for code in 0..d.cap_err.len() {
+            let mut total = 0.0f32;
+            let mut weight_sum = 0.0f32;
+            for (b, e) in unit_errs.iter().enumerate() {
+                if code & (1 << b) != 0 {
+                    let w = (1usize << b) as f32;
+                    total += w * e;
+                    weight_sum += w;
+                }
+            }
+            d.cap_err[code] = if weight_sum > 0.0 { total / weight_sum } else { 0.0 };
+        }
+        d
+    }
+
+    /// The analytical model this device deviates from.
+    pub fn model(&self) -> &ScmModel {
+        &self.model
+    }
+
+    /// Effective connected capacitance (fF) for a code, with mismatch.
+    pub fn effective_csample(&self, magnitude: u32) -> f32 {
+        let nominal = self.model.params().csample_for_code(magnitude);
+        let err = self
+            .cap_err
+            .get(magnitude as usize)
+            .copied()
+            .unwrap_or(0.0);
+        nominal * (1.0 + err)
+    }
+
+    /// One noiseless device MAC cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WeightCodeOutOfRange`] for illegal codes.
+    pub fn step(&self, v_out_prev: f32, v_in: f32, magnitude: u32) -> Result<f32> {
+        if magnitude > self.model.params().max_weight_code() as u32 {
+            return Err(CircuitError::WeightCodeOutOfRange {
+                code: magnitude as i32,
+                max_magnitude: self.model.params().max_weight_code(),
+            });
+        }
+        if magnitude == 0 {
+            return Ok(v_out_prev);
+        }
+        let cs = self.effective_csample(magnitude) * (1.0 - self.transfer_loss);
+        let ideal = self.model.step(v_out_prev, v_in, cs);
+        Ok(ideal + self.charge_injection)
+    }
+
+    /// One noisy device MAC cycle (adds per-step kTC/switch noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::WeightCodeOutOfRange`] for illegal codes.
+    pub fn step_noisy<R: Rng + ?Sized>(
+        &self,
+        v_out_prev: f32,
+        v_in: f32,
+        magnitude: u32,
+        rng: &mut R,
+    ) -> Result<f32> {
+        let clean = self.step(v_out_prev, v_in, magnitude)?;
+        if magnitude == 0 {
+            return Ok(clean);
+        }
+        Ok(clean + STEP_NOISE * gaussian(rng))
+    }
+
+    /// Output-referred per-step noise sigma (V).
+    pub fn step_noise_sigma(&self) -> f32 {
+        STEP_NOISE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> ScmModel {
+        ScmModel::new(CircuitParams::paper_65nm())
+    }
+
+    #[test]
+    fn eq3_known_value() {
+        let m = model();
+        // Cs = Cout = 135 fF: Vout = ((2Vcm - Vin) + Vprev) / 2.
+        let v = m.step(0.6, 0.8, 135.0);
+        let expected = ((2.0 * 0.6 - 0.8) + 0.6) / 2.0;
+        assert!((v - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_cap_is_noop() {
+        let m = model();
+        assert_eq!(m.step(0.55, 0.9, 0.0), 0.55);
+        assert_eq!(m.step_code(0.55, 0.9, 0).unwrap(), 0.55);
+    }
+
+    #[test]
+    fn step_converges_to_2vcm_minus_vin() {
+        // Repeatedly MACing the same input converges to 2Vcm − Vin — the
+        // fixed point of Eq. (3).
+        let m = model();
+        let mut v = 0.6;
+        for _ in 0..200 {
+            v = m.step(v, 0.9, 135.0);
+        }
+        assert!((v - (1.2 - 0.9)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn step_code_bounds_checked() {
+        let m = model();
+        assert!(m.step_code(0.6, 0.8, 15).is_ok());
+        assert!(m.step_code(0.6, 0.8, 16).is_err());
+    }
+
+    #[test]
+    fn grads_match_finite_difference() {
+        let m = model();
+        let (v0, vin, cs) = (0.58, 0.82, 60.0);
+        let (d_prev, d_vin, d_cs) = m.step_grads(v0, vin, cs);
+        let eps = 1e-3;
+        let num_prev = (m.step(v0 + eps, vin, cs) - m.step(v0 - eps, vin, cs)) / (2.0 * eps);
+        let num_vin = (m.step(v0, vin + eps, cs) - m.step(v0, vin - eps, cs)) / (2.0 * eps);
+        // Capacitance derivative needs a larger probe step: the f32 voltage
+        // difference underflows at eps = 1e-3 fF.
+        let ceps = 0.5;
+        let num_cs = (m.step(v0, vin, cs + ceps) - m.step(v0, vin, cs - ceps)) / (2.0 * ceps);
+        assert!((d_prev - num_prev).abs() < 1e-4, "{d_prev} vs {num_prev}");
+        assert!((d_vin - num_vin).abs() < 1e-4, "{d_vin} vs {num_vin}");
+        assert!((d_cs - num_cs).abs() < 1e-5, "{d_cs} vs {num_cs}");
+    }
+
+    #[test]
+    fn grads_at_zero_cap_are_continuous() {
+        let m = model();
+        let (_, _, d_cs0) = m.step_grads(0.6, 0.8, 0.0);
+        let (_, _, d_cs1) = m.step_grads(0.6, 0.8, 1.0);
+        assert!((d_cs0 - d_cs1).abs() < 1e-3, "{d_cs0} vs {d_cs1}");
+    }
+
+    #[test]
+    fn device_close_to_model_but_not_equal() {
+        let p = CircuitParams::paper_65nm();
+        let d = ScmDevice::typical(&p);
+        let m = model();
+        let ideal = m.step_code(0.6, 0.8, 10).unwrap();
+        let dev = d.step(0.6, 0.8, 10).unwrap();
+        assert!((ideal - dev).abs() < 0.01, "device within 10 mV of model");
+        assert_ne!(ideal, dev, "device must include non-idealities");
+    }
+
+    #[test]
+    fn device_zero_code_is_exact_noop() {
+        let p = CircuitParams::paper_65nm();
+        let d = ScmDevice::typical(&p);
+        assert_eq!(d.step(0.61, 0.9, 0).unwrap(), 0.61);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.step_noisy(0.61, 0.9, 0, &mut rng).unwrap(), 0.61);
+    }
+
+    #[test]
+    fn mismatch_instances_differ_per_code() {
+        let p = CircuitParams::paper_65nm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ScmDevice::sample(&p, &mut rng);
+        let b = ScmDevice::sample(&p, &mut rng);
+        assert_ne!(a.effective_csample(7), b.effective_csample(7));
+        // Mismatch is small relative to the nominal value.
+        let nom = p.csample_for_code(7);
+        assert!((a.effective_csample(7) - nom).abs() / nom < 0.05);
+    }
+
+    #[test]
+    fn noisy_step_centered() {
+        let p = CircuitParams::paper_65nm();
+        let d = ScmDevice::typical(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        let clean = d.step(0.6, 0.8, 8).unwrap();
+        let mean: f32 = (0..2000)
+            .map(|_| d.step_noisy(0.6, 0.8, 8, &mut rng).unwrap())
+            .sum::<f32>()
+            / 2000.0;
+        assert!((mean - clean).abs() < 5e-5);
+    }
+
+    #[test]
+    fn device_code_bounds_checked() {
+        let p = CircuitParams::paper_65nm();
+        let d = ScmDevice::typical(&p);
+        assert!(d.step(0.6, 0.8, 16).is_err());
+    }
+}

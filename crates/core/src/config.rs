@@ -1,0 +1,206 @@
+//! LeCA configuration and the Eq. (1) compression-ratio algebra.
+
+use crate::{LecaError, Result};
+use leca_circuit::adc::AdcResolution;
+
+/// Full-precision bit depth of a conventional image (`Q_full` in Eq. (1)).
+pub const Q_FULL: f32 = 8.0;
+
+/// Configuration of a LeCA encoder/decoder pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LecaConfig {
+    /// Encoder kernel size *and* stride (`K`): non-overlapping `K x K`
+    /// blocks.
+    pub k: usize,
+    /// Number of encoded feature channels (`N_ch`).
+    pub n_ch: usize,
+    /// Ofmap bit depth (`Q_bit`), 1.5 = ternary.
+    pub qbit: f32,
+    /// Input channels (`C`; 3 for RGB).
+    pub channels: usize,
+    /// Decoder DnCNN depth (`M` in Table 2; the paper uses 15, experiments
+    /// here default smaller for the single-core budget).
+    pub decoder_layers: usize,
+    /// Decoder DnCNN width (`F`; paper uses 64).
+    pub decoder_filters: usize,
+}
+
+impl LecaConfig {
+    /// Creates a config with the experiment-scale decoder (M = 3, F = 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] for unusable values.
+    pub fn new(k: usize, n_ch: usize, qbit: f32) -> Result<Self> {
+        let cfg = LecaConfig {
+            k,
+            n_ch,
+            qbit,
+            channels: 3,
+            decoder_layers: 3,
+            decoder_filters: 16,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// The paper's optimal configurations (Fig. 4(b)): `N_ch|Q_bit` of
+    /// 8|3, 4|4, 4|3 for CR of 4x, 6x, 8x, with K = 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] for CRs other than 4, 6, 8.
+    pub fn paper_for_cr(cr: usize) -> Result<Self> {
+        match cr {
+            4 => LecaConfig::new(2, 8, 3.0),
+            6 => LecaConfig::new(2, 4, 4.0),
+            8 => LecaConfig::new(2, 4, 3.0),
+            other => Err(LecaError::InvalidConfig(format!(
+                "paper has no N_ch|Q_bit design point for CR {other}"
+            ))),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] for zero sizes or unsupported
+    /// bit depths.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 || self.n_ch == 0 || self.channels == 0 {
+            return Err(LecaError::InvalidConfig(
+                "k, n_ch and channels must be positive".into(),
+            ));
+        }
+        if self.decoder_layers == 0 || self.decoder_filters == 0 {
+            return Err(LecaError::InvalidConfig(
+                "decoder must have at least one layer and filter".into(),
+            ));
+        }
+        AdcResolution::from_qbit(self.qbit).map_err(LecaError::Circuit)?;
+        Ok(())
+    }
+
+    /// The ADC resolution for this bit depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::Circuit`] for unsupported depths.
+    pub fn resolution(&self) -> Result<AdcResolution> {
+        AdcResolution::from_qbit(self.qbit).map_err(LecaError::Circuit)
+    }
+
+    /// Eq. (1): `CR = (K² · C · Q_full) / (N_ch · Q_bit)`.
+    pub fn compression_ratio(&self) -> f32 {
+        (self.k * self.k * self.channels) as f32 * Q_FULL / (self.n_ch as f32 * self.qbit)
+    }
+
+    /// Ofmap spatial dimensions for a `(H, W)` input (Table 2 row 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] when the input is not divisible
+    /// by `K`.
+    pub fn ofmap_dims(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if h % self.k != 0 || w % self.k != 0 {
+            return Err(LecaError::InvalidConfig(format!(
+                "{h}x{w} input not divisible by K = {}",
+                self.k
+            )));
+        }
+        Ok((h / self.k, w / self.k))
+    }
+
+    /// Encoder parameter count (`K·K·C·N_ch` weights + 1 trainable ADC
+    /// boundary).
+    pub fn encoder_params(&self) -> usize {
+        self.k * self.k * self.channels * self.n_ch + 1
+    }
+
+    /// Table 2 as a printable layer-shape listing for a `(H, W)` input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LecaConfig::ofmap_dims`] errors.
+    pub fn table2(&self, h: usize, w: usize) -> Result<Vec<String>> {
+        let (oh, ow) = self.ofmap_dims(h, w)?;
+        let (k, c, n, f, m) = (
+            self.k,
+            self.channels,
+            self.n_ch,
+            self.decoder_filters,
+            self.decoder_layers,
+        );
+        Ok(vec![
+            format!("encoder CONV           ifmap {w}x{h}x{c}  weight {k}x{k}x{c}x{n}  ofmap {ow}x{oh}x{n}"),
+            format!("decoder CONV-T         ifmap {ow}x{oh}x{n}  weight {k}x{k}x{n}x{c}  ofmap {w}x{h}x{c}"),
+            format!("decoder CONV+BN+ReLU   ifmap {w}x{h}x{c}  weight 3x3x{c}x{f}  ofmap {w}x{h}x{f}  (x1)"),
+            format!("decoder CONV+BN+ReLU   ifmap {w}x{h}x{f}  weight 3x3x{f}x{f}  ofmap {w}x{h}x{f}  (x{m})"),
+            format!("decoder CONV           ifmap {w}x{h}x{f}  weight 3x3x{f}x{c}  ofmap {w}x{h}x{c}"),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_known_values() {
+        // K=2, C=3, Q_full=8: numerator 96.
+        assert_eq!(LecaConfig::new(2, 8, 3.0).unwrap().compression_ratio(), 4.0);
+        assert_eq!(LecaConfig::new(2, 4, 4.0).unwrap().compression_ratio(), 6.0);
+        assert_eq!(LecaConfig::new(2, 4, 3.0).unwrap().compression_ratio(), 8.0);
+        assert_eq!(LecaConfig::new(2, 2, 4.0).unwrap().compression_ratio(), 12.0);
+    }
+
+    #[test]
+    fn paper_design_points() {
+        let c4 = LecaConfig::paper_for_cr(4).unwrap();
+        assert_eq!((c4.n_ch, c4.qbit), (8, 3.0));
+        let c6 = LecaConfig::paper_for_cr(6).unwrap();
+        assert_eq!((c6.n_ch, c6.qbit), (4, 4.0));
+        let c8 = LecaConfig::paper_for_cr(8).unwrap();
+        assert_eq!((c8.n_ch, c8.qbit), (4, 3.0));
+        assert!(LecaConfig::paper_for_cr(5).is_err());
+    }
+
+    #[test]
+    fn ternary_cr() {
+        let cfg = LecaConfig::new(2, 8, 1.5).unwrap();
+        assert_eq!(cfg.compression_ratio(), 8.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LecaConfig::new(0, 4, 3.0).is_err());
+        assert!(LecaConfig::new(2, 0, 3.0).is_err());
+        assert!(LecaConfig::new(2, 4, 9.0).is_err());
+        assert!(LecaConfig::new(2, 4, 2.5).is_err());
+    }
+
+    #[test]
+    fn ofmap_dims() {
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        assert_eq!(cfg.ofmap_dims(32, 32).unwrap(), (16, 16));
+        assert!(cfg.ofmap_dims(33, 32).is_err());
+        let cfg3 = LecaConfig::new(3, 4, 3.0).unwrap();
+        assert_eq!(cfg3.ofmap_dims(33, 30).unwrap(), (11, 10));
+    }
+
+    #[test]
+    fn encoder_params_counted() {
+        let cfg = LecaConfig::new(2, 8, 3.0).unwrap();
+        assert_eq!(cfg.encoder_params(), 2 * 2 * 3 * 8 + 1);
+    }
+
+    #[test]
+    fn table2_lists_five_stages() {
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        let rows = cfg.table2(32, 32).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(rows[0].contains("16x16x4"));
+        assert!(rows[1].contains("CONV-T"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Deployment: mapping a trained encoder onto the sensor simulator.
+//!
+//! Closes the hardware/algorithm loop: the trained RGB kernels are
+//! flattened onto the 4x4 raw-Bayer grid (Fig. 5(a)), quantized to the
+//! SCM's ±4-bit codes, written into the sensor's weight SRAM, and the
+//! trained ADC boundary programs the PE array's full scale. A captured
+//! ofmap can then be normalized and fed to the software decoder + frozen
+//! backbone — the hardware-in-the-loop counterpart of the training-time
+//! `Eval(noisy)` bars in Fig. 11.
+
+use crate::encoder::LecaEncoder;
+use crate::pipeline::LecaPipeline;
+use crate::{LecaError, Result as LecaResult};
+use leca_circuit::adc::AdcResolution;
+use leca_data::bayer::mosaic;
+use leca_data::Dataset;
+use leca_nn::loss::accuracy;
+use leca_nn::quant::signed_magnitude_code;
+use leca_nn::{Layer, Mode};
+use leca_sensor::{LecaSensor, SensorGeometry};
+use leca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exports the trained encoder weights as sensor kernel codes: one
+/// flattened 4x4 raw-Bayer kernel of signed ±4-bit codes per channel, in
+/// the sensor's row-major block order.
+///
+/// # Errors
+///
+/// Returns [`LecaError::InvalidConfig`] for non-K=2 encoders.
+pub fn export_weight_codes(enc: &LecaEncoder) -> LecaResult<Vec<Vec<i32>>> {
+    if enc.k() != 2 {
+        return Err(LecaError::InvalidConfig(
+            "sensor deployment requires K = 2 kernels".into(),
+        ));
+    }
+    let w = enc.weight();
+    let mut kernels = Vec::with_capacity(enc.n_ch());
+    for kern in 0..enc.n_ch() {
+        let mut codes = vec![0i32; 16];
+        for row in 0..4 {
+            for col in 0..4 {
+                let (dy, pr) = (row / 2, row % 2);
+                let (dx, pc) = (col / 2, col % 2);
+                let (c, factor) = match (pr, pc) {
+                    (0, 0) => (0usize, 1.0f32),
+                    (1, 1) => (2, 1.0),
+                    _ => (1, 0.5),
+                };
+                let wv = w.at4(kern, c, dy, dx) * factor;
+                codes[row * 4 + col] = signed_magnitude_code(wv, 4, 1.0);
+            }
+        }
+        kernels.push(codes);
+    }
+    Ok(kernels)
+}
+
+/// Builds a LeCA sensor sized for `(h, w)` RGB frames, programmed with the
+/// trained encoder's weight codes and ADC boundary.
+///
+/// # Errors
+///
+/// Propagates geometry/weight validation errors.
+pub fn program_sensor(enc: &LecaEncoder, h: usize, w: usize) -> LecaResult<LecaSensor> {
+    let geometry = SensorGeometry {
+        rows: 2 * h,
+        cols: 2 * w,
+        n_ch: enc.n_ch(),
+    };
+    let mut sensor = LecaSensor::new(geometry, enc.qbit())?;
+    sensor.program_weights(export_weight_codes(enc)?)?;
+    sensor.set_adc_vfs(enc.v_fs())?;
+    Ok(sensor)
+}
+
+/// Captures one RGB image through the programmed sensor and returns the
+/// normalized ofmap tensor `(N_ch, H/2, W/2)` with values in `[-1, 1]` —
+/// the same scale the software encoder emits, ready for the decoder.
+///
+/// With `noisy = true` the full stochastic sensor chain runs.
+///
+/// # Errors
+///
+/// Propagates mosaic and capture errors.
+pub fn sensor_encode(
+    sensor: &LecaSensor,
+    rgb: &Tensor,
+    noisy: bool,
+    seed: u64,
+) -> LecaResult<Tensor> {
+    let raw = mosaic(rgb)?;
+    let scene = raw.as_slice();
+    let (ofmap, _) = if noisy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        sensor.capture(scene, Some(&mut rng))?
+    } else {
+        sensor.capture::<StdRng>(scene, None)?
+    };
+    let (n_ch, oh, ow) = ofmap.dims();
+    let resolution = AdcResolution::from_qbit(sensor.qbit())?;
+    let norm: Vec<f32> = ofmap
+        .codes()
+        .iter()
+        .map(|&c| match resolution {
+            AdcResolution::Ternary => c.clamp(-1, 1) as f32 * 2.0 / 3.0,
+            AdcResolution::Sar(_) => c as f32 / resolution.max_code() as f32,
+        })
+        .collect();
+    Ok(Tensor::from_vec(norm, &[n_ch, oh, ow])?)
+}
+
+/// Hardware-in-the-loop accuracy: every validation image goes through the
+/// *sensor simulator* (not the training-time encoder model), then the
+/// pipeline's decoder and frozen backbone.
+///
+/// # Errors
+///
+/// Propagates capture and layer errors.
+pub fn hardware_accuracy(
+    pipeline: &mut LecaPipeline,
+    ds: &Dataset,
+    noisy: bool,
+    seed: u64,
+) -> LecaResult<f32> {
+    let shape = ds
+        .image_shape()
+        .ok_or_else(|| LecaError::InvalidConfig("empty dataset".into()))?;
+    let (h, w) = (shape[1], shape[2]);
+    let sensor = program_sensor(pipeline.encoder(), h, w)?;
+
+    let mut correct = 0.0f32;
+    let mut count = 0usize;
+    let mut ofmaps: Vec<Tensor> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (i, (img, &label)) in ds.images().iter().zip(ds.labels()).enumerate() {
+        let ofmap = sensor_encode(&sensor, img, noisy, seed.wrapping_add(i as u64))?;
+        let mut s = vec![1];
+        s.extend_from_slice(ofmap.shape());
+        ofmaps.push(ofmap.reshape(&s)?);
+        labels.push(label);
+        if ofmaps.len() >= 32 || i + 1 == ds.len() {
+            let views: Vec<&Tensor> = ofmaps.iter().collect();
+            let x = Tensor::concat0(&views)?;
+            let decoded = pipeline.decode(&x, Mode::Eval)?;
+            let logits = pipeline.backbone_mut().forward(&decoded, Mode::Eval)?;
+            correct += accuracy(&logits, &labels)? * labels.len() as f32;
+            count += labels.len();
+            ofmaps.clear();
+            labels.clear();
+        }
+    }
+    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LecaConfig;
+    use crate::encoder::Modality;
+    use leca_nn::backbone::tiny_cnn;
+
+    fn encoder() -> LecaEncoder {
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        LecaEncoder::new(&cfg, Modality::Hard, 3).unwrap()
+    }
+
+    #[test]
+    fn exported_codes_respect_precision_and_green_halving() {
+        let mut enc = encoder();
+        enc.set_weight(Tensor::full(&[4, 3, 2, 2], 1.0)).unwrap();
+        let codes = export_weight_codes(&enc).unwrap();
+        assert_eq!(codes.len(), 4);
+        for kernel in &codes {
+            assert_eq!(kernel.len(), 16);
+            // R and B sites carry the full code 15; green sites the halved
+            // code round(0.5 * 15) = 8.
+            assert_eq!(kernel[0], 15); // R at (0,0)
+            assert_eq!(kernel[1], 8); // G at (0,1)
+            assert_eq!(kernel[4], 8); // G at (1,0)
+            assert_eq!(kernel[5], 15); // B at (1,1)
+        }
+    }
+
+    #[test]
+    fn program_sensor_roundtrip() {
+        let enc = encoder();
+        let sensor = program_sensor(&enc, 8, 8).unwrap();
+        assert_eq!(sensor.geometry().rows, 16);
+        assert_eq!(sensor.geometry().n_ch, 4);
+        assert_eq!(sensor.qbit(), 3.0);
+    }
+
+    #[test]
+    fn sensor_encode_matches_training_encoder_closely() {
+        // The deployed sensor and the hard-modality training model share
+        // the same math (Eq. (3), linear buffers vs device nonlinearity),
+        // so their ofmaps must agree to within ~1 code step on most
+        // elements.
+        let mut enc = encoder();
+        let mut rng = StdRng::seed_from_u64(9);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.1, 0.9, &mut rng);
+        let sensor = program_sensor(&enc, 8, 8).unwrap();
+        let hw = sensor_encode(&sensor, &img, false, 0).unwrap();
+        let x = img.reshape(&[1, 3, 8, 8]).unwrap();
+        let sw = enc.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(hw.len(), sw.len());
+        let step = 2.0 / 7.0; // one 3-bit code step in normalized units
+        let mut close = 0;
+        for (a, b) in hw.as_slice().iter().zip(sw.as_slice()) {
+            if (a - b).abs() <= step + 1e-4 {
+                close += 1;
+            }
+        }
+        let frac = close as f32 / hw.len() as f32;
+        assert!(frac > 0.85, "only {frac} of codes within one step");
+    }
+
+    #[test]
+    fn noisy_capture_differs_from_clean() {
+        let enc = encoder();
+        let mut rng = StdRng::seed_from_u64(10);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.1, 0.9, &mut rng);
+        let sensor = program_sensor(&enc, 8, 8).unwrap();
+        let clean = sensor_encode(&sensor, &img, false, 0).unwrap();
+        let mean_abs_diff: f32 = (0..5)
+            .map(|s| {
+                let noisy = sensor_encode(&sensor, &img, true, s).unwrap();
+                clean.sub(&noisy).unwrap().map(f32::abs).mean()
+            })
+            .sum::<f32>()
+            / 5.0;
+        assert!(mean_abs_diff < 0.5, "noise should perturb, not destroy");
+    }
+
+    #[test]
+    fn hardware_accuracy_runs_end_to_end() {
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let bb = tiny_cnn(3, &mut rng);
+        let mut p = LecaPipeline::new(&cfg, Modality::Hard, bb, 12).unwrap();
+        let images: Vec<Tensor> = (0..6)
+            .map(|i| Tensor::full(&[3, 8, 8], 0.2 + 0.1 * i as f32))
+            .collect();
+        let ds = Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap();
+        let acc = hardware_accuracy(&mut p, &ds, false, 0).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn k3_export_rejected() {
+        let cfg = LecaConfig::new(3, 4, 3.0).unwrap();
+        let enc = LecaEncoder::new(&cfg, Modality::Soft, 0).unwrap();
+        assert!(export_weight_codes(&enc).is_err());
+    }
+}

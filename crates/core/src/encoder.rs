@@ -1,0 +1,879 @@
+//! The LeCA encoder: one learned compressive layer, three fidelities.
+//!
+//! The encoder is a single `K x K`, stride-`K` convolution whose output is
+//! hard-truncated and quantized to `Q_bit` (Sec. 3.2). What distinguishes
+//! LeCA is *how* that layer is computed during training (Sec. 3.4):
+//!
+//! * [`Modality::Soft`] — an ideal convolution (no hardware effects).
+//! * [`Modality::Hard`] — the analytical circuit models with hardware
+//!   constraints and offsets: linear PSF/FVF transfer functions and the
+//!   exact Eq. (3) switched-capacitor recursion, with the weight expressed
+//!   directly as the programmable capacitance code (quantized to the SCM's
+//!   ±4-bit precision with a straight-through estimator) and the ADC's
+//!   quantization boundary as a trainable parameter.
+//! * [`Modality::Noisy`] — the full device behaviour: Monte-Carlo-extracted
+//!   `N(LUT(v), σ(v))` buffer models, incomplete charge transfer and
+//!   charge injection in the SCM, per-step kTC/switch noise, pixel
+//!   shot/read noise and comparator noise.
+//!
+//! Gradients are exact throughout: the Eq. (3) recursion is differentiated
+//! step by step (closed-form partials), quantizers use clipped STE
+//! (Eq. (2)), and the LUT models back-propagate through their local slope.
+//!
+//! For the hardware modalities the RGB kernel is expanded to the 4x4
+//! raw-Bayer MAC schedule of Fig. 5(a) (green halved and duplicated), so
+//! training sees *exactly* the dataflow the sensor executes.
+
+use crate::config::LecaConfig;
+use crate::{LecaError, Result as LecaResult};
+use leca_circuit::adc::AdcResolution;
+use leca_circuit::fvf::FvfModel;
+use leca_circuit::mismatch::{extract_fvf_lut, extract_psf_lut, Lut, PAPER_MC_SAMPLES};
+use leca_circuit::noise::PixelNoise;
+use leca_circuit::psf::PsfModel;
+use leca_circuit::scm::ScmModel;
+use leca_circuit::CircuitParams;
+use leca_nn::quant::quantize_signed_magnitude;
+use leca_nn::{Layer, Mode, NnError, Param};
+use leca_tensor::{ops, standard_normal, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Training/evaluation fidelity of the encoder forward path (Sec. 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modality {
+    /// Ideal convolution, no hardware effects.
+    Soft,
+    /// Analytical circuit models with constraints and offsets.
+    Hard,
+    /// Full device behaviour with noise and variations.
+    Noisy,
+}
+
+/// SCM incomplete-transfer loss and per-step charge injection used by the
+/// noisy modality (mirrors `leca_circuit::scm::ScmDevice`).
+const TRANSFER_LOSS: f32 = 0.015;
+const CHARGE_INJECTION: f32 = 0.0012;
+const SCM_STEP_NOISE: f32 = 1.8e-4;
+const ADC_NOISE: f32 = 2.5e-4;
+
+/// One step of the Bayer-expanded MAC schedule: which RGB weight/pixel it
+/// reads and with what scale factor (greens are halved and duplicated).
+#[derive(Debug, Clone, Copy)]
+struct BayerStep {
+    /// RGB channel index.
+    c: usize,
+    /// Kernel-cell row (0..K).
+    dy: usize,
+    /// Kernel-cell column (0..K).
+    dx: usize,
+    /// Weight scale factor (0.5 for the duplicated green).
+    factor: f32,
+}
+
+/// The 16-step raw-Bayer MAC schedule for a 2x2x3 RGB kernel (Fig. 5(a)).
+fn bayer_schedule() -> [BayerStep; 16] {
+    let mut steps = [BayerStep { c: 0, dy: 0, dx: 0, factor: 1.0 }; 16];
+    for row in 0..4 {
+        for col in 0..4 {
+            let (dy, pr) = (row / 2, row % 2);
+            let (dx, pc) = (col / 2, col % 2);
+            let (c, factor) = match (pr, pc) {
+                (0, 0) => (0, 1.0),
+                (1, 1) => (2, 1.0),
+                _ => (1, 0.5),
+            };
+            steps[row * 4 + col] = BayerStep { c, dy, dx, factor };
+        }
+    }
+    steps
+}
+
+#[derive(Debug)]
+struct SoftCache {
+    x: Tensor,
+    u: Tensor,
+}
+
+#[derive(Debug)]
+struct HwCache {
+    x_shape: Vec<usize>,
+    oh: usize,
+    ow: usize,
+    /// Clamped pixel voltage per (sample, block, step).
+    vpix: Vec<f32>,
+    /// Post-PSF voltage per (sample, block, step).
+    vin: Vec<f32>,
+    /// Accumulator value before each step, per (sample, kernel, block, step).
+    prev: Vec<f32>,
+    /// Final accumulators per (sample, kernel, block).
+    vp: Vec<f32>,
+    vn: Vec<f32>,
+    /// Pre-quantization normalized value per (sample, kernel, block).
+    u: Vec<f32>,
+    /// Per (kernel, step): effective capacitance, positive-routing flag and
+    /// STE pass mask for the weight.
+    cs: Vec<f32>,
+    on_pos: Vec<bool>,
+    w_mask: Vec<bool>,
+}
+
+enum Cache {
+    Soft(SoftCache),
+    Hw(HwCache),
+}
+
+/// The LeCA encoder layer. See the module docs.
+pub struct LecaEncoder {
+    modality: Modality,
+    k: usize,
+    n_ch: usize,
+    resolution: AdcResolution,
+    weight: Param,
+    v_fs: Param,
+    params: CircuitParams,
+    scm: ScmModel,
+    psf: PsfModel,
+    fvf: FvfModel,
+    psf_lut: Lut,
+    fvf_lut: Lut,
+    pixel_noise: PixelNoise,
+    schedule: [BayerStep; 16],
+    rng: StdRng,
+    cache: Option<Cache>,
+}
+
+impl std::fmt::Debug for LecaEncoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LecaEncoder({:?}, K={}, N_ch={}, Q_bit={})",
+            self.modality,
+            self.k,
+            self.n_ch,
+            self.resolution.qbit()
+        )
+    }
+}
+
+impl LecaEncoder {
+    /// Creates an encoder for `cfg` in the given modality. `seed` fixes the
+    /// weight initialization, the Monte-Carlo LUT extraction and the noisy
+    /// modality's noise stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] when a hardware modality is
+    /// requested with `K != 2` (the sensor's fixed block size) and
+    /// propagates configuration errors.
+    pub fn new(cfg: &LecaConfig, modality: Modality, seed: u64) -> LecaResult<Self> {
+        cfg.validate()?;
+        if modality != Modality::Soft && cfg.k != 2 {
+            return Err(LecaError::InvalidConfig(format!(
+                "hardware modalities require K = 2 (sensor block size), got K = {}",
+                cfg.k
+            )));
+        }
+        let params = CircuitParams::paper_65nm();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Capacitance-fraction weights in [-1, 1]; a modest init spread
+        // keeps early MAC chains inside the linear region.
+        let weight = Param::new(Tensor::rand_uniform(
+            &[cfg.n_ch, cfg.channels, cfg.k, cfg.k],
+            -0.5,
+            0.5,
+            &mut rng,
+        ));
+        let v_fs = Param::new(Tensor::from_slice(&[0.3]));
+        Ok(LecaEncoder {
+            modality,
+            k: cfg.k,
+            n_ch: cfg.n_ch,
+            resolution: cfg.resolution()?,
+            weight,
+            v_fs,
+            scm: ScmModel::new(params.clone()),
+            psf: PsfModel::nominal(),
+            fvf: FvfModel::nominal(),
+            psf_lut: extract_psf_lut(&params, PAPER_MC_SAMPLES, 33, seed ^ 0x9e37),
+            fvf_lut: extract_fvf_lut(&params, PAPER_MC_SAMPLES, 33, seed ^ 0x79b9),
+            params,
+            pixel_noise: PixelNoise::typical(),
+            schedule: bayer_schedule(),
+            rng: StdRng::seed_from_u64(seed.wrapping_add(1)),
+            cache: None,
+        })
+    }
+
+    /// The active modality.
+    pub fn modality(&self) -> Modality {
+        self.modality
+    }
+
+    /// Switches modality in place (weights persist) — the paper's
+    /// soft→hard→noisy transfer experiments.
+    pub fn set_modality(&mut self, modality: Modality) -> LecaResult<()> {
+        if modality != Modality::Soft && self.k != 2 {
+            return Err(LecaError::InvalidConfig(
+                "hardware modalities require K = 2".into(),
+            ));
+        }
+        self.modality = modality;
+        Ok(())
+    }
+
+    /// The ofmap bit depth.
+    pub fn qbit(&self) -> f32 {
+        self.resolution.qbit()
+    }
+
+    /// Changes the ofmap bit depth (incremental training: pre-train at
+    /// Q_bit = 8, fine-tune at the target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::Circuit`] for unsupported depths.
+    pub fn set_qbit(&mut self, qbit: f32) -> LecaResult<()> {
+        self.resolution = AdcResolution::from_qbit(qbit).map_err(LecaError::Circuit)?;
+        Ok(())
+    }
+
+    /// Number of output channels.
+    pub fn n_ch(&self) -> usize {
+        self.n_ch
+    }
+
+    /// Encoder kernel size / stride.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current weight tensor (`(N_ch, C, K, K)` capacitance fractions).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Replaces the weight tensor (e.g. soft→hard transfer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] on shape mismatch.
+    pub fn set_weight(&mut self, w: Tensor) -> LecaResult<()> {
+        if w.shape() != self.weight.value.shape() {
+            return Err(LecaError::InvalidConfig(format!(
+                "weight shape {:?} does not match encoder {:?}",
+                w.shape(),
+                self.weight.value.shape()
+            )));
+        }
+        self.weight.value = w;
+        Ok(())
+    }
+
+    /// The trained ADC boundary (full-scale) value.
+    pub fn v_fs(&self) -> f32 {
+        self.v_fs.value.as_slice()[0].abs().max(1e-3)
+    }
+
+    /// Projects weights back onto the hardware constraint `[-1, 1]`; call
+    /// after optimizer steps in hardware modalities.
+    pub fn clamp_weights(&mut self) {
+        self.weight.value.map_inplace(|v| v.clamp(-1.0, 1.0));
+    }
+
+    /// Normalized quantizer: input `u = v_diff / v_fs`, output in `[-1, 1]`
+    /// on the centrally-symmetric code grid.
+    fn quant_norm(&self, u: f32) -> f32 {
+        match self.resolution {
+            AdcResolution::Ternary => {
+                if u > 1.0 / 3.0 {
+                    2.0 / 3.0
+                } else if u < -1.0 / 3.0 {
+                    -2.0 / 3.0
+                } else {
+                    0.0
+                }
+            }
+            AdcResolution::Sar(_) => {
+                let max = self.resolution.max_code() as f32;
+                (u.clamp(-1.0, 1.0) * max).round() / max
+            }
+        }
+    }
+
+    fn forward_soft(&mut self, x: &Tensor, mode: Mode) -> leca_nn::Result<Tensor> {
+        let y = ops::conv2d(x, &self.weight.value, None, self.k, 0)?;
+        let vfs = self.v_fs();
+        let u = y.scale(1.0 / vfs);
+        let out = u.map(|v| self.quant_norm(v));
+        if mode.is_train() {
+            self.cache = Some(Cache::Soft(SoftCache { x: x.clone(), u }));
+        }
+        Ok(out)
+    }
+
+    fn backward_soft(&mut self, grad_out: &Tensor, cache: SoftCache) -> leca_nn::Result<Tensor> {
+        let vfs = self.v_fs();
+        // STE through the quantizer, clipped to the boundary.
+        let mut g_u = grad_out.clone();
+        let mut g_vfs = 0.0f64;
+        for ((g, &u), go) in g_u
+            .as_mut_slice()
+            .iter_mut()
+            .zip(cache.u.as_slice())
+            .zip(grad_out.as_slice())
+        {
+            if u.abs() <= 1.0 {
+                g_vfs += (*go * (-u / vfs)) as f64;
+                *g = *go;
+            } else {
+                *g = 0.0;
+            }
+        }
+        self.v_fs.grad.as_mut_slice()[0] += g_vfs as f32;
+        let g_y = g_u.scale(1.0 / vfs);
+        let gw = ops::conv2d_grad_weight(&cache.x, &g_y, self.k, self.k, self.k, 0)?;
+        self.weight.accumulate(&gw);
+        Ok(ops::conv2d_grad_input(
+            &g_y,
+            &self.weight.value,
+            cache.x.shape(),
+            self.k,
+            0,
+        )?)
+    }
+
+    /// PSF transfer + slope in the current modality.
+    fn psf_eval(&mut self, vpix: f32, noisy: bool) -> (f32, f32) {
+        if noisy {
+            let mean = self.psf_lut.value(vpix);
+            let sigma = self.psf_lut.sigma(vpix);
+            let v = mean + sigma * standard_normal(&mut self.rng);
+            (v, self.psf_lut.slope(vpix))
+        } else {
+            (self.psf.transfer(vpix), self.psf.gain)
+        }
+    }
+
+    /// FVF transfer + slope in the current modality.
+    fn fvf_eval(&mut self, v: f32, noisy: bool) -> (f32, f32) {
+        if noisy {
+            let mean = self.fvf_lut.value(v);
+            let sigma = self.fvf_lut.sigma(v);
+            (mean + sigma * standard_normal(&mut self.rng), self.fvf_lut.slope(v))
+        } else {
+            (self.fvf.transfer(v), self.fvf.gain)
+        }
+    }
+
+    fn forward_hw(&mut self, x: &Tensor, mode: Mode) -> leca_nn::Result<Tensor> {
+        if x.rank() != 4 || x.shape()[1] != 3 {
+            return Err(NnError::Tensor(leca_tensor::TensorError::RankMismatch {
+                op: "leca_encoder",
+                expected: 4,
+                actual: x.rank(),
+            }));
+        }
+        let noisy = self.modality == Modality::Noisy;
+        let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if h % 2 != 0 || w % 2 != 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "input {h}x{w} not divisible by K = 2"
+            )));
+        }
+        let (oh, ow) = (h / 2, w / 2);
+        let blocks = oh * ow;
+        let n_ch = self.n_ch;
+        let vfs = self.v_fs();
+        let vcm = self.params.vcm;
+        let (win_lo, win_hi) = (self.params.v_dark, self.params.v_dark + self.params.v_swing);
+        let ctot = self.params.c_sample_tot_ff;
+        let loss_factor = if noisy { 1.0 - TRANSFER_LOSS } else { 1.0 };
+
+        // Per (kernel, step): quantized code → capacitance, routing, mask.
+        let mut cs = vec![0.0f32; n_ch * 16];
+        let mut on_pos = vec![true; n_ch * 16];
+        let mut w_mask = vec![true; n_ch * 16];
+        let schedule_w = self.schedule;
+        for kern in 0..n_ch {
+            for (j, step) in schedule_w.iter().enumerate() {
+                let wv = self.weight.value.at4(kern, step.c, step.dy, step.dx) * step.factor;
+                let wq = quantize_signed_magnitude(&Tensor::from_slice(&[wv]), 4, 1.0)
+                    .as_slice()[0];
+                cs[kern * 16 + j] = wq.abs() * ctot * loss_factor;
+                on_pos[kern * 16 + j] = wq >= 0.0;
+                w_mask[kern * 16 + j] = wv.abs() <= 1.0;
+            }
+        }
+
+        let schedule = self.schedule;
+        let mut vpix = vec![0.0f32; n * blocks * 16];
+        let mut vin = vec![0.0f32; n * blocks * 16];
+        let mut prev = vec![0.0f32; n * n_ch * blocks * 16];
+        let mut vp = vec![0.0f32; n * n_ch * blocks];
+        let mut vn = vec![0.0f32; n * n_ch * blocks];
+        let mut u = vec![0.0f32; n * n_ch * blocks];
+        let mut out = Tensor::zeros(&[n, n_ch, oh, ow]);
+
+        for ni in 0..n {
+            for by in 0..oh {
+                for bx in 0..ow {
+                    let b = by * ow + bx;
+                    // Stage 1: pixel → i-buffer → PSF, shared by kernels.
+                    for (j, step) in schedule.iter().enumerate() {
+                        let mut px = x.at4(ni, step.c, by * 2 + step.dy, bx * 2 + step.dx);
+                        if noisy {
+                            px = self.pixel_noise.apply(px, &mut self.rng);
+                        }
+                        let v = self
+                            .params
+                            .pixel_to_voltage(px)
+                            .clamp(win_lo, win_hi);
+                        let idx = (ni * blocks + b) * 16 + j;
+                        vpix[idx] = v;
+                        let (buffered, _) = self.psf_eval(v, noisy);
+                        vin[idx] = buffered;
+                    }
+                    // Stage 2: per-kernel MAC chains on the differential
+                    // o-buffers.
+                    for kern in 0..n_ch {
+                        let mut acc_p = vcm;
+                        let mut acc_n = vcm;
+                        for j in 0..16 {
+                            let ks = kern * 16 + j;
+                            let acc = if on_pos[ks] { &mut acc_p } else { &mut acc_n };
+                            prev[((ni * n_ch + kern) * blocks + b) * 16 + j] = *acc;
+                            if cs[ks] > 0.0 {
+                                let mut v = self.scm.step(
+                                    *acc,
+                                    vin[(ni * blocks + b) * 16 + j],
+                                    cs[ks],
+                                );
+                                if noisy {
+                                    v += CHARGE_INJECTION
+                                        + SCM_STEP_NOISE * standard_normal(&mut self.rng);
+                                }
+                                *acc = v;
+                            }
+                        }
+                        let kb = (ni * n_ch + kern) * blocks + b;
+                        vp[kb] = acc_p;
+                        vn[kb] = acc_n;
+                        // Stage 3: FVF + ADC.
+                        let (bp, _) = self.fvf_eval(acc_p, noisy);
+                        let (bn, _) = self.fvf_eval(acc_n, noisy);
+                        let mut vdiff = bp - bn;
+                        if noisy {
+                            vdiff += ADC_NOISE * standard_normal(&mut self.rng);
+                        }
+                        let uu = vdiff / vfs;
+                        u[kb] = uu;
+                        out.set4(ni, kern, by, bx, self.quant_norm(uu));
+                    }
+                }
+            }
+        }
+
+        if mode.is_train() {
+            self.cache = Some(Cache::Hw(HwCache {
+                x_shape: x.shape().to_vec(),
+                oh,
+                ow,
+                vpix,
+                vin,
+                prev,
+                vp,
+                vn,
+                u,
+                cs,
+                on_pos,
+                w_mask,
+            }));
+        }
+        Ok(out)
+    }
+
+    fn backward_hw(&mut self, grad_out: &Tensor, cache: HwCache) -> leca_nn::Result<Tensor> {
+        let noisy = self.modality == Modality::Noisy;
+        let (n, oh, ow) = (cache.x_shape[0], cache.oh, cache.ow);
+        let blocks = oh * ow;
+        let n_ch = self.n_ch;
+        if grad_out.shape() != [n, n_ch, oh, ow] {
+            return Err(NnError::BatchMismatch {
+                what: "leca_encoder backward",
+                expected: n * n_ch * blocks,
+                actual: grad_out.len(),
+            });
+        }
+        let vfs = self.v_fs();
+        let ctot = self.params.c_sample_tot_ff;
+        let loss_factor = if noisy { 1.0 - TRANSFER_LOSS } else { 1.0 };
+        let v_swing = self.params.v_swing;
+        let (win_lo, win_hi) = (self.params.v_dark, self.params.v_dark + self.params.v_swing);
+
+        let schedule = self.schedule;
+        let mut gx = Tensor::zeros(&cache.x_shape);
+        let mut gw = Tensor::zeros(self.weight.value.shape());
+        let mut g_vfs = 0.0f64;
+
+        for ni in 0..n {
+            for kern in 0..n_ch {
+                for b in 0..blocks {
+                    let (by, bx) = (b / ow, b % ow);
+                    let kb = (ni * n_ch + kern) * blocks + b;
+                    let go = grad_out.at4(ni, kern, by, bx);
+                    if go == 0.0 {
+                        continue;
+                    }
+                    let uu = cache.u[kb];
+                    if uu.abs() > 1.0 {
+                        continue; // clipped STE: saturated codes block grads
+                    }
+                    g_vfs += (go * (-uu / vfs)) as f64;
+                    let g_vdiff = go / vfs;
+                    // FVF slopes at the cached accumulator values.
+                    let slope_p = if noisy {
+                        self.fvf_lut.slope(cache.vp[kb])
+                    } else {
+                        self.fvf.gain
+                    };
+                    let slope_n = if noisy {
+                        self.fvf_lut.slope(cache.vn[kb])
+                    } else {
+                        self.fvf.gain
+                    };
+                    let mut gp = g_vdiff * slope_p;
+                    let mut gn = -g_vdiff * slope_n;
+                    // Reverse the MAC chain.
+                    for j in (0..16).rev() {
+                        let ks = kern * 16 + j;
+                        let gacc = if cache.on_pos[ks] { &mut gp } else { &mut gn };
+                        if *gacc == 0.0 {
+                            continue;
+                        }
+                        let idx = (ni * blocks + b) * 16 + j;
+                        let prev_v = cache.prev[kb * 16 + j];
+                        let vin_v = cache.vin[idx];
+                        let (d_prev, d_vin, d_cs) =
+                            self.scm.step_grads(prev_v, vin_v, cache.cs[ks]);
+                        // Weight gradient through the capacitance code.
+                        if cache.w_mask[ks] {
+                            let step = schedule[j];
+                            let sign = if cache.on_pos[ks] { 1.0 } else { -1.0 };
+                            let contrib =
+                                *gacc * d_cs * ctot * loss_factor * step.factor * sign;
+                            let widx = ((kern * 3 + step.c) * self.k + step.dy) * self.k
+                                + step.dx;
+                            gw.as_mut_slice()[widx] += contrib;
+                        }
+                        // Input gradient through PSF and the pixel window.
+                        if cache.cs[ks] > 0.0 {
+                            let vpix_v = cache.vpix[idx];
+                            if vpix_v > win_lo && vpix_v < win_hi {
+                                let psf_slope = if noisy {
+                                    self.psf_lut.slope(vpix_v)
+                                } else {
+                                    self.psf.gain
+                                };
+                                let step = schedule[j];
+                                let (y, x) = (by * 2 + step.dy, bx * 2 + step.dx);
+                                let xidx = ((ni * 3 + step.c) * (oh * 2) + y) * (ow * 2) + x;
+                                gx.as_mut_slice()[xidx] += *gacc * d_vin * psf_slope * v_swing;
+                            }
+                        }
+                        *gacc *= d_prev;
+                    }
+                }
+            }
+        }
+        self.v_fs.grad.as_mut_slice()[0] += g_vfs as f32;
+        self.weight.accumulate(&gw);
+        Ok(gx)
+    }
+}
+
+impl Layer for LecaEncoder {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> leca_nn::Result<Tensor> {
+        match self.modality {
+            Modality::Soft => self.forward_soft(x, mode),
+            Modality::Hard | Modality::Noisy => self.forward_hw(x, mode),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> leca_nn::Result<Tensor> {
+        match self.cache.take() {
+            Some(Cache::Soft(c)) => self.backward_soft(grad_out, c),
+            Some(Cache::Hw(c)) => self.backward_hw(grad_out, c),
+            None => Err(NnError::NoForwardCache("leca_encoder")),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.v_fs);
+    }
+
+    fn name(&self) -> &'static str {
+        "leca_encoder"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn cfg(n_ch: usize, qbit: f32) -> LecaConfig {
+        LecaConfig::new(2, n_ch, qbit).unwrap()
+    }
+
+    fn input(n: usize, hw: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(&[n, 3, hw, hw], 0.05, 0.95, &mut rng)
+    }
+
+    #[test]
+    fn bayer_schedule_matches_fig5a() {
+        let s = bayer_schedule();
+        // Row 0: R G R G; row 1: G B G B.
+        assert_eq!((s[0].c, s[0].factor), (0, 1.0));
+        assert_eq!((s[1].c, s[1].factor), (1, 0.5));
+        assert_eq!((s[4].c, s[4].factor), (1, 0.5));
+        assert_eq!((s[5].c, s[5].factor), (2, 1.0));
+        // Each RGB weight appears with total factor 1 (greens 0.5 + 0.5).
+        let mut totals = [[0.0f32; 4]; 3];
+        for st in &s {
+            totals[st.c][st.dy * 2 + st.dx] += st.factor;
+        }
+        for c in 0..3 {
+            for cell in 0..4 {
+                assert!((totals[c][cell] - 1.0).abs() < 1e-6, "c{c} cell{cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_output_shape_and_levels() {
+        let mut enc = LecaEncoder::new(&cfg(4, 3.0), Modality::Soft, 0).unwrap();
+        let x = input(2, 8, 1);
+        let y = enc.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+        // Codes live on the 3-bit symmetric grid {k/3} (max code 2^(3-1)-1).
+        for &v in y.as_slice() {
+            let scaled = v * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-4, "off-grid {v}");
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn hard_output_shape_and_levels() {
+        let mut enc = LecaEncoder::new(&cfg(4, 3.0), Modality::Hard, 0).unwrap();
+        let x = input(2, 8, 2);
+        let y = enc.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 4, 4]);
+        for &v in y.as_slice() {
+            let scaled = v * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn ternary_mode_emits_three_levels() {
+        let mut enc = LecaEncoder::new(&cfg(4, 1.5), Modality::Hard, 0).unwrap();
+        let x = input(1, 8, 3);
+        let y = enc.forward(&x, Mode::Eval).unwrap();
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0 / 3.0).abs() < 1e-6 || (v + 2.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hard_mode_is_deterministic_noisy_is_not() {
+        let x = input(1, 8, 4);
+        let mut hard = LecaEncoder::new(&cfg(4, 8.0), Modality::Hard, 0).unwrap();
+        let a = hard.forward(&x, Mode::Eval).unwrap();
+        let b = hard.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(a, b);
+        let mut noisy = LecaEncoder::new(&cfg(4, 8.0), Modality::Noisy, 0).unwrap();
+        noisy.set_weight(hard.weight().clone()).unwrap();
+        let c = noisy.forward(&x, Mode::Eval).unwrap();
+        let d = noisy.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(c, d, "noisy modality must sample fresh noise");
+        // But it must stay close to the hard output on average.
+        let diff = a.sub(&c).unwrap().map(f32::abs).mean();
+        assert!(diff < 0.25, "noisy deviates too far: {diff}");
+    }
+
+    #[test]
+    fn soft_gradients_equal_ste_closed_form() {
+        // The STE *defines* the soft backward as the plain convolution
+        // gradient scaled by 1/v_fs (within the boundary), so we can check
+        // it exactly against the closed form.
+        let mut enc = LecaEncoder::new(&cfg(2, 8.0), Modality::Soft, 5).unwrap();
+        let x = input(1, 4, 6);
+        enc.zero_grad();
+        let y = enc.forward(&x, Mode::Train).unwrap();
+        // Check all pre-quant values are inside the boundary so no STE
+        // masking applies (v_fs init 0.3 and random weights keep |u| ~ 1;
+        // enlarge the boundary to be sure).
+        let gx = enc.backward(&Tensor::ones(y.shape())).unwrap();
+        let vfs = enc.v_fs();
+        // Recompute expected gradients with the tensor kernels, masking
+        // saturated positions.
+        let conv = leca_tensor::ops::conv2d(&x, enc.weight(), None, 2, 0).unwrap();
+        let mut g_y = Tensor::full(conv.shape(), 1.0 / vfs);
+        for (g, &c) in g_y.as_mut_slice().iter_mut().zip(conv.as_slice()) {
+            if (c / vfs).abs() > 1.0 {
+                *g = 0.0;
+            }
+        }
+        let expect_gx =
+            leca_tensor::ops::conv2d_grad_input(&g_y, enc.weight(), x.shape(), 2, 0).unwrap();
+        for (a, b) in gx.as_slice().iter().zip(expect_gx.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        let expect_gw =
+            leca_tensor::ops::conv2d_grad_weight(&x, &g_y, 2, 2, 2, 0).unwrap();
+        for (a, b) in enc.weight.grad.as_slice().iter().zip(expect_gw.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hard_weight_gradients_match_finite_differences() {
+        // The crucial check: backprop through the Eq. (3) recursion. The
+        // forward output is a staircase, so compare against finite
+        // differences of the *pre-quantization* value by probing with a
+        // large epsilon across many coordinates and checking correlation.
+        let c = cfg(2, 8.0);
+        let mut enc = LecaEncoder::new(&c, Modality::Hard, 7).unwrap();
+        let x = input(1, 4, 8);
+        enc.zero_grad();
+        let y = enc.forward(&x, Mode::Train).unwrap();
+        enc.backward(&Tensor::ones(y.shape())).unwrap();
+        let analytic = enc.weight.grad.clone();
+        // Probe with a step spanning several weight-code LSBs so the
+        // numeric difference quotient approximates the smooth relaxation
+        // the STE differentiates.
+        let eps = 0.1;
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..analytic.len() {
+            let orig = enc.weight.value.as_slice()[i];
+            enc.weight.value.as_mut_slice()[i] = orig + eps;
+            let fp = enc.forward(&x, Mode::Eval).unwrap().sum();
+            enc.weight.value.as_mut_slice()[i] = orig - eps;
+            let fm = enc.forward(&x, Mode::Eval).unwrap().sum();
+            enc.weight.value.as_mut_slice()[i] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.as_slice()[i];
+            if numeric.abs() > 1e-2 && a.abs() > 1e-2 {
+                total += 1;
+                // Same sign and within 3x magnitude: quantization makes
+                // exact agreement impossible, but the direction must hold.
+                if a * numeric > 0.0 && (a / numeric).abs() < 3.0 && (numeric / a).abs() < 3.0 {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total >= 8, "probe found too few active weights: {total}");
+        assert!(
+            agree as f32 / total as f32 >= 0.7,
+            "only {agree}/{total} weight grads point the right way"
+        );
+    }
+
+    #[test]
+    fn hard_input_gradients_flow() {
+        let mut enc = LecaEncoder::new(&cfg(4, 8.0), Modality::Hard, 9).unwrap();
+        let x = input(2, 8, 10);
+        let y = enc.forward(&x, Mode::Train).unwrap();
+        let gx = enc.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.norm_sq() > 0.0, "input gradient must be non-zero");
+    }
+
+    #[test]
+    fn v_fs_gradient_flows() {
+        let mut enc = LecaEncoder::new(&cfg(4, 8.0), Modality::Hard, 11).unwrap();
+        let x = input(1, 8, 12);
+        enc.zero_grad();
+        let y = enc.forward(&x, Mode::Train).unwrap();
+        enc.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_ne!(enc.v_fs.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut enc = LecaEncoder::new(&cfg(2, 3.0), Modality::Soft, 0).unwrap();
+        assert!(enc.backward(&Tensor::zeros(&[1, 2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn modality_switch_preserves_weights() {
+        let mut enc = LecaEncoder::new(&cfg(4, 3.0), Modality::Soft, 13).unwrap();
+        let w = enc.weight().clone();
+        enc.set_modality(Modality::Hard).unwrap();
+        assert_eq!(enc.weight(), &w);
+        assert_eq!(enc.modality(), Modality::Hard);
+    }
+
+    #[test]
+    fn k3_rejected_in_hw_modalities() {
+        let c = LecaConfig::new(3, 4, 3.0).unwrap();
+        assert!(LecaEncoder::new(&c, Modality::Hard, 0).is_err());
+        assert!(LecaEncoder::new(&c, Modality::Soft, 0).is_ok());
+        let mut enc = LecaEncoder::new(&c, Modality::Soft, 0).unwrap();
+        assert!(enc.set_modality(Modality::Noisy).is_err());
+    }
+
+    #[test]
+    fn qbit_annealing_changes_grid() {
+        let mut enc = LecaEncoder::new(&cfg(4, 8.0), Modality::Hard, 14).unwrap();
+        let x = input(1, 8, 15);
+        let fine = enc.forward(&x, Mode::Eval).unwrap();
+        enc.set_qbit(1.5).unwrap();
+        assert_eq!(enc.qbit(), 1.5);
+        let coarse = enc.forward(&x, Mode::Eval).unwrap();
+        let distinct_fine: std::collections::HashSet<i32> =
+            fine.as_slice().iter().map(|v| (v * 127.0).round() as i32).collect();
+        let distinct_coarse: std::collections::HashSet<i32> =
+            coarse.as_slice().iter().map(|v| (v * 3.0).round() as i32).collect();
+        assert!(distinct_fine.len() > distinct_coarse.len());
+    }
+
+    #[test]
+    fn clamp_weights_projects() {
+        let mut enc = LecaEncoder::new(&cfg(2, 3.0), Modality::Hard, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = Tensor::from_vec(
+            (0..enc.weight().len()).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+            enc.weight().shape(),
+        )
+        .unwrap();
+        enc.set_weight(w).unwrap();
+        enc.clamp_weights();
+        assert!(enc.weight().max() <= 1.0 && enc.weight().min() >= -1.0);
+        assert!(enc.set_weight(Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn encoder_param_count_matches_config() {
+        let c = cfg(8, 3.0);
+        let mut enc = LecaEncoder::new(&c, Modality::Hard, 17).unwrap();
+        assert_eq!(enc.num_params(), c.encoder_params());
+    }
+
+    #[test]
+    fn brighter_input_lowers_hard_codes_with_positive_weights() {
+        // The charge-domain inversion (2·V_CM − V_in) must appear in the
+        // training model exactly as in the sensor.
+        let c = cfg(1, 8.0);
+        let mut enc = LecaEncoder::new(&c, Modality::Hard, 18).unwrap();
+        enc.set_weight(Tensor::full(&[1, 3, 2, 2], 0.6)).unwrap();
+        let dark = enc.forward(&Tensor::full(&[1, 3, 4, 4], 0.1), Mode::Eval).unwrap();
+        let bright = enc.forward(&Tensor::full(&[1, 3, 4, 4], 0.9), Mode::Eval).unwrap();
+        assert!(bright.mean() < dark.mean());
+    }
+}

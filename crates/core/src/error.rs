@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Errors produced by the LeCA pipeline.
+#[derive(Debug)]
+pub enum LecaError {
+    /// Neural-network layer failure.
+    Nn(leca_nn::NnError),
+    /// Tensor kernel failure.
+    Tensor(leca_tensor::TensorError),
+    /// Circuit model failure.
+    Circuit(leca_circuit::CircuitError),
+    /// Sensor simulator failure.
+    Sensor(leca_sensor::SensorError),
+    /// Dataset failure.
+    Data(leca_data::DatasetError),
+    /// Baseline codec failure.
+    Codec(leca_baselines::CodecError),
+    /// Invalid LeCA configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for LecaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LecaError::Nn(e) => write!(f, "nn error: {e}"),
+            LecaError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LecaError::Circuit(e) => write!(f, "circuit error: {e}"),
+            LecaError::Sensor(e) => write!(f, "sensor error: {e}"),
+            LecaError::Data(e) => write!(f, "data error: {e}"),
+            LecaError::Codec(e) => write!(f, "codec error: {e}"),
+            LecaError::InvalidConfig(m) => write!(f, "invalid LeCA config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LecaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LecaError::Nn(e) => Some(e),
+            LecaError::Tensor(e) => Some(e),
+            LecaError::Circuit(e) => Some(e),
+            LecaError::Sensor(e) => Some(e),
+            LecaError::Data(e) => Some(e),
+            LecaError::Codec(e) => Some(e),
+            LecaError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<leca_nn::NnError> for LecaError {
+    fn from(e: leca_nn::NnError) -> Self {
+        LecaError::Nn(e)
+    }
+}
+
+impl From<leca_tensor::TensorError> for LecaError {
+    fn from(e: leca_tensor::TensorError) -> Self {
+        LecaError::Tensor(e)
+    }
+}
+
+impl From<leca_circuit::CircuitError> for LecaError {
+    fn from(e: leca_circuit::CircuitError) -> Self {
+        LecaError::Circuit(e)
+    }
+}
+
+impl From<leca_sensor::SensorError> for LecaError {
+    fn from(e: leca_sensor::SensorError) -> Self {
+        LecaError::Sensor(e)
+    }
+}
+
+impl From<leca_data::DatasetError> for LecaError {
+    fn from(e: leca_data::DatasetError) -> Self {
+        LecaError::Data(e)
+    }
+}
+
+impl From<leca_baselines::CodecError> for LecaError {
+    fn from(e: leca_baselines::CodecError) -> Self {
+        LecaError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: LecaError = leca_tensor::TensorError::InvalidGeometry("g".into()).into();
+        assert!(e.to_string().contains("tensor"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = LecaError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LecaError>();
+    }
+}

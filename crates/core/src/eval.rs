@@ -1,0 +1,164 @@
+//! The shared evaluation protocol (Sec. 5.1 / Fig. 9).
+//!
+//! Every compression method — LeCA pipelines and baseline codecs alike —
+//! is scored by feeding its reconstruction to the *same frozen backbone*
+//! and measuring end-to-end task accuracy. For baselines we also report
+//! the traditional task-agnostic metrics (PSNR/SSIM) so the experiments
+//! can contrast the two views (Table 1).
+
+use crate::Result as LecaResult;
+use leca_baselines::Codec;
+use leca_data::metrics::{psnr, ssim};
+use leca_data::Dataset;
+use leca_nn::backbone::Backbone;
+use leca_nn::loss::accuracy;
+use leca_nn::{Layer, Mode};
+use leca_tensor::Tensor;
+
+/// Evaluation result for one codec on one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecReport {
+    /// Codec display name.
+    pub name: &'static str,
+    /// End-to-end classification accuracy through the frozen backbone.
+    pub accuracy: f32,
+    /// Mean achieved compression ratio across the dataset.
+    pub mean_cr: f32,
+    /// Mean reconstruction PSNR (dB; the task-agnostic view).
+    pub mean_psnr: f32,
+    /// Mean reconstruction SSIM.
+    pub mean_ssim: f32,
+}
+
+/// Transcodes every image through `codec` and scores the reconstructions
+/// with the frozen `backbone`.
+///
+/// # Errors
+///
+/// Propagates codec and layer errors.
+pub fn evaluate_codec(
+    codec: &dyn Codec,
+    backbone: &mut Backbone,
+    ds: &Dataset,
+) -> LecaResult<CodecReport> {
+    let mut correct = 0.0f32;
+    let mut count = 0usize;
+    let mut cr_sum = 0.0f64;
+    let mut psnr_sum = 0.0f64;
+    let mut ssim_sum = 0.0f64;
+    let mut psnr_count = 0usize;
+
+    let mut batch: Vec<Tensor> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let flush = |batch: &mut Vec<Tensor>,
+                     labels: &mut Vec<usize>,
+                     backbone: &mut Backbone,
+                     correct: &mut f32,
+                     count: &mut usize|
+     -> LecaResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let refs: Vec<Tensor> = batch
+            .iter()
+            .map(|t| {
+                let mut shape = vec![1];
+                shape.extend_from_slice(t.shape());
+                t.reshape(&shape).expect("adding batch dim")
+            })
+            .collect();
+        let views: Vec<&Tensor> = refs.iter().collect();
+        let x = Tensor::concat0(&views)?;
+        let logits = backbone.forward(&x, Mode::Eval)?;
+        *correct += accuracy(&logits, labels)? * labels.len() as f32;
+        *count += labels.len();
+        batch.clear();
+        labels.clear();
+        Ok(())
+    };
+
+    for (img, &label) in ds.images().iter().zip(ds.labels()) {
+        let out = codec.transcode(img)?;
+        cr_sum += out.compression_ratio as f64;
+        let p = psnr(img, &out.reconstruction, 1.0)?;
+        if p.is_finite() {
+            psnr_sum += p as f64;
+            psnr_count += 1;
+        }
+        ssim_sum += ssim(img, &out.reconstruction)? as f64;
+        batch.push(out.reconstruction);
+        labels.push(label);
+        if batch.len() >= 64 {
+            flush(&mut batch, &mut labels, backbone, &mut correct, &mut count)?;
+        }
+    }
+    flush(&mut batch, &mut labels, backbone, &mut correct, &mut count)?;
+
+    let n = ds.len().max(1) as f64;
+    Ok(CodecReport {
+        name: codec.name(),
+        accuracy: if count == 0 { 0.0 } else { correct / count as f32 },
+        mean_cr: (cr_sum / n) as f32,
+        mean_psnr: if psnr_count == 0 {
+            f32::INFINITY
+        } else {
+            (psnr_sum / psnr_count as f64) as f32
+        },
+        mean_ssim: (ssim_sum / n) as f32,
+    })
+}
+
+/// Accuracy loss of `accuracy` relative to an uncompressed baseline, in
+/// percentage points (the y-axis of Fig. 10(c) / Fig. 13(c)).
+pub fn accuracy_loss_pp(baseline: f32, accuracy: f32) -> f32 {
+    (baseline - accuracy) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_backbone, TrainConfig};
+    use leca_baselines::cnv::Cnv;
+    use leca_baselines::lr::Lr;
+    use leca_data::{SynthConfig, SynthVision};
+    use leca_nn::backbone::tiny_cnn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_backbone(data: &SynthVision) -> Backbone {
+        let mut bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(0));
+        let mut cfg = TrainConfig::fast_test();
+        cfg.epochs = 5;
+        train_backbone(&mut bb, data.train(), data.val(), &cfg).unwrap();
+        bb
+    }
+
+    #[test]
+    fn cnv_codec_matches_raw_accuracy() {
+        let data = SynthVision::generate(&SynthConfig::tiny_test(), 11);
+        let mut bb = trained_backbone(&data);
+        let raw = crate::trainer::backbone_accuracy(&mut bb, data.val()).unwrap();
+        let report = evaluate_codec(&Cnv::new(), &mut bb, data.val()).unwrap();
+        // 8-bit quantization of [0,1] images is visually lossless.
+        assert!((report.accuracy - raw).abs() < 0.051, "{} vs {raw}", report.accuracy);
+        assert_eq!(report.mean_cr, 1.0);
+        assert!(report.mean_psnr > 40.0);
+        assert!(report.mean_ssim > 0.95);
+    }
+
+    #[test]
+    fn harsher_quantization_scores_worse_psnr() {
+        let data = SynthVision::generate(&SynthConfig::tiny_test(), 12);
+        let mut bb = trained_backbone(&data);
+        let r3 = evaluate_codec(&Lr::new(3.0).unwrap(), &mut bb, data.val()).unwrap();
+        let r1 = evaluate_codec(&Lr::new(1.0).unwrap(), &mut bb, data.val()).unwrap();
+        assert!(r3.mean_psnr > r1.mean_psnr);
+        assert!(r1.mean_cr > r3.mean_cr);
+    }
+
+    #[test]
+    fn accuracy_loss_helper() {
+        assert!((accuracy_loss_pp(0.76, 0.75) - 1.0).abs() < 1e-4);
+        assert!(accuracy_loss_pp(0.8, 0.8).abs() < 1e-5);
+    }
+}

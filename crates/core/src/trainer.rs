@@ -1,0 +1,315 @@
+//! Training loops: backbone pre-training and joint LeCA training.
+//!
+//! Implements the paper's methodology (Sec. 3.4 / 5.2):
+//!
+//! * Adam with the step-decay schedule (`1e-3`, ×0.1 every N epochs).
+//! * Backbone pre-trained first, then **frozen** for all LeCA trainings.
+//! * **Incremental training**: pipelines targeting `Q_bit ≤ 4` first train
+//!   at `Q_bit = 8`, then fine-tune at the target depth ("this strategy
+//!   helps the model converge faster").
+//! * Noisy training initializes from hard-trained weights ("we first
+//!   pre-train a noise-free pipeline, and then finetune it").
+//! * Optional paper augmentation (rotation ≤ 20°, horizontal flip).
+
+use crate::encoder::Modality;
+use crate::pipeline::LecaPipeline;
+use crate::Result as LecaResult;
+use leca_data::augment::paper_augment;
+use leca_data::Dataset;
+use leca_nn::backbone::{resnet_full, resnet_proxy, Backbone};
+use leca_nn::loss::{accuracy, SoftmaxCrossEntropy};
+use leca_nn::optim::{Adam, StepDecay};
+use leca_nn::{Layer, Mode};
+use leca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: StepDecay,
+    /// Apply the paper's augmentation during training.
+    pub augment: bool,
+    /// Use incremental Q_bit annealing for aggressive quantization.
+    pub incremental: bool,
+    /// Shuffling / augmentation seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The experiment-scale recipe (sized for the single-core budget).
+    pub fn experiment() -> Self {
+        TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            schedule: StepDecay {
+                base_lr: 2e-3,
+                gamma: 0.3,
+                every: 2,
+            },
+            augment: false,
+            incremental: true,
+            seed: 0,
+        }
+    }
+
+    /// A minimal recipe for unit tests.
+    pub fn fast_test() -> Self {
+        TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            schedule: StepDecay::paper(30),
+            augment: false,
+            incremental: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-run training telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation accuracy after the final epoch.
+    pub val_accuracy: f32,
+}
+
+/// Builds the right backbone architecture for a dataset's image size.
+pub fn backbone_for(train: &Dataset, seed: u64) -> Backbone {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = train.image_shape().map(|s| s[1]).unwrap_or(32);
+    if size <= 32 {
+        resnet_proxy(train.num_classes(), &mut rng)
+    } else {
+        resnet_full(train.num_classes(), &mut rng)
+    }
+}
+
+/// Pre-trains a backbone classifier on raw (uncompressed) images — the
+/// stand-in for the paper's PyTorch-pretrained ResNets.
+///
+/// # Errors
+///
+/// Propagates layer/optimizer errors.
+pub fn train_backbone(
+    backbone: &mut Backbone,
+    train: &Dataset,
+    val: &Dataset,
+    cfg: &TrainConfig,
+) -> LecaResult<TrainReport> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.schedule.base_lr)?;
+    let lossfn = SoftmaxCrossEntropy::new();
+    let mut data = train.clone();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.schedule.lr_at(epoch));
+        data.shuffle(&mut rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for (x, labels) in data.iter_batches(cfg.batch_size) {
+            let x = maybe_augment(&x, cfg.augment, &mut rng)?;
+            backbone.zero_grad();
+            let logits = backbone.forward(&x, Mode::Train)?;
+            let (loss, grad) = lossfn.forward(&logits, &labels)?;
+            backbone.backward(&grad)?;
+            opt.step(backbone);
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    let val_accuracy = backbone_accuracy(backbone, val)?;
+    Ok(TrainReport {
+        epoch_losses,
+        val_accuracy,
+    })
+}
+
+/// Validation accuracy of a backbone on raw images.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn backbone_accuracy(backbone: &mut Backbone, ds: &Dataset) -> LecaResult<f32> {
+    let mut correct = 0.0;
+    let mut count = 0usize;
+    for (x, labels) in ds.iter_batches(64) {
+        let logits = backbone.forward(&x, Mode::Eval)?;
+        correct += accuracy(&logits, &labels)? * labels.len() as f32;
+        count += labels.len();
+    }
+    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+}
+
+fn maybe_augment(x: &Tensor, enabled: bool, rng: &mut StdRng) -> LecaResult<Tensor> {
+    if !enabled {
+        return Ok(x.clone());
+    }
+    let n = x.shape()[0];
+    let mut parts = Vec::with_capacity(n);
+    for i in 0..n {
+        let img = x.slice0(i, 1)?;
+        let chw = img.reshape(&[x.shape()[1], x.shape()[2], x.shape()[3]])?;
+        let aug = paper_augment(&chw, rng);
+        parts.push(aug.reshape(&[1, x.shape()[1], x.shape()[2], x.shape()[3]])?);
+    }
+    let refs: Vec<&Tensor> = parts.iter().collect();
+    Ok(Tensor::concat0(&refs)?)
+}
+
+/// Jointly trains a LeCA pipeline's encoder/decoder against the frozen
+/// backbone, with optional incremental Q_bit annealing.
+///
+/// # Errors
+///
+/// Propagates layer/optimizer errors.
+pub fn train_pipeline(
+    pipeline: &mut LecaPipeline,
+    train: &Dataset,
+    val: &Dataset,
+    cfg: &TrainConfig,
+) -> LecaResult<TrainReport> {
+    let target_qbit = pipeline.encoder().qbit();
+    let anneal = cfg.incremental && target_qbit < 4.0 && cfg.epochs >= 2;
+    let warm_epochs = if anneal { cfg.epochs / 2 } else { 0 };
+    if anneal {
+        pipeline.encoder_mut().set_qbit(8.0)?;
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(17));
+    let mut opt = Adam::new(cfg.schedule.base_lr)?;
+    let mut data = train.clone();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let hw_modality = pipeline.encoder().modality() != Modality::Soft;
+    for epoch in 0..cfg.epochs {
+        if anneal && epoch == warm_epochs {
+            pipeline.encoder_mut().set_qbit(target_qbit)?;
+        }
+        opt.set_lr(cfg.schedule.lr_at(epoch));
+        data.shuffle(&mut rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for (x, labels) in data.iter_batches(cfg.batch_size) {
+            let x = maybe_augment(&x, cfg.augment, &mut rng)?;
+            pipeline.zero_grad();
+            let loss = pipeline.train_step(&x, &labels)?;
+            opt.step(pipeline);
+            if hw_modality {
+                pipeline.encoder_mut().clamp_weights();
+            }
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f32);
+    }
+    let val_accuracy = pipeline_accuracy(pipeline, val)?;
+    Ok(TrainReport {
+        epoch_losses,
+        val_accuracy,
+    })
+}
+
+/// Validation accuracy of a LeCA pipeline.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn pipeline_accuracy(pipeline: &mut LecaPipeline, ds: &Dataset) -> LecaResult<f32> {
+    let mut correct = 0.0;
+    let mut count = 0usize;
+    for (x, labels) in ds.iter_batches(64) {
+        correct += pipeline.accuracy(&x, &labels)? * labels.len() as f32;
+        count += labels.len();
+    }
+    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LecaConfig;
+    use leca_data::{SynthConfig, SynthVision};
+    use leca_nn::backbone::tiny_cnn;
+
+    fn tiny_data() -> SynthVision {
+        SynthVision::generate(&SynthConfig::tiny_test(), 3)
+    }
+
+    #[test]
+    fn backbone_training_reduces_loss() {
+        let data = tiny_data();
+        let mut bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(0));
+        let mut cfg = TrainConfig::fast_test();
+        cfg.epochs = 6;
+        let report = train_backbone(&mut bb, data.train(), data.val(), &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss must fall: {:?}",
+            report.epoch_losses
+        );
+        assert!((0.0..=1.0).contains(&report.val_accuracy));
+    }
+
+    #[test]
+    fn pipeline_training_runs_soft() {
+        let data = tiny_data();
+        let mut bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(1));
+        // Minimal pre-training so logits aren't degenerate.
+        train_backbone(&mut bb, data.train(), data.val(), &TrainConfig::fast_test()).unwrap();
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        let mut p = LecaPipeline::new(&cfg, Modality::Soft, bb, 5).unwrap();
+        let report =
+            train_pipeline(&mut p, data.train(), data.val(), &TrainConfig::fast_test()).unwrap();
+        assert_eq!(report.epoch_losses.len(), 1);
+        assert!(report.epoch_losses[0].is_finite());
+    }
+
+    #[test]
+    fn incremental_annealing_restores_target_qbit() {
+        let data = tiny_data();
+        let bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(2));
+        let cfg = LecaConfig::new(2, 4, 1.5).unwrap();
+        let mut p = LecaPipeline::new(&cfg, Modality::Soft, bb, 6).unwrap();
+        let mut tc = TrainConfig::fast_test();
+        tc.epochs = 2;
+        tc.incremental = true;
+        train_pipeline(&mut p, data.train(), data.val(), &tc).unwrap();
+        assert_eq!(p.encoder().qbit(), 1.5, "annealing must end at the target");
+    }
+
+    #[test]
+    fn hard_training_clamps_weights() {
+        let data = tiny_data();
+        let bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(3));
+        let cfg = LecaConfig::new(2, 2, 3.0).unwrap();
+        let mut p = LecaPipeline::new(&cfg, Modality::Hard, bb, 7).unwrap();
+        train_pipeline(&mut p, data.train(), data.val(), &TrainConfig::fast_test()).unwrap();
+        assert!(p.encoder().weight().max() <= 1.0);
+        assert!(p.encoder().weight().min() >= -1.0);
+    }
+
+    #[test]
+    fn backbone_for_picks_architecture() {
+        let small = tiny_data();
+        let bb = backbone_for(small.train(), 0);
+        assert_eq!(bb.arch(), "resnet_proxy");
+    }
+
+    #[test]
+    fn augmentation_path_runs() {
+        let data = tiny_data();
+        let mut bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(4));
+        let mut cfg = TrainConfig::fast_test();
+        cfg.augment = true;
+        let report = train_backbone(&mut bb, data.train(), data.val(), &cfg).unwrap();
+        assert!(report.epoch_losses[0].is_finite());
+    }
+}

@@ -1,0 +1,139 @@
+//! Training-time augmentation.
+//!
+//! The paper trains the proxy pipeline with a random rotation of up to 20
+//! degrees and random horizontal flipping (Sec. 5.2). Both operate on
+//! `(3, H, W)` images in `[0, 1]`.
+
+use leca_tensor::Tensor;
+use rand::Rng;
+
+/// Horizontally flips a `(C, H, W)` image.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3.
+pub fn hflip(img: &Tensor) -> Tensor {
+    assert_eq!(img.rank(), 3, "hflip expects (C, H, W)");
+    let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+    let mut out = Tensor::zeros(img.shape());
+    let (src, dst) = (img.as_slice(), out.as_mut_slice());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                dst[(ci * h + y) * w + x] = src[(ci * h + y) * w + (w - 1 - x)];
+            }
+        }
+    }
+    out
+}
+
+/// Rotates a `(C, H, W)` image by `degrees` about its center using
+/// nearest-neighbor sampling; out-of-frame samples replicate the border.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3.
+pub fn rotate(img: &Tensor, degrees: f32) -> Tensor {
+    assert_eq!(img.rank(), 3, "rotate expects (C, H, W)");
+    let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+    let theta = degrees.to_radians();
+    let (sin_t, cos_t) = theta.sin_cos();
+    let (cy, cx) = ((h as f32 - 1.0) / 2.0, (w as f32 - 1.0) / 2.0);
+    let mut out = Tensor::zeros(img.shape());
+    let (src, dst) = (img.as_slice(), out.as_mut_slice());
+    for y in 0..h {
+        for x in 0..w {
+            // Inverse-rotate destination coords into source space.
+            let dy = y as f32 - cy;
+            let dx = x as f32 - cx;
+            let sy = (cos_t * dy - sin_t * dx + cy).round();
+            let sx = (sin_t * dy + cos_t * dx + cx).round();
+            let sy = (sy.max(0.0) as usize).min(h - 1);
+            let sx = (sx.max(0.0) as usize).min(w - 1);
+            for ci in 0..c {
+                dst[(ci * h + y) * w + x] = src[(ci * h + sy) * w + sx];
+            }
+        }
+    }
+    out
+}
+
+/// Applies the paper's augmentation: rotation uniform in `[-20°, 20°]` and a
+/// 50% horizontal flip.
+pub fn paper_augment<R: Rng + ?Sized>(img: &Tensor, rng: &mut R) -> Tensor {
+    let angle = rng.gen_range(-20.0..20.0f32);
+    let rotated = rotate(img, angle);
+    if rng.gen_bool(0.5) {
+        hflip(&rotated)
+    } else {
+        rotated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gradient_img() -> Tensor {
+        let mut t = Tensor::zeros(&[1, 4, 4]);
+        for y in 0..4 {
+            for x in 0..4 {
+                t.set(&[0, y, x], (y * 4 + x) as f32 / 16.0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn hflip_is_involution() {
+        let img = gradient_img();
+        assert_eq!(hflip(&hflip(&img)), img);
+        assert_ne!(hflip(&img), img);
+    }
+
+    #[test]
+    fn hflip_mirrors_columns() {
+        let img = gradient_img();
+        let f = hflip(&img);
+        assert_eq!(f.at(&[0, 0, 0]), img.at(&[0, 0, 3]));
+        assert_eq!(f.at(&[0, 2, 1]), img.at(&[0, 2, 2]));
+    }
+
+    #[test]
+    fn zero_rotation_is_identity() {
+        let img = gradient_img();
+        assert_eq!(rotate(&img, 0.0), img);
+    }
+
+    #[test]
+    fn rotation_180_flips_both_axes() {
+        let img = gradient_img();
+        let r = rotate(&img, 180.0);
+        assert!((r.at(&[0, 0, 0]) - img.at(&[0, 3, 3])).abs() < 1e-6);
+        assert!((r.at(&[0, 3, 0]) - img.at(&[0, 0, 3])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation_preserves_shape_and_range() {
+        let img = gradient_img();
+        let r = rotate(&img, 17.0);
+        assert_eq!(r.shape(), img.shape());
+        assert!(r.min() >= 0.0 && r.max() <= 1.0);
+    }
+
+    #[test]
+    fn paper_augment_deterministic_per_seed() {
+        let img = gradient_img();
+        let a = paper_augment(&img, &mut StdRng::seed_from_u64(5));
+        let b = paper_augment(&img, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "hflip expects")]
+    fn hflip_rejects_rank2() {
+        hflip(&Tensor::zeros(&[4, 4]));
+    }
+}

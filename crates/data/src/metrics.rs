@@ -1,0 +1,163 @@
+//! Image-quality metrics: PSNR and SSIM.
+//!
+//! These are the *task-agnostic* quality measures the paper argues against
+//! optimizing for (Table 1): every baseline codec is traditionally tuned for
+//! PSNR/SSIM, while LeCA optimizes task accuracy directly. We report both so
+//! the experiments can contrast them.
+
+use leca_tensor::{Tensor, TensorError};
+
+/// Peak signal-to-noise ratio in dB between two same-shape images in
+/// `[0, max_val]`; `f32::INFINITY` for identical images.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn psnr(a: &Tensor, b: &Tensor, max_val: f32) -> Result<f32, TensorError> {
+    let diff = a.sub(b)?;
+    let mse = diff.norm_sq() / diff.len().max(1) as f32;
+    if mse <= 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(10.0 * ((max_val * max_val) / mse).log10())
+}
+
+/// Global structural similarity (SSIM) between two same-shape images in
+/// `[0, 1]`, computed over 8x8 windows with stride 4 and averaged across
+/// windows and channels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ or
+/// [`TensorError::RankMismatch`] for non-`(C, H, W)` input.
+pub fn ssim(a: &Tensor, b: &Tensor) -> Result<f32, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "ssim",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    if a.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "ssim",
+            expected: 3,
+            actual: a.rank(),
+        });
+    }
+    const C1: f64 = 0.01 * 0.01;
+    const C2: f64 = 0.03 * 0.03;
+    let (c, h, w) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let win = 8.min(h).min(w);
+    let stride = (win / 2).max(1);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for ci in 0..c {
+        let mut y = 0;
+        while y + win <= h {
+            let mut x = 0;
+            while x + win <= w {
+                let (mut ma, mut mb) = (0.0f64, 0.0f64);
+                for wy in 0..win {
+                    for wx in 0..win {
+                        ma += a.at(&[ci, y + wy, x + wx]) as f64;
+                        mb += b.at(&[ci, y + wy, x + wx]) as f64;
+                    }
+                }
+                let n = (win * win) as f64;
+                ma /= n;
+                mb /= n;
+                let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+                for wy in 0..win {
+                    for wx in 0..win {
+                        let da = a.at(&[ci, y + wy, x + wx]) as f64 - ma;
+                        let db = b.at(&[ci, y + wy, x + wx]) as f64 - mb;
+                        va += da * da;
+                        vb += db * db;
+                        cov += da * db;
+                    }
+                }
+                va /= n - 1.0;
+                vb /= n - 1.0;
+                cov /= n - 1.0;
+                let s = ((2.0 * ma * mb + C1) * (2.0 * cov + C2))
+                    / ((ma * ma + mb * mb + C1) * (va + vb + C2));
+                total += s;
+                count += 1;
+                x += stride;
+            }
+            y += stride;
+        }
+    }
+    Ok(if count == 0 { 1.0 } else { (total / count as f64) as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        let a = Tensor::ones(&[3, 4, 4]);
+        assert_eq!(psnr(&a, &a, 1.0).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // Constant error of 0.1 → MSE = 0.01 → PSNR = 20 dB.
+        let a = Tensor::zeros(&[3, 4, 4]);
+        let b = Tensor::full(&[3, 4, 4], 0.1);
+        assert!((psnr(&a, &b, 1.0).unwrap() - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        let small = a.add(&Tensor::randn(&[3, 8, 8], 0.0, 0.01, &mut rng)).unwrap();
+        let big = a.add(&Tensor::randn(&[3, 8, 8], 0.0, 0.1, &mut rng)).unwrap();
+        assert!(psnr(&a, &small, 1.0).unwrap() > psnr(&a, &big, 1.0).unwrap());
+    }
+
+    #[test]
+    fn psnr_shape_mismatch_errors() {
+        assert!(psnr(&Tensor::zeros(&[3, 2, 2]), &Tensor::zeros(&[3, 4, 4]), 1.0).is_err());
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        assert!((ssim(&a, &a).unwrap() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ssim_degrades_with_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::rand_uniform(&[3, 16, 16], 0.2, 0.8, &mut rng);
+        let noisy = a
+            .add(&Tensor::randn(&[3, 16, 16], 0.0, 0.15, &mut rng))
+            .unwrap()
+            .clamp(0.0, 1.0);
+        let s = ssim(&a, &noisy).unwrap();
+        assert!(s < 0.98, "noisy ssim {s}");
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn ssim_checks_shapes() {
+        assert!(ssim(&Tensor::zeros(&[3, 8, 8]), &Tensor::zeros(&[3, 4, 4])).is_err());
+        assert!(ssim(&Tensor::zeros(&[8, 8]), &Tensor::zeros(&[8, 8])).is_err());
+    }
+
+    #[test]
+    fn ssim_small_images_use_shrunk_window() {
+        let a = Tensor::ones(&[1, 4, 4]);
+        let b = Tensor::full(&[1, 4, 4], 0.5);
+        let s = ssim(&a, &b).unwrap();
+        assert!(s.is_finite());
+        assert!(s < 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+use leca_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by layer execution, checkpointing and training.
+#[derive(Debug)]
+pub enum NnError {
+    /// An underlying tensor kernel failed.
+    Tensor(TensorError),
+    /// `backward` was called before a matching `forward` cached activations.
+    NoForwardCache(&'static str),
+    /// Labels / batch bookkeeping disagreed with tensor shapes.
+    BatchMismatch {
+        /// What was being computed.
+        what: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Observed count.
+        actual: usize,
+    },
+    /// Checkpoint file I/O failed.
+    Io(std::io::Error),
+    /// Checkpoint contents did not match the model being loaded.
+    CheckpointMismatch(String),
+    /// An invalid hyper-parameter or configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache(layer) => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::BatchMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected {expected} items, got {actual}"),
+            NnError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            NnError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = NnError::NoForwardCache("conv2d");
+        assert!(e.to_string().contains("conv2d"));
+        let e = NnError::BatchMismatch {
+            what: "labels",
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("labels"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::InvalidGeometry("x".into());
+        let ne: NnError = te.into();
+        assert!(std::error::Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let ne: NnError = ioe.into();
+        assert!(ne.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,159 @@
+use crate::{Layer, Mode, NnError, Result};
+use leca_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(x, 0)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode.is_train() {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.take().ok_or(NnError::NoForwardCache("relu"))?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BatchMismatch {
+                what: "relu backward",
+                expected: mask.len(),
+                actual: grad_out.len(),
+            });
+        }
+        let mut g = grad_out.clone();
+        for (v, m) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Leaky rectified linear unit: `y = x` for `x > 0`, else `alpha * x`.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    alpha: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with negative-slope `alpha`.
+    pub fn new(alpha: f32) -> Self {
+        LeakyRelu { alpha, mask: None }
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode.is_train() {
+            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        }
+        let a = self.alpha;
+        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::NoForwardCache("leaky_relu"))?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BatchMismatch {
+                what: "leaky_relu backward",
+                expected: mask.len(),
+                actual: grad_out.len(),
+            });
+        }
+        let mut g = grad_out.clone();
+        for (v, m) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v *= self.alpha;
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "leaky_relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn relu_clips_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = r.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0]);
+        r.forward(&x, Mode::Train).unwrap();
+        let g = r.backward(&Tensor::from_slice(&[5.0, 5.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_gradcheck_away_from_kink() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-2.0, -0.7, 0.6, 1.5, 3.0]);
+        check_layer(&mut r, &x, 1e-2).unwrap();
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let mut r = LeakyRelu::new(0.1);
+        let x = Tensor::from_slice(&[-2.0, 4.0]);
+        let y = r.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[-0.2, 4.0]);
+    }
+
+    #[test]
+    fn leaky_relu_gradcheck() {
+        let mut r = LeakyRelu::new(0.2);
+        let x = Tensor::from_slice(&[-2.0, -0.7, 0.6, 1.5]);
+        check_layer(&mut r, &x, 1e-2).unwrap();
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(Relu::new().backward(&Tensor::zeros(&[2])).is_err());
+        assert!(LeakyRelu::new(0.1).backward(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn backward_checks_length() {
+        let mut r = Relu::new();
+        r.forward(&Tensor::zeros(&[3]), Mode::Train).unwrap();
+        assert!(r.backward(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn activations_are_stateless_params() {
+        assert_eq!(Relu::new().num_params(), 0);
+        assert_eq!(LeakyRelu::new(0.1).num_params(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Neural-network layers.
+//!
+//! Each layer implements [`crate::Layer`]; gradients are exact and verified
+//! against finite differences in [`crate::gradcheck`]-based tests.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod conv_transpose;
+mod linear;
+mod pool;
+mod residual;
+mod sequential;
+mod shape_ops;
+
+pub use activation::{LeakyRelu, Relu};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use conv_transpose::ConvTranspose2d;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use residual::ResidualBlock;
+pub use sequential::Sequential;
+pub use shape_ops::{Flatten, GlobalAvgPool};

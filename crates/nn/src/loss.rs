@@ -1,0 +1,175 @@
+//! Losses and classification metrics.
+
+use crate::{NnError, Result};
+use leca_tensor::{ops, Tensor};
+
+/// Fused softmax + cross-entropy loss for classification.
+///
+/// The LeCA pipeline is trained end-to-end with cross-entropy on the frozen
+/// backbone's logits (Sec. 3.4 of the paper) rather than a reconstruction
+/// loss — that is what makes the learned compression *task-specific*.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss function.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+
+    /// Computes the mean cross-entropy and the gradient wrt the logits.
+    ///
+    /// `logits` is `(N, K)`, `labels` holds `N` class indices `< K`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] when `labels.len() != N` or a
+    /// label is out of range.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        if logits.rank() != 2 {
+            return Err(NnError::Tensor(leca_tensor::TensorError::RankMismatch {
+                op: "softmax_cross_entropy",
+                expected: 2,
+                actual: logits.rank(),
+            }));
+        }
+        let (n, k) = (logits.shape()[0], logits.shape()[1]);
+        if labels.len() != n {
+            return Err(NnError::BatchMismatch {
+                what: "labels",
+                expected: n,
+                actual: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+            return Err(NnError::BatchMismatch {
+                what: "label value",
+                expected: k,
+                actual: bad,
+            });
+        }
+        let probs = ops::softmax_rows(logits)?;
+        let mut loss = 0.0f64;
+        let mut grad = probs.clone();
+        let inv_n = 1.0 / n.max(1) as f32;
+        for (r, &label) in labels.iter().enumerate() {
+            let p = probs.as_slice()[r * k + label].max(1e-12);
+            loss -= (p as f64).ln();
+            grad.as_mut_slice()[r * k + label] -= 1.0;
+        }
+        let grad = grad.scale(inv_n);
+        Ok(((loss / n.max(1) as f64) as f32, grad))
+    }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when the label count differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = logits.argmax_rows().map_err(NnError::Tensor)?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BatchMismatch {
+            what: "accuracy labels",
+            expected: preds.len(),
+            actual: labels.len(),
+        });
+    }
+    if preds.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// Mean-squared-error loss with gradient, used for decoder pre-training
+/// experiments and as a reconstruction-quality diagnostic.
+///
+/// # Errors
+///
+/// Returns a shape error when the operands differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = pred.sub(target).map_err(NnError::Tensor)?;
+    let n = pred.len().max(1) as f32;
+    let loss = diff.norm_sq() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, grad) = SoftmaxCrossEntropy::new()
+            .forward(&logits, &[0, 1, 2, 3])
+            .unwrap();
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        assert_eq!(grad.shape(), &[4, 10]);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(&[0, 2], 20.0);
+        let (loss, _) = SoftmaxCrossEntropy::new().forward(&logits, &[2]).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.1, 0.2, -0.5], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let lossfn = SoftmaxCrossEntropy::new();
+        let (_, grad) = lossfn.forward(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = lossfn.forward(&lp, &labels).unwrap();
+            let (fm, _) = lossfn.forward(&lm, &labels).unwrap();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let (_, grad) = SoftmaxCrossEntropy::new().forward(&logits, &[1]).unwrap();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let l = SoftmaxCrossEntropy::new();
+        assert!(l.forward(&logits, &[0]).is_err());
+        assert!(l.forward(&logits, &[0, 3]).is_err());
+        assert!(l.forward(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7], &[3, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 2.0 / 3.0);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&p, &t).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+        assert!(mse(&p, &Tensor::zeros(&[3])).is_err());
+    }
+}

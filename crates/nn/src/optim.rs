@@ -1,0 +1,345 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The paper trains LeCA with Adam, learning rate `1e-3`, decayed by `0.1`
+//! every 30 epochs (proxy) or 10 epochs (full pipeline) — see Sec. 5.2.
+//! Frozen parameters ([`crate::Param::frozen`]) are skipped, which is how
+//! the backbone stays fixed during joint training.
+
+use crate::{Layer, NnError, Result};
+use leca_tensor::Tensor;
+
+/// Step-decay learning-rate schedule: `lr = base * gamma^(epoch / every)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Multiplicative decay factor applied every `every` epochs.
+    pub gamma: f32,
+    /// Epoch interval between decays.
+    pub every: usize,
+}
+
+impl StepDecay {
+    /// The paper's schedule: `1e-3`, ×0.1 every `every` epochs.
+    pub fn paper(every: usize) -> Self {
+        StepDecay {
+            base_lr: 1e-3,
+            gamma: 0.1,
+            every,
+        }
+    }
+
+    /// Learning rate at a given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.every.max(1)) as i32)
+    }
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for non-positive learning rates.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        if lr <= 0.0 {
+            return Err(NnError::InvalidConfig(format!("lr must be positive, got {lr}")));
+        }
+        Ok(Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        })
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step to every non-frozen parameter of `model`.
+    pub fn step<L: Layer + ?Sized>(&mut self, model: &mut L) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            if !p.frozen {
+                let v = &mut velocity[idx];
+                for ((vi, gi), wi) in v
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.grad.as_slice())
+                    .zip(p.value.as_mut_slice())
+                {
+                    let g = gi + wd * *wi;
+                    *vi = mu * *vi + g;
+                    *wi -= lr * *vi;
+                }
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2014), the paper's choice.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for non-positive learning rates.
+    pub fn new(lr: f32) -> Result<Self> {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for out-of-range values.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Result<Self> {
+        if lr <= 0.0 {
+            return Err(NnError::InvalidConfig(format!("lr must be positive, got {lr}")));
+        }
+        if !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) {
+            return Err(NnError::InvalidConfig("betas must be in [0, 1)".into()));
+        }
+        Ok(Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        })
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+
+    /// Applies one Adam step to every non-frozen parameter of `model`.
+    pub fn step<L: Layer + ?Sized>(&mut self, model: &mut L) {
+        self.t += 1;
+        let (lr, b1, b2, eps, wd, t) = (
+            self.lr,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+            self.t,
+        );
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            if !p.frozen {
+                let m = &mut ms[idx];
+                let v = &mut vs[idx];
+                for (((mi, vi), gi), wi) in m
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(v.as_mut_slice())
+                    .zip(p.grad.as_slice())
+                    .zip(p.value.as_mut_slice())
+                {
+                    let g = gi + wd * *wi;
+                    *mi = b1 * *mi + (1.0 - b1) * g;
+                    *vi = b2 * *vi + (1.0 - b2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *wi -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::{Mode, Param};
+    use leca_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct OneParam {
+        p: Param,
+    }
+
+    impl Layer for OneParam {
+        fn forward(&mut self, x: &Tensor, _mode: Mode) -> crate::Result<Tensor> {
+            Ok(x.clone())
+        }
+        fn backward(&mut self, g: &Tensor) -> crate::Result<Tensor> {
+            Ok(g.clone())
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+        fn name(&self) -> &'static str {
+            "one_param"
+        }
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::paper(30);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(29), 1e-3);
+        assert!((s.lr_at(30) - 1e-4).abs() < 1e-9);
+        assert!((s.lr_at(65) - 1e-5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut layer = OneParam {
+            p: Param::new(Tensor::from_slice(&[1.0])),
+        };
+        layer.p.grad = Tensor::from_slice(&[2.0]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        opt.step(&mut layer);
+        assert!((layer.p.value.as_slice()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut layer = OneParam {
+            p: Param::new(Tensor::from_slice(&[0.0])),
+        };
+        let mut opt = Sgd::new(1.0, 0.9, 0.0).unwrap();
+        layer.p.grad = Tensor::from_slice(&[1.0]);
+        opt.step(&mut layer); // v=1, w=-1
+        opt.step(&mut layer); // v=1.9, w=-2.9
+        assert!((layer.p.value.as_slice()[0] + 2.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frozen_params_not_updated() {
+        let mut layer = OneParam {
+            p: Param::new(Tensor::from_slice(&[1.0])),
+        };
+        layer.p.frozen = true;
+        layer.p.grad = Tensor::from_slice(&[5.0]);
+        let mut adam = Adam::new(0.1).unwrap();
+        adam.step(&mut layer);
+        assert_eq!(layer.p.value.as_slice()[0], 1.0);
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        sgd.step(&mut layer);
+        assert_eq!(layer.p.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        let mut layer = OneParam {
+            p: Param::new(Tensor::from_slice(&[0.0])),
+        };
+        layer.p.grad = Tensor::from_slice(&[3.0]);
+        let mut opt = Adam::new(0.01).unwrap();
+        opt.step(&mut layer);
+        // Bias-corrected first step ≈ lr regardless of gradient scale.
+        assert!((layer.p.value.as_slice()[0] + 0.01).abs() < 1e-4);
+        assert_eq!(opt.steps(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Sgd::new(0.0, 0.0, 0.0).is_err());
+        assert!(Adam::new(-1.0).is_err());
+        assert!(Adam::with_config(0.1, 1.0, 0.9, 1e-8, 0.0).is_err());
+    }
+
+    #[test]
+    fn adam_trains_a_separable_problem() {
+        // Two clearly separable gaussian blobs; a linear classifier must get
+        // to 100% train accuracy quickly.
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let cx = if cls == 0 { -2.0 } else { 2.0 };
+            xs.push(cx + 0.3 * leca_tensor::kaiming_normal(&[1], 2, &mut rng).as_slice()[0]);
+            xs.push(cx * 0.5);
+            labels.push(cls);
+        }
+        let x = Tensor::from_vec(xs, &[n, 2]).unwrap();
+        let mut model = Linear::new(2, 2, &mut rng);
+        let mut opt = Adam::new(0.05).unwrap();
+        let lossfn = SoftmaxCrossEntropy::new();
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..60 {
+            model.zero_grad();
+            let logits = model.forward(&x, Mode::Train).unwrap();
+            let (loss, grad) = lossfn.forward(&logits, &labels).unwrap();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.05, "loss {last_loss}");
+        let logits = model.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(crate::loss::accuracy(&logits, &labels).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn set_lr_works() {
+        let mut a = Adam::new(0.1).unwrap();
+        a.set_lr(0.02);
+        assert_eq!(a.lr(), 0.02);
+        let mut s = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        s.set_lr(0.5);
+        assert_eq!(s.lr(), 0.5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Flat binary checkpoints for layer parameters and buffers.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   b"LECAWT01"
+//! u32     parameter tensor count
+//! per tensor: u32 rank, u32 dims[rank], f32 data[len]
+//! u32     buffer tensor count
+//! per tensor: same encoding
+//! ```
+//!
+//! Checkpoints are used to cache pre-trained backbones between experiment
+//! runs and to hand weights from hard training to noisy fine-tuning.
+
+use crate::{Layer, NnError, Result};
+use leca_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LECAWT01";
+
+fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    out.extend_from_slice(&(t.rank() as u32).to_le_bytes());
+    for &d in t.shape() {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_u32(data: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = *pos + 4;
+    if end > data.len() {
+        return Err(NnError::CheckpointMismatch("truncated checkpoint".into()));
+    }
+    let v = u32::from_le_bytes(data[*pos..end].try_into().expect("length checked"));
+    *pos = end;
+    Ok(v)
+}
+
+fn read_tensor(data: &[u8], pos: &mut usize) -> Result<Tensor> {
+    let rank = read_u32(data, pos)? as usize;
+    if rank > 8 {
+        return Err(NnError::CheckpointMismatch(format!("absurd rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u32(data, pos)? as usize);
+    }
+    let len: usize = dims.iter().product();
+    let end = *pos + 4 * len;
+    if end > data.len() {
+        return Err(NnError::CheckpointMismatch("truncated tensor data".into()));
+    }
+    let mut vals = Vec::with_capacity(len);
+    for i in 0..len {
+        let off = *pos + 4 * i;
+        vals.push(f32::from_le_bytes(
+            data[off..off + 4].try_into().expect("length checked"),
+        ));
+    }
+    *pos = end;
+    Tensor::from_vec(vals, &dims).map_err(NnError::Tensor)
+}
+
+/// Serializes a layer's parameters and buffers into bytes.
+pub fn to_bytes<L: Layer + ?Sized>(layer: &mut L) -> Vec<u8> {
+    let mut params: Vec<Tensor> = Vec::new();
+    layer.visit_params(&mut |p| params.push(p.value.clone()));
+    let mut buffers: Vec<Tensor> = Vec::new();
+    layer.visit_buffers(&mut |b| buffers.push(b.clone()));
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for t in &params {
+        write_tensor(&mut out, t);
+    }
+    out.extend_from_slice(&(buffers.len() as u32).to_le_bytes());
+    for t in &buffers {
+        write_tensor(&mut out, t);
+    }
+    out
+}
+
+/// Restores a layer's parameters and buffers from bytes produced by
+/// [`to_bytes`] on a structurally identical layer.
+///
+/// # Errors
+///
+/// Returns [`NnError::CheckpointMismatch`] when the magic, tensor counts or
+/// shapes disagree with the target layer.
+pub fn from_bytes<L: Layer + ?Sized>(layer: &mut L, data: &[u8]) -> Result<()> {
+    if data.len() < 8 || &data[..8] != MAGIC {
+        return Err(NnError::CheckpointMismatch("bad magic".into()));
+    }
+    let mut pos = 8usize;
+    let n_params = read_u32(data, &mut pos)? as usize;
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        params.push(read_tensor(data, &mut pos)?);
+    }
+    let n_buffers = read_u32(data, &mut pos)? as usize;
+    let mut buffers = Vec::with_capacity(n_buffers);
+    for _ in 0..n_buffers {
+        buffers.push(read_tensor(data, &mut pos)?);
+    }
+
+    // Validate counts/shapes before mutating anything.
+    let mut shapes_ok = true;
+    let mut expected_params = 0usize;
+    layer.visit_params(&mut |p| {
+        if let Some(t) = params.get(expected_params) {
+            shapes_ok &= t.shape() == p.value.shape();
+        }
+        expected_params += 1;
+    });
+    let mut expected_buffers = 0usize;
+    layer.visit_buffers(&mut |b| {
+        if let Some(t) = buffers.get(expected_buffers) {
+            shapes_ok &= t.shape() == b.shape();
+        }
+        expected_buffers += 1;
+    });
+    if expected_params != n_params || expected_buffers != n_buffers || !shapes_ok {
+        return Err(NnError::CheckpointMismatch(format!(
+            "layer expects {expected_params} params / {expected_buffers} buffers with matching \
+             shapes; checkpoint has {n_params} / {n_buffers}"
+        )));
+    }
+
+    let mut i = 0usize;
+    layer.visit_params(&mut |p| {
+        p.value = params[i].clone();
+        i += 1;
+    });
+    let mut j = 0usize;
+    layer.visit_buffers(&mut |b| {
+        *b = buffers[j].clone();
+        j += 1;
+    });
+    Ok(())
+}
+
+/// Saves a layer checkpoint to a file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem errors.
+pub fn save<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<()> {
+    let bytes = to_bytes(layer);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a layer checkpoint from a file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem errors and
+/// [`NnError::CheckpointMismatch`] on format/shape mismatches.
+pub fn load<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<()> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(layer, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm2d, Conv2d, Sequential};
+    use crate::Mode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Sequential::new();
+        s.push(Conv2d::new(2, 3, 3, 1, 1, true, &mut rng));
+        s.push(BatchNorm2d::new(3));
+        s
+    }
+
+    #[test]
+    fn roundtrip_restores_exactly() {
+        let mut a = small_net(1);
+        // Move running stats away from the default.
+        let x = leca_tensor::Tensor::rand_uniform(
+            &[2, 2, 4, 4],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        a.forward(&x, Mode::Train).unwrap();
+        let bytes = to_bytes(&mut a);
+
+        let mut b = small_net(2);
+        from_bytes(&mut b, &bytes).unwrap();
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya, yb, "restored net must be numerically identical");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut n = small_net(3);
+        assert!(matches!(
+            from_bytes(&mut n, b"NOTMAGIC"),
+            Err(NnError::CheckpointMismatch(_))
+        ));
+        assert!(from_bytes(&mut n, &[]).is_err());
+    }
+
+    #[test]
+    fn structural_mismatch_rejected() {
+        let mut a = small_net(4);
+        let bytes = to_bytes(&mut a);
+        // Different architecture: one extra conv.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut b = Sequential::new();
+        b.push(Conv2d::new(2, 3, 3, 1, 1, true, &mut rng));
+        assert!(from_bytes(&mut b, &bytes).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = small_net(6);
+        let bytes = to_bytes(&mut a);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = Sequential::new();
+        b.push(Conv2d::new(2, 4, 3, 1, 1, true, &mut rng)); // 4 != 3 channels
+        b.push(BatchNorm2d::new(4));
+        assert!(from_bytes(&mut b, &bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("leca_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut a = small_net(8);
+        save(&mut a, &path).unwrap();
+        let mut b = small_net(9);
+        load(&mut b, &path).unwrap();
+        let x = leca_tensor::Tensor::ones(&[1, 2, 4, 4]);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap(),
+            b.forward(&x, Mode::Eval).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let mut n = small_net(10);
+        assert!(matches!(
+            load(&mut n, "/definitely/not/a/file.bin"),
+            Err(NnError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_rejected() {
+        let mut a = small_net(11);
+        let bytes = to_bytes(&mut a);
+        let mut b = small_net(12);
+        assert!(from_bytes(&mut b, &bytes[..bytes.len() / 2]).is_err());
+    }
+}

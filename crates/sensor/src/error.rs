@@ -1,0 +1,65 @@
+use leca_circuit::CircuitError;
+use std::fmt;
+
+/// Errors from sensor configuration and frame capture.
+#[derive(Debug)]
+pub enum SensorError {
+    /// An underlying circuit model failed.
+    Circuit(CircuitError),
+    /// The configured geometry is unusable.
+    InvalidGeometry(String),
+    /// Supplied frame data does not match the pixel-array geometry.
+    FrameShapeMismatch {
+        /// Expected pixel count.
+        expected: usize,
+        /// Supplied pixel count.
+        actual: usize,
+    },
+    /// The programmed weights do not match the encoder configuration.
+    WeightShapeMismatch(String),
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::Circuit(e) => write!(f, "circuit error: {e}"),
+            SensorError::InvalidGeometry(m) => write!(f, "invalid sensor geometry: {m}"),
+            SensorError::FrameShapeMismatch { expected, actual } => {
+                write!(f, "frame has {actual} pixels, sensor expects {expected}")
+            }
+            SensorError::WeightShapeMismatch(m) => write!(f, "weight shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensorError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SensorError {
+    fn from(e: CircuitError) -> Self {
+        SensorError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_source() {
+        let e: SensorError = CircuitError::UnsupportedResolution(9.0).into();
+        assert!(e.to_string().contains("circuit"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SensorError::FrameShapeMismatch {
+            expected: 10,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

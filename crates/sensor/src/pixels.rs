@@ -1,0 +1,136 @@
+//! Pixel-array exposure model.
+//!
+//! Turns an ideal scene (normalized raw-Bayer irradiance in `[0, 1]`) into
+//! the sampled pixel values a rolling-shutter 4-T array would read out,
+//! applying the Sec. 5.3 shot/read noise model.
+
+use crate::geometry::SensorGeometry;
+use crate::{Result, SensorError};
+use leca_circuit::noise::PixelNoise;
+use rand::Rng;
+
+/// The pixel plane: geometry plus the noise operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PixelArray {
+    rows: usize,
+    cols: usize,
+    noise: PixelNoise,
+}
+
+impl PixelArray {
+    /// Creates a pixel array matching a sensor geometry with typical noise.
+    pub fn new(geom: &SensorGeometry) -> Self {
+        PixelArray {
+            rows: geom.rows,
+            cols: geom.cols,
+            noise: PixelNoise::typical(),
+        }
+    }
+
+    /// Replaces the noise model (e.g. [`PixelNoise::none`] for ablations).
+    pub fn with_noise(mut self, noise: PixelNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The noise model in use.
+    pub fn noise(&self) -> &PixelNoise {
+        &self.noise
+    }
+
+    /// Exposes the array to `scene` (row-major, `rows*cols` values in
+    /// `[0, 1]`), returning sampled pixel values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::FrameShapeMismatch`] when the scene size does
+    /// not match the array.
+    pub fn expose<R: Rng + ?Sized>(&self, scene: &[f32], rng: &mut R) -> Result<Vec<f32>> {
+        if scene.len() != self.rows * self.cols {
+            return Err(SensorError::FrameShapeMismatch {
+                expected: self.rows * self.cols,
+                actual: scene.len(),
+            });
+        }
+        Ok(scene.iter().map(|&x| self.noise.apply(x, rng)).collect())
+    }
+
+    /// Noiseless exposure (clamps only); used by deterministic experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::FrameShapeMismatch`] on size mismatch.
+    pub fn expose_ideal(&self, scene: &[f32]) -> Result<Vec<f32>> {
+        if scene.len() != self.rows * self.cols {
+            return Err(SensorError::FrameShapeMismatch {
+                expected: self.rows * self.cols,
+                actual: scene.len(),
+            });
+        }
+        Ok(scene.iter().map(|&x| x.clamp(0.0, 1.0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array() -> PixelArray {
+        PixelArray::new(&SensorGeometry {
+            rows: 8,
+            cols: 8,
+            n_ch: 4,
+        })
+    }
+
+    #[test]
+    fn expose_preserves_mean() {
+        let a = array();
+        let scene = vec![0.5f32; 64];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut acc = 0.0;
+        for _ in 0..200 {
+            acc += a.expose(&scene, &mut rng).unwrap().iter().sum::<f32>() / 64.0;
+        }
+        assert!((acc / 200.0 - 0.5).abs() < 5e-3);
+    }
+
+    #[test]
+    fn expose_checks_shape() {
+        let a = array();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            a.expose(&vec![0.0; 63], &mut rng),
+            Err(SensorError::FrameShapeMismatch { expected: 64, actual: 63 })
+        ));
+        assert!(a.expose_ideal(&vec![0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn ideal_exposure_clamps() {
+        let a = array();
+        let mut scene = vec![0.3f32; 64];
+        scene[0] = -1.0;
+        scene[1] = 2.0;
+        let out = a.expose_ideal(&scene).unwrap();
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 1.0);
+        assert_eq!(out[2], 0.3);
+    }
+
+    #[test]
+    fn noiseless_mode_is_deterministic() {
+        let a = array().with_noise(PixelNoise::none());
+        let scene: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(a.expose(&scene, &mut rng).unwrap(), scene);
+        assert_eq!(a.dims(), (8, 8));
+    }
+}

@@ -1,0 +1,463 @@
+//! Top-level LeCA sensor: program weights, capture frames.
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::geometry::{SensorGeometry, COLUMNS_PER_PE, KERNELS_PER_PASS};
+use crate::pixels::PixelArray;
+use crate::timing::TimingModel;
+use crate::{Result, SensorError};
+use leca_circuit::adc::AdcResolution;
+use leca_circuit::pe::AnalogPe;
+use leca_circuit::CircuitParams;
+use rand::Rng;
+
+/// Raw pixels per PE block (4x4).
+const BLOCK_PIXELS: usize = COLUMNS_PER_PE * COLUMNS_PER_PE;
+
+/// The encoded output feature map: signed ADC codes laid out
+/// `(n_ch, oh, ow)` row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ofmap {
+    n_ch: usize,
+    oh: usize,
+    ow: usize,
+    codes: Vec<i32>,
+}
+
+impl Ofmap {
+    /// Dimensions `(n_ch, oh, ow)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.n_ch, self.oh, self.ow)
+    }
+
+    /// The raw code buffer.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Code of kernel `k` at ofmap position `(y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is out of bounds.
+    pub fn at(&self, k: usize, y: usize, x: usize) -> i32 {
+        assert!(k < self.n_ch && y < self.oh && x < self.ow, "ofmap index out of bounds");
+        self.codes[(k * self.oh + y) * self.ow + x]
+    }
+
+    /// Total number of payload bits at the given bit depth.
+    pub fn payload_bits(&self, qbit: f32) -> f64 {
+        self.codes.len() as f64 * qbit as f64
+    }
+}
+
+/// Energy / latency accounting for one captured frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// Per-component energy.
+    pub energy: EnergyBreakdown,
+    /// Frame latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Equivalent frame rate.
+    pub fps: f64,
+}
+
+/// The LeCA sensor system (Fig. 3(b)).
+#[derive(Debug, Clone)]
+pub struct LecaSensor {
+    geometry: SensorGeometry,
+    qbit: f32,
+    timing: TimingModel,
+    energy: EnergyModel,
+    pixels: PixelArray,
+    /// One PE per column group when mismatch is enabled, else a single
+    /// shared typical-corner PE.
+    pes: Vec<AnalogPe>,
+    weights: Option<Vec<Vec<i32>>>,
+}
+
+impl LecaSensor {
+    /// Builds a sensor with typical-corner circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns geometry/ADC configuration errors.
+    pub fn new(geometry: SensorGeometry, qbit: f32) -> Result<Self> {
+        geometry.validate()?;
+        let params = CircuitParams::paper_65nm();
+        let resolution = AdcResolution::from_qbit(qbit)?;
+        Ok(LecaSensor {
+            geometry,
+            qbit,
+            timing: TimingModel::paper(),
+            energy: EnergyModel::paper(),
+            pixels: PixelArray::new(&geometry),
+            pes: vec![AnalogPe::typical(&params, resolution)?],
+            weights: None,
+        })
+    }
+
+    /// Builds a sensor whose column-parallel PEs carry independent
+    /// Monte-Carlo mismatch (one sampled instance per PE column group).
+    ///
+    /// # Errors
+    ///
+    /// Returns geometry/ADC configuration errors.
+    pub fn with_mismatch<R: Rng + ?Sized>(
+        geometry: SensorGeometry,
+        qbit: f32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        geometry.validate()?;
+        let params = CircuitParams::paper_65nm();
+        let resolution = AdcResolution::from_qbit(qbit)?;
+        let pes = (0..geometry.num_pes())
+            .map(|_| AnalogPe::sample(&params, resolution, rng))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(LecaSensor {
+            geometry,
+            qbit,
+            timing: TimingModel::paper(),
+            energy: EnergyModel::paper(),
+            pixels: PixelArray::new(&geometry),
+            pes,
+            weights: None,
+        })
+    }
+
+    /// The sensor geometry.
+    pub fn geometry(&self) -> &SensorGeometry {
+        &self.geometry
+    }
+
+    /// The configured ofmap bit depth.
+    pub fn qbit(&self) -> f32 {
+        self.qbit
+    }
+
+    /// Mutable access to the pixel array (e.g. to change the noise model).
+    pub fn pixels_mut(&mut self) -> &mut PixelArray {
+        &mut self.pixels
+    }
+
+    /// Programs the encoder weights: `n_ch` kernels, each a flattened
+    /// 4x4 raw-Bayer kernel of signed codes within the SCM precision.
+    ///
+    /// This models writing the global SRAM; the per-group local SRAM
+    /// transfers happen during capture (step ① of Sec. 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::WeightShapeMismatch`] for wrong kernel
+    /// counts, lengths or out-of-precision codes.
+    pub fn program_weights(&mut self, weights: Vec<Vec<i32>>) -> Result<()> {
+        if weights.len() != self.geometry.n_ch {
+            return Err(SensorError::WeightShapeMismatch(format!(
+                "{} kernels programmed, geometry expects N_ch = {}",
+                weights.len(),
+                self.geometry.n_ch
+            )));
+        }
+        let max = CircuitParams::paper_65nm().max_weight_code();
+        for (k, kernel) in weights.iter().enumerate() {
+            if kernel.len() != BLOCK_PIXELS {
+                return Err(SensorError::WeightShapeMismatch(format!(
+                    "kernel {k} has {} codes, expected {BLOCK_PIXELS}",
+                    kernel.len()
+                )));
+            }
+            if let Some(&bad) = kernel.iter().find(|w| w.abs() > max) {
+                return Err(SensorError::WeightShapeMismatch(format!(
+                    "kernel {k} contains code {bad} beyond ±{max}"
+                )));
+            }
+        }
+        self.weights = Some(weights);
+        Ok(())
+    }
+
+    /// Overrides the ADC full-scale voltage on every PE (the trained
+    /// quantization boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns circuit configuration errors.
+    pub fn set_adc_vfs(&mut self, v_fs: f32) -> Result<()> {
+        for pe in &mut self.pes {
+            pe.set_adc_vfs(v_fs)?;
+        }
+        Ok(())
+    }
+
+    /// Dequantizes an ofmap back to differential voltages using the PE
+    /// ADC's reconstruction levels (what the off-chip decoder receives).
+    pub fn dequantize(&self, ofmap: &Ofmap) -> Vec<f32> {
+        let adc = self.pes[0].adc();
+        ofmap.codes.iter().map(|&c| adc.dequantize(c)).collect()
+    }
+
+    fn pe_for_column(&self, gx: usize) -> &AnalogPe {
+        if self.pes.len() == 1 {
+            &self.pes[0]
+        } else {
+            &self.pes[gx]
+        }
+    }
+
+    /// Captures one frame in LeCA encoding mode.
+    ///
+    /// `scene` is the ideal raw-Bayer irradiance (row-major,
+    /// `rows x cols`, `[0, 1]`). With `rng = Some(..)` the full stochastic
+    /// chain runs (pixel shot/read noise, kTC, stage noise, comparator
+    /// dither); with `None` the capture is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::WeightShapeMismatch`] when no weights are
+    /// programmed, [`SensorError::FrameShapeMismatch`] for wrong scene
+    /// sizes, and propagates circuit errors.
+    pub fn capture<R: Rng + ?Sized>(
+        &self,
+        scene: &[f32],
+        mut rng: Option<&mut R>,
+    ) -> Result<(Ofmap, FrameStats)> {
+        let weights = self
+            .weights
+            .as_ref()
+            .ok_or_else(|| SensorError::WeightShapeMismatch("no weights programmed".into()))?;
+        let exposed = match rng.as_deref_mut() {
+            Some(rng) => self.pixels.expose(scene, rng)?,
+            None => self.pixels.expose_ideal(scene)?,
+        };
+        let (rows, cols) = (self.geometry.rows, self.geometry.cols);
+        let (oh, ow) = self.geometry.ofmap_dims();
+        let n_ch = self.geometry.n_ch;
+        let mut codes = vec![0i32; n_ch * oh * ow];
+
+        let mut block = [0.0f32; BLOCK_PIXELS];
+        for gy in 0..oh {
+            for gx in 0..ow {
+                for by in 0..COLUMNS_PER_PE {
+                    for bx in 0..COLUMNS_PER_PE {
+                        let y = gy * COLUMNS_PER_PE + by;
+                        let x = gx * COLUMNS_PER_PE + bx;
+                        debug_assert!(y < rows && x < cols);
+                        block[by * COLUMNS_PER_PE + bx] = exposed[y * cols + x];
+                    }
+                }
+                let pe = self.pe_for_column(gx);
+                // Repetitive readout: kernels in chunks of 4 per pass.
+                for (pass, chunk) in weights.chunks(KERNELS_PER_PASS).enumerate() {
+                    let out = pe.encode_block(&block, COLUMNS_PER_PE, chunk, rng.as_deref_mut())?;
+                    for (i, &code) in out.iter().enumerate() {
+                        let k = pass * KERNELS_PER_PASS + i;
+                        codes[(k * oh + gy) * ow + gx] = code;
+                    }
+                }
+            }
+        }
+
+        let stats = FrameStats {
+            energy: self.energy.leca_frame(&self.geometry, self.qbit)?,
+            latency_ns: self.timing.frame_latency_ns(&self.geometry),
+            fps: self.timing.fps(&self.geometry),
+        };
+        Ok((Ofmap { n_ch, oh, ow, codes }, stats))
+    }
+
+    /// Captures one frame in conventional (normal sensing) mode: the PE is
+    /// bypassed and every pixel is digitized at 8 bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensorError::FrameShapeMismatch`] for wrong scene sizes
+    /// and propagates circuit errors.
+    pub fn capture_normal<R: Rng + ?Sized>(
+        &self,
+        scene: &[f32],
+        mut rng: Option<&mut R>,
+    ) -> Result<(Vec<u8>, FrameStats)> {
+        let exposed = match rng.as_deref_mut() {
+            Some(rng) => self.pixels.expose(scene, rng)?,
+            None => self.pixels.expose_ideal(scene)?,
+        };
+        let pe = &self.pes[0];
+        let mut out = Vec::with_capacity(exposed.len());
+        for &x in &exposed {
+            out.push(pe.digitize_pixel(x)?);
+        }
+        let stats = FrameStats {
+            energy: self.energy.cnv_frame(self.geometry.rows, self.geometry.cols)?,
+            // One pass, no PE processing: readout-only rows.
+            latency_ns: self.geometry.rows as f64 * self.timing.t_row_readout_ns,
+            fps: 1e9 / (self.geometry.rows as f64 * self.timing.t_row_readout_ns),
+        };
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_geom(n_ch: usize) -> SensorGeometry {
+        SensorGeometry {
+            rows: 8,
+            cols: 8,
+            n_ch,
+        }
+    }
+
+    fn ramp_scene() -> Vec<f32> {
+        (0..64).map(|i| i as f32 / 63.0).collect()
+    }
+
+    fn uniform_weights(n_ch: usize, w: i32) -> Vec<Vec<i32>> {
+        vec![vec![w; 16]; n_ch]
+    }
+
+    #[test]
+    fn capture_produces_ofmap_dims() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 6)).unwrap();
+        let (ofmap, stats) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(ofmap.dims(), (4, 2, 2));
+        assert_eq!(ofmap.codes().len(), 16);
+        assert!(stats.energy.total_uj() > 0.0);
+        assert!(stats.fps > 0.0);
+    }
+
+    #[test]
+    fn capture_requires_weights() {
+        let s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        assert!(matches!(
+            s.capture::<StdRng>(&ramp_scene(), None),
+            Err(SensorError::WeightShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn weight_validation() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        assert!(s.program_weights(uniform_weights(3, 1)).is_err(), "wrong kernel count");
+        assert!(s
+            .program_weights(vec![vec![1; 15], vec![1; 16], vec![1; 16], vec![1; 16]])
+            .is_err());
+        assert!(s.program_weights(uniform_weights(4, 16)).is_err(), "code beyond ±15");
+        assert!(s.program_weights(uniform_weights(4, -15)).is_ok());
+    }
+
+    #[test]
+    fn scene_shape_checked() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 5)).unwrap();
+        assert!(s.capture::<StdRng>(&vec![0.5; 63], None).is_err());
+    }
+
+    #[test]
+    fn deterministic_capture_is_repeatable() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 7)).unwrap();
+        let (a, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        let (b, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_capture_uses_rng() {
+        let mut s = LecaSensor::new(small_geom(4), 8.0).unwrap();
+        s.program_weights(uniform_weights(4, 7)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (a, _) = s.capture(&ramp_scene(), Some(&mut rng)).unwrap();
+        let (b, _) = s.capture(&ramp_scene(), Some(&mut rng)).unwrap();
+        // At 8-bit resolution the stochastic chain shows through.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn repetitive_readout_for_8_kernels() {
+        let mut s = LecaSensor::new(small_geom(8), 3.0).unwrap();
+        s.program_weights(uniform_weights(8, 4)).unwrap();
+        let (ofmap, stats) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(ofmap.dims(), (8, 2, 2));
+        // Kernels 0 and 4 carry identical weights → identical codes.
+        assert_eq!(ofmap.at(0, 1, 1), ofmap.at(4, 1, 1));
+        // Two passes double the frame latency.
+        let s1 = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        assert!((stats.latency_ns / s1.timing.frame_latency_ns(&small_geom(4)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brighter_blocks_give_lower_codes() {
+        // The charge-domain inversion observed at the PE level must survive
+        // the full-sensor path.
+        let mut s = LecaSensor::new(small_geom(1), 4.0).unwrap();
+        s.program_weights(uniform_weights(1, 10)).unwrap();
+        let mut scene = vec![0.1f32; 64];
+        // Make the bottom-right 4x4 block bright.
+        for y in 4..8 {
+            for x in 4..8 {
+                scene[y * 8 + x] = 0.95;
+            }
+        }
+        let (ofmap, _) = s.capture::<StdRng>(&scene, None).unwrap();
+        assert!(ofmap.at(0, 1, 1) < ofmap.at(0, 0, 0));
+    }
+
+    #[test]
+    fn dequantize_matches_adc() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 6)).unwrap();
+        let (ofmap, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        let v = s.dequantize(&ofmap);
+        assert_eq!(v.len(), ofmap.codes().len());
+        // Zero code must dequantize to exactly zero volts differential.
+        if let Some(i) = ofmap.codes().iter().position(|&c| c == 0) {
+            assert_eq!(v[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mode_digitizes_frame() {
+        let s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        let (img, stats) = s.capture_normal::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(img.len(), 64);
+        assert!(img[63] > img[0]);
+        // CNV energy exceeds LeCA energy for the same array.
+        let mut leca = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        leca.program_weights(uniform_weights(4, 5)).unwrap();
+        let (_, leca_stats) = leca.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert!(stats.energy.total_uj() > leca_stats.energy.total_uj());
+    }
+
+    #[test]
+    fn mismatched_sensor_builds_per_pe_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = LecaSensor::with_mismatch(small_geom(4), 3.0, &mut rng).unwrap();
+        assert_eq!(s.pes.len(), 2); // 8 columns / 4
+    }
+
+    #[test]
+    fn ofmap_payload_bits() {
+        let of = Ofmap {
+            n_ch: 2,
+            oh: 2,
+            ow: 2,
+            codes: vec![0; 8],
+        };
+        assert_eq!(of.payload_bits(3.0), 24.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ofmap_index_panics_out_of_bounds() {
+        let of = Ofmap {
+            n_ch: 1,
+            oh: 1,
+            ow: 1,
+            codes: vec![0],
+        };
+        of.at(0, 0, 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Fig. 2(c) CIS survey: ADC + output-buffer overheads.
+//!
+//! The paper surveys 37 CIS publications (2010–2022) and reports the
+//! aggregate shares: the ADC and output buffer account for **69% of sensor
+//! power**, **34% of pixel-row readout time**, and **more than 60% of
+//! (non-pixel) array area**. The per-paper numbers are not published, so
+//! this module carries a *synthesized* 37-entry table whose dispersion is
+//! representative and whose aggregates match the reported statistics — the
+//! Fig. 2(c) bench regenerates the aggregate view from it.
+
+/// One surveyed sensor design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyEntry {
+    /// Publication year.
+    pub year: u32,
+    /// Anonymized design label.
+    pub label: String,
+    /// ADC + output buffer share of sensor power (%).
+    pub power_pct: f32,
+    /// ADC + output buffer share of row readout time (%).
+    pub readout_time_pct: f32,
+    /// ADC + output buffer share of die area excluding pads (%).
+    pub area_pct: f32,
+}
+
+/// Aggregate shares across the survey.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurveyAggregate {
+    /// Mean power share (%).
+    pub power_pct: f32,
+    /// Mean readout-time share (%).
+    pub readout_time_pct: f32,
+    /// Mean area share (%).
+    pub area_pct: f32,
+    /// Number of designs surveyed.
+    pub count: usize,
+}
+
+/// The paper's reported aggregates.
+pub const PAPER_POWER_PCT: f32 = 69.0;
+/// Readout-time aggregate from Fig. 2(c).
+pub const PAPER_READOUT_PCT: f32 = 34.0;
+/// Area aggregate from Fig. 2(c) ("more than 60%").
+pub const PAPER_AREA_PCT: f32 = 62.0;
+
+/// Returns the synthesized 37-entry survey table.
+pub fn survey_entries() -> Vec<SurveyEntry> {
+    // Deterministic dispersion around the reported aggregates; the offsets
+    // for each metric sum to ~0 so the means land on the paper's numbers.
+    let n = 37usize;
+    (0..n)
+        .map(|i| {
+            let phase = i as f32 / n as f32 * std::f32::consts::TAU;
+            let spread = |amp: f32, shift: f32| amp * (phase * 3.0 + shift).sin();
+            SurveyEntry {
+                year: 2010 + (i as u32) % 13,
+                label: format!("CIS-{:02}", i + 1),
+                power_pct: (PAPER_POWER_PCT + spread(9.0, 0.0)).clamp(40.0, 90.0),
+                readout_time_pct: (PAPER_READOUT_PCT + spread(8.0, 1.3)).clamp(15.0, 60.0),
+                area_pct: (PAPER_AREA_PCT + spread(7.0, 2.6)).clamp(45.0, 80.0),
+            }
+        })
+        .collect()
+}
+
+/// Computes the aggregate over a set of survey entries.
+pub fn aggregate(entries: &[SurveyEntry]) -> SurveyAggregate {
+    let n = entries.len().max(1) as f32;
+    SurveyAggregate {
+        power_pct: entries.iter().map(|e| e.power_pct).sum::<f32>() / n,
+        readout_time_pct: entries.iter().map(|e| e.readout_time_pct).sum::<f32>() / n,
+        area_pct: entries.iter().map(|e| e.area_pct).sum::<f32>() / n,
+        count: entries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_37_designs() {
+        assert_eq!(survey_entries().len(), 37);
+    }
+
+    #[test]
+    fn aggregates_match_paper() {
+        let agg = aggregate(&survey_entries());
+        assert!((agg.power_pct - PAPER_POWER_PCT).abs() < 2.0, "{}", agg.power_pct);
+        assert!(
+            (agg.readout_time_pct - PAPER_READOUT_PCT).abs() < 2.0,
+            "{}",
+            agg.readout_time_pct
+        );
+        assert!(agg.area_pct > 60.0, "area share must exceed 60%: {}", agg.area_pct);
+        assert_eq!(agg.count, 37);
+    }
+
+    #[test]
+    fn years_span_survey_window() {
+        let entries = survey_entries();
+        let min = entries.iter().map(|e| e.year).min().unwrap();
+        let max = entries.iter().map(|e| e.year).max().unwrap();
+        assert!(min >= 2010 && max <= 2022);
+    }
+
+    #[test]
+    fn entries_are_dispersed_not_constant() {
+        let entries = survey_entries();
+        let p0 = entries[0].power_pct;
+        assert!(entries.iter().any(|e| (e.power_pct - p0).abs() > 2.0));
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_zeroed() {
+        let agg = aggregate(&[]);
+        assert_eq!(agg.count, 0);
+        assert_eq!(agg.power_pct, 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Frame-latency and frame-rate model.
+//!
+//! Sec. 4.2: the LeCA encoder processes the image row by row; frame latency
+//! is the per-4-row encoder latency accumulated over the array height, and
+//! "the row processing latency is dominated by pixel readout". The step
+//! budget (local SRAM write 500 ns hidden behind readout, i-buffer write
+//! 30 ns, 16-MAC sequence 250 ns, ofmap fetch + ADC + global SRAM 200 ns
+//! per 4 rows) comes straight from the paper; the pixel-row readout time is
+//! the one free constant and is set so the model reproduces both published
+//! operating points: **209 fps at 448x448** and **86 fps at 1080p**.
+
+use crate::geometry::{SensorGeometry, COLUMNS_PER_PE};
+
+/// Step latencies in nanoseconds (Sec. 4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingModel {
+    /// Pixel row exposure + readout (ns). Dominates the row budget.
+    pub t_row_readout_ns: f64,
+    /// Writing 4 analog pixel values into the i-buffers (ns).
+    pub t_ibuf_write_ns: f64,
+    /// The 16-MAC SCM sequence per row (ns), controller-f at 400 MHz.
+    pub t_mac_seq_ns: f64,
+    /// Ofmap fetch + ADC conversion + global SRAM write per 4-row group
+    /// (ns), controller-s at 100 MHz.
+    pub t_ofmap_ns: f64,
+    /// Local SRAM weight write (ns); hidden behind the row readout.
+    pub t_weight_write_ns: f64,
+}
+
+impl TimingModel {
+    /// The paper's design point.
+    pub fn paper() -> Self {
+        TimingModel {
+            t_row_readout_ns: 10_400.0,
+            t_ibuf_write_ns: 30.0,
+            t_mac_seq_ns: 250.0,
+            t_ofmap_ns: 200.0,
+            t_weight_write_ns: 500.0,
+        }
+    }
+
+    /// Latency of one 4-row group in one pass (ns).
+    pub fn group_latency_ns(&self) -> f64 {
+        COLUMNS_PER_PE as f64
+            * (self.t_row_readout_ns + self.t_ibuf_write_ns + self.t_mac_seq_ns)
+            + self.t_ofmap_ns
+    }
+
+    /// Full-frame encoding latency (ns), including repetitive readout
+    /// passes for `n_ch > 4`.
+    pub fn frame_latency_ns(&self, geom: &SensorGeometry) -> f64 {
+        let groups = (geom.rows / COLUMNS_PER_PE) as f64;
+        groups * self.group_latency_ns() * geom.readout_passes() as f64
+    }
+
+    /// Frame rate in frames per second.
+    pub fn fps(&self, geom: &SensorGeometry) -> f64 {
+        1e9 / self.frame_latency_ns(geom)
+    }
+
+    /// True when the weight write is hidden behind the pixel readout, as
+    /// the paper requires for step ① to be free.
+    pub fn weight_write_hidden(&self) -> bool {
+        self.t_weight_write_ns <= self.t_row_readout_ns
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_framerate_448() {
+        // Sec. 4.2: "we estimate the frame rate to reach 209 fps with
+        // 448x448 resolution".
+        let t = TimingModel::paper();
+        let fps = t.fps(&SensorGeometry::paper(4));
+        assert!((fps - 209.0).abs() < 3.0, "fps {fps}");
+    }
+
+    #[test]
+    fn paper_framerate_1080p() {
+        // Sec. 6.4: "LeCA can achieve up to 86 fps frame rate with 1080p".
+        let t = TimingModel::paper();
+        let fps = t.fps(&SensorGeometry::hd1080(4));
+        assert!((fps - 86.0).abs() < 2.0, "fps {fps}");
+        // Comfortably supports 60 fps moving-object recording.
+        assert!(fps > 60.0);
+    }
+
+    #[test]
+    fn repetitive_readout_halves_framerate() {
+        let t = TimingModel::paper();
+        let f4 = t.fps(&SensorGeometry::paper(4));
+        let f8 = t.fps(&SensorGeometry::paper(8));
+        assert!((f4 / f8 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readout_dominates_row_budget() {
+        // The paper's claim that row latency is readout-dominated.
+        let t = TimingModel::paper();
+        assert!(t.t_row_readout_ns > 10.0 * (t.t_ibuf_write_ns + t.t_mac_seq_ns));
+        assert!(t.weight_write_hidden());
+    }
+
+    #[test]
+    fn group_latency_composition() {
+        let t = TimingModel::paper();
+        let expected = 4.0 * (10_400.0 + 30.0 + 250.0) + 200.0;
+        assert!((t.group_latency_ns() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_latency_scales_with_rows() {
+        let t = TimingModel::paper();
+        let small = SensorGeometry {
+            rows: 224,
+            cols: 448,
+            n_ch: 4,
+        };
+        let ratio = t.frame_latency_ns(&SensorGeometry::paper(4)) / t.frame_latency_ns(&small);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

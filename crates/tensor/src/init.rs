@@ -1,0 +1,96 @@
+//! Weight-initialization helpers.
+//!
+//! All initializers take the RNG by `&mut` so callers control determinism:
+//! every experiment in the reproduction runs from fixed seeds.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// Exposed for reuse by noise models elsewhere in the workspace.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 in (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Kaiming (He) uniform initialization for a weight tensor.
+///
+/// `fan_in` is the number of input connections per output unit; the values
+/// are drawn from `U(-b, b)` with `b = sqrt(6 / fan_in)`, the standard choice
+/// for ReLU networks.
+pub fn kaiming_uniform<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// Kaiming (He) normal initialization: `N(0, sqrt(2 / fan_in))`.
+pub fn kaiming_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, 0.0, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization over `U(-b, b)` with
+/// `b = sqrt(6 / (fan_in + fan_out))`; used for non-ReLU layers.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_uniform_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = kaiming_uniform(&[64, 9], 9, &mut rng);
+        let bound = (6.0f32 / 9.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+        // Should actually use the range, not collapse near zero.
+        assert!(t.max() > bound * 0.8);
+    }
+
+    #[test]
+    fn kaiming_normal_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = kaiming_normal(&[10_000], 8, &mut rng);
+        let std = t.norm_sq() / t.len() as f32;
+        assert!((std - 0.25).abs() < 0.02, "var {std}");
+    }
+
+    #[test]
+    fn xavier_uniform_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform(&[100], 10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(t.max() <= bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_uniform(&[4], 0, &mut rng);
+        assert!(t.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,689 @@
+//! im2col-based 2-D convolution kernels (forward + both gradients) and the
+//! matching transposed convolution.
+//!
+//! Layouts follow the PyTorch convention:
+//!
+//! * activations: `(N, C, H, W)`
+//! * `conv2d` weights: `(O, C, kh, kw)`
+//! * `conv_transpose2d` weights: `(C_in, O, kh, kw)`
+//!
+//! The im2col matrix has shape `(C*kh*kw, N*oh*ow)` with column index
+//! `n*oh*ow + oy*ow + ox`, so one matrix multiplication covers the whole
+//! batch.
+
+use crate::parallel::par_rows_mut;
+use crate::{Result, Tensor, TensorError};
+
+/// Spatial geometry shared by the convolution kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height/width of a forward convolution with this geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the kernel exceeds the
+    /// padded input or the stride is zero.
+    pub fn out_dims(&self) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+        }
+        let ph = self.in_h + 2 * self.pad;
+        let pw = self.in_w + 2 * self.pad;
+        if self.kh == 0 || self.kw == 0 || self.kh > ph || self.kw > pw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kh, self.kw, ph, pw
+            )));
+        }
+        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+    }
+}
+
+fn expect_rank4(op: &'static str, t: &Tensor) -> Result<[usize; 4]> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 4,
+            actual: t.rank(),
+        });
+    }
+    let d = t.shape();
+    Ok([d[0], d[1], d[2], d[3]])
+}
+
+/// Permutes `(N, C, H, W)` into a `(C, N*H*W)` matrix (channel-major).
+fn nchw_to_c_nm(x: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = expect_rank4("nchw_to_c_nm", x)?;
+    let hw = h * w;
+    let mut out = Tensor::zeros(&[c, n * hw]);
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for ci in 0..c {
+        for ni in 0..n {
+            let s = &src[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
+            dst[ci * n * hw + ni * hw..ci * n * hw + (ni + 1) * hw].copy_from_slice(s);
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`nchw_to_c_nm`]: scatters a `(C, N*H*W)` matrix back to NCHW.
+fn c_nm_to_nchw(m: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Tensor> {
+    if m.shape() != [c, n * h * w] {
+        return Err(TensorError::ShapeMismatch {
+            op: "c_nm_to_nchw",
+            lhs: m.shape().to_vec(),
+            rhs: vec![c, n * h * w],
+        });
+    }
+    let hw = h * w;
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = m.as_slice();
+    let dst = out.as_mut_slice();
+    for ci in 0..c {
+        for ni in 0..n {
+            let s = &src[ci * n * hw + ni * hw..ci * n * hw + (ni + 1) * hw];
+            dst[(ni * c + ci) * hw..(ni * c + ci + 1) * hw].copy_from_slice(s);
+        }
+    }
+    Ok(out)
+}
+
+/// Unfolds `x: (N, C, H, W)` into the im2col matrix `(C*kh*kw, N*oh*ow)`.
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+///
+/// # Errors
+///
+/// Returns an error for non-rank-4 input or invalid geometry.
+pub fn im2col(x: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Result<Tensor> {
+    let [n, c, h, w] = expect_rank4("im2col", x)?;
+    let geom = Conv2dGeometry { in_h: h, in_w: w, kh, kw, stride, pad };
+    let (oh, ow) = geom.out_dims()?;
+    let rows = c * kh * kw;
+    let cols_per_sample = oh * ow;
+    let row_len = n * cols_per_sample;
+    let mut cols = Tensor::zeros(&[rows, row_len]);
+    let src = x.as_slice();
+    par_rows_mut(cols.as_mut_slice(), rows, row_len, 4, |range, chunk| {
+        for (local, r) in range.enumerate() {
+            let ci = r / (kh * kw);
+            let ky = (r / kw) % kh;
+            let kx = r % kw;
+            let dst = &mut chunk[local * row_len..(local + 1) * row_len];
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    let iy = match iy.checked_sub(pad) {
+                        Some(v) if v < h => v,
+                        _ => continue,
+                    };
+                    for ox in 0..ow {
+                        let ix = ox * stride + kx;
+                        let ix = match ix.checked_sub(pad) {
+                            Some(v) if v < w => v,
+                            _ => continue,
+                        };
+                        dst[ni * cols_per_sample + oy * ow + ox] = src[base + iy * w + ix];
+                    }
+                }
+            }
+        }
+    });
+    Ok(cols)
+}
+
+/// Folds an im2col matrix back into an `(N, C, H, W)` tensor by scatter-add.
+///
+/// `grid_h`/`grid_w` are the im2col output-grid dimensions the matrix was
+/// produced with (i.e. `oh`/`ow` of the matching forward convolution).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the matrix dimensions do not
+/// match the requested geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    grid_h: usize,
+    grid_w: usize,
+) -> Result<Tensor> {
+    let rows = c * kh * kw;
+    let row_len = n * grid_h * grid_w;
+    if cols.shape() != [rows, row_len] {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.shape().to_vec(),
+            rhs: vec![rows, row_len],
+        });
+    }
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.as_slice();
+    let chw = c * h * w;
+    // Parallel over samples: each worker owns a disjoint set of images.
+    par_rows_mut(out.as_mut_slice(), n, chw, 1, |range, chunk| {
+        for (local, ni) in range.enumerate() {
+            let img = &mut chunk[local * chw..(local + 1) * chw];
+            for r in 0..rows {
+                let ci = r / (kh * kw);
+                let ky = (r / kw) % kh;
+                let kx = r % kw;
+                let srow = &src[r * row_len + ni * grid_h * grid_w..];
+                for oy in 0..grid_h {
+                    let iy = oy * stride + ky;
+                    let iy = match iy.checked_sub(pad) {
+                        Some(v) if v < h => v,
+                        _ => continue,
+                    };
+                    for ox in 0..grid_w {
+                        let ix = ox * stride + kx;
+                        let ix = match ix.checked_sub(pad) {
+                            Some(v) if v < w => v,
+                            _ => continue,
+                        };
+                        img[(ci * h + iy) * w + ix] += srow[oy * grid_w + ox];
+                    }
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Forward 2-D convolution: `x (N,C,H,W) * w (O,C,kh,kw) [+ bias (O)]`.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [n, c, h, w] = expect_rank4("conv2d", x)?;
+    let [o, wc, kh, kw] = expect_rank4("conv2d", weight)?;
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    let geom = Conv2dGeometry { in_h: h, in_w: w, kh, kw, stride, pad };
+    let (oh, ow) = geom.out_dims()?;
+    let cols = im2col(x, kh, kw, stride, pad)?;
+    let wmat = weight.reshape(&[o, c * kh * kw])?;
+    let mut out_mat = crate::ops::matmul(&wmat, &cols)?;
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d bias",
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+            });
+        }
+        let row_len = n * oh * ow;
+        let data = out_mat.as_mut_slice();
+        for (oi, &bv) in b.as_slice().iter().enumerate() {
+            for v in &mut data[oi * row_len..(oi + 1) * row_len] {
+                *v += bv;
+            }
+        }
+    }
+    c_nm_to_nchw(&out_mat, n, o, oh, ow)
+}
+
+/// Gradient of [`conv2d`] with respect to its input.
+///
+/// `x_shape` is the `(N, C, H, W)` shape of the original input.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv2d_grad_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    x_shape: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [n, o, oh, ow] = expect_rank4("conv2d_grad_input", grad_out)?;
+    let [wo, c, kh, kw] = expect_rank4("conv2d_grad_input", weight)?;
+    if wo != o || x_shape.len() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_input",
+            lhs: grad_out.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    let gmat = nchw_to_c_nm(grad_out)?;
+    let wmat = weight.reshape(&[o, c * kh * kw])?;
+    let grad_cols = crate::ops::matmul_at(&wmat, &gmat)?;
+    col2im(&grad_cols, n, c, x_shape[2], x_shape[3], kh, kw, stride, pad, oh, ow)
+}
+
+/// Gradient of [`conv2d`] with respect to its weight.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv2d_grad_weight(
+    x: &Tensor,
+    grad_out: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [_, c, _, _] = expect_rank4("conv2d_grad_weight", x)?;
+    let [_, o, _, _] = expect_rank4("conv2d_grad_weight", grad_out)?;
+    let cols = im2col(x, kh, kw, stride, pad)?;
+    let gmat = nchw_to_c_nm(grad_out)?;
+    let grad_wmat = crate::ops::matmul_bt(&gmat, &cols)?;
+    grad_wmat.reshape(&[o, c, kh, kw])
+}
+
+/// Forward transposed convolution: `x (N,Ci,H,W) * w (Ci,O,kh,kw)`.
+///
+/// Output spatial size is `(H-1)*stride + k - 2*pad`; with `stride == k` and
+/// `pad == 0` this is the exact K× upsampling used by the LeCA decoder.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv_transpose2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [n, ci, h, w] = expect_rank4("conv_transpose2d", x)?;
+    let [wci, o, kh, kw] = expect_rank4("conv_transpose2d", weight)?;
+    if wci != ci {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv_transpose2d",
+            lhs: x.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    if stride == 0 {
+        return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+    }
+    let oh = (h - 1) * stride + kh;
+    let ow = (w - 1) * stride + kw;
+    let (oh, ow) = (
+        oh.checked_sub(2 * pad)
+            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
+        ow.checked_sub(2 * pad)
+            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
+    );
+    let xmat = nchw_to_c_nm(x)?;
+    let wmat = weight.reshape(&[ci, o * kh * kw])?;
+    let cols = crate::ops::matmul_at(&wmat, &xmat)?;
+    let mut out = col2im(&cols, n, o, oh, ow, kh, kw, stride, pad, h, w)?;
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv_transpose2d bias",
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+            });
+        }
+        let hw = oh * ow;
+        let data = out.as_mut_slice();
+        for ni in 0..n {
+            for (oi, &bv) in b.as_slice().iter().enumerate() {
+                for v in &mut data[(ni * o + oi) * hw..(ni * o + oi + 1) * hw] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Gradient of [`conv_transpose2d`] with respect to its input.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv_transpose2d_grad_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [n, o, _, _] = expect_rank4("conv_transpose2d_grad_input", grad_out)?;
+    let [ci, wo, kh, kw] = expect_rank4("conv_transpose2d_grad_input", weight)?;
+    if wo != o {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv_transpose2d_grad_input",
+            lhs: grad_out.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    // Differentiating the scatter: grad wrt x is an ordinary convolution of
+    // grad_out with the same kernel.
+    let grad_cols = im2col(grad_out, kh, kw, stride, pad)?;
+    let wmat = weight.reshape(&[ci, o * kh * kw])?;
+    let gxmat = crate::ops::matmul(&wmat, &grad_cols)?;
+    let l = gxmat.len() / ci.max(1) / n.max(1);
+    // Recover the input grid (H, W) from the column count.
+    let hw = l;
+    let (h, w) = infer_hw(grad_out.shape()[2], grad_out.shape()[3], kh, kw, stride, pad, hw)?;
+    c_nm_to_nchw(&gxmat, n, ci, h, w)
+}
+
+/// Gradient of [`conv_transpose2d`] with respect to its weight.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn conv_transpose2d_grad_weight(
+    x: &Tensor,
+    grad_out: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let [_, ci, _, _] = expect_rank4("conv_transpose2d_grad_weight", x)?;
+    let [_, o, _, _] = expect_rank4("conv_transpose2d_grad_weight", grad_out)?;
+    let grad_cols = im2col(grad_out, kh, kw, stride, pad)?;
+    let xmat = nchw_to_c_nm(x)?;
+    let grad_wmat = crate::ops::matmul_bt(&xmat, &grad_cols)?;
+    grad_wmat.reshape(&[ci, o, kh, kw])
+}
+
+/// Solves for the forward-input grid `(h, w)` of a transposed convolution
+/// given the output dims and `h*w`.
+fn infer_hw(
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    hw: usize,
+) -> Result<(usize, usize)> {
+    let geom = Conv2dGeometry { in_h: oh, in_w: ow, kh, kw, stride, pad };
+    let (h, w) = geom.out_dims()?;
+    if h * w != hw {
+        return Err(TensorError::InvalidGeometry(format!(
+            "inconsistent transposed-conv geometry: {h}x{w} != {hw} elements"
+        )));
+    }
+    Ok((h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_conv2d(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (n, c, h, iw) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (o, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (iw + 2 * pad - kw) / stride + 1;
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ky in 0..kh {
+                                for kx in 0..kw {
+                                    let iy = oy * stride + ky;
+                                    let ix = ox * stride + kx;
+                                    if iy < pad || ix < pad {
+                                        continue;
+                                    }
+                                    let (iy, ix) = (iy - pad, ix - pad);
+                                    if iy >= h || ix >= iw {
+                                        continue;
+                                    }
+                                    acc += x.at4(ni, ci, iy, ix) * w.at4(oi, ci, ky, kx);
+                                }
+                            }
+                        }
+                        out.set4(ni, oi, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn geometry_out_dims() {
+        let g = Conv2dGeometry { in_h: 8, in_w: 8, kh: 2, kw: 2, stride: 2, pad: 0 };
+        assert_eq!(g.out_dims().unwrap(), (4, 4));
+        let g = Conv2dGeometry { in_h: 5, in_w: 7, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!(g.out_dims().unwrap(), (5, 7));
+        let bad = Conv2dGeometry { in_h: 2, in_w: 2, kh: 5, kw: 5, stride: 1, pad: 0 };
+        assert!(bad.out_dims().is_err());
+        let bad = Conv2dGeometry { in_h: 2, in_w: 2, kh: 1, kw: 1, stride: 0, pad: 0 };
+        assert!(bad.out_dims().is_err());
+    }
+
+    #[test]
+    fn conv2d_matches_naive_stride1_pad1() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = Tensor::rand_uniform(&[2, 3, 6, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let got = conv2d(&x, &w, None, 1, 1).unwrap();
+        assert_close(&got, &naive_conv2d(&x, &w, 1, 1), 1e-4);
+    }
+
+    #[test]
+    fn conv2d_matches_naive_stride2_nonoverlapping() {
+        // The LeCA encoder geometry: K x K kernel with stride K, no padding.
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[8, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let got = conv2d(&x, &w, None, 2, 0).unwrap();
+        assert_eq!(got.shape(), &[1, 8, 4, 4]);
+        assert_close(&got, &naive_conv2d(&x, &w, 2, 0), 1e-4);
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let out = conv2d(&x, &w, Some(&b), 1, 0).unwrap();
+        assert_eq!(out.at4(0, 0, 1, 1), 1.5);
+        assert_eq!(out.at4(0, 1, 0, 0), -2.0);
+    }
+
+    #[test]
+    fn conv2d_channel_mismatch_errors() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 4, 2, 2]);
+        assert!(conv2d(&x, &w, None, 1, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel stride 1 makes im2col a pure permutation.
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::rand_uniform(&[2, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, 1, 1, 1, 0).unwrap();
+        assert_eq!(cols.shape(), &[3, 8]);
+        assert_eq!(cols.at(&[1, 0]), x.at4(0, 1, 0, 0));
+        assert_eq!(cols.at(&[2, 7]), x.at4(1, 2, 1, 1));
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let cols = im2col(&x, 3, 3, 2, 1).unwrap();
+        let y = Tensor::rand_uniform(cols.shape(), -1.0, 1.0, &mut rng);
+        let back = col2im(&y, 1, 2, 5, 5, 3, 3, 2, 1, 3, 3).unwrap();
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn grad_input_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut rng);
+        // Loss = sum(conv(x, w)); dL/dx via kernel vs finite differences.
+        let gout = Tensor::ones(&[1, 3, 2, 2]);
+        let gx = conv2d_grad_input(&gout, &w, x.shape(), 2, 0).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d(&xp, &w, None, 2, 0).unwrap().sum();
+            let fm = conv2d(&xm, &w, None, 2, 0).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 1e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn grad_weight_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let x = Tensor::rand_uniform(&[2, 2, 4, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let gout = Tensor::ones(&[2, 3, 4, 4]);
+        let gw = conv2d_grad_weight(&x, &gout, 3, 3, 1, 1).unwrap();
+        assert_eq!(gw.shape(), w.shape());
+        let eps = 1e-3;
+        for idx in [0usize, 10, 25, 53] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fp = conv2d(&x, &wp, None, 1, 1).unwrap().sum();
+            let fm = conv2d(&x, &wm, None, 1, 1).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 2e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose_upsamples_by_stride() {
+        // Single input pixel with value v produces a kxk block of v * kernel.
+        let mut x = Tensor::zeros(&[1, 1, 2, 2]);
+        x.set4(0, 0, 1, 0, 2.0);
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let out = conv_transpose2d(&x, &w, None, 2, 0).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+        assert_eq!(out.at4(0, 0, 2, 0), 2.0);
+        assert_eq!(out.at4(0, 0, 2, 1), 4.0);
+        assert_eq!(out.at4(0, 0, 3, 0), 6.0);
+        assert_eq!(out.at4(0, 0, 3, 1), 8.0);
+        assert_eq!(out.at4(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv() {
+        // <conv(x, w), y> == <x, convT(y, w')> with w' the (O,C)->(C,O) swap.
+        let mut rng = StdRng::seed_from_u64(16);
+        let x = Tensor::rand_uniform(&[1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform(&[1, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let lhs = conv2d(&x, &w, None, 2, 0).unwrap().mul(&y).unwrap().sum();
+        // A conv weight (O,C,kh,kw) is a convT weight with Ci=O, O=C, so the
+        // same tensor implements the adjoint operator directly.
+        let rhs = conv_transpose2d(&y, &w, None, 2, 0).unwrap().mul(&x).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_transpose_grad_input_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Tensor::rand_uniform(&[1, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let gout = Tensor::ones(&[1, 3, 6, 6]);
+        let gx = conv_transpose2d_grad_input(&gout, &w, 2, 0).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        let eps = 1e-3;
+        for idx in [0usize, 7, 12] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fp = conv_transpose2d(&xp, &w, None, 2, 0).unwrap().sum();
+            let fm = conv_transpose2d(&xm, &w, None, 2, 0).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 1e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose_grad_weight_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let x = Tensor::rand_uniform(&[1, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 3, 2, 2], -1.0, 1.0, &mut rng);
+        let gout = Tensor::ones(&[1, 3, 6, 6]);
+        let gw = conv_transpose2d_grad_weight(&x, &gout, 2, 2, 2, 0).unwrap();
+        assert_eq!(gw.shape(), w.shape());
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11, 23] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fp = conv_transpose2d(&x, &wp, None, 2, 0).unwrap().sum();
+            let fm = conv_transpose2d(&x, &wm, None, 2, 0).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - gw.as_slice()[idx]).abs() < 1e-2, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn conv_transpose_bias() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[1, 2, 2, 2]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let out = conv_transpose2d(&x, &w, Some(&b), 2, 0).unwrap();
+        assert_eq!(out.at4(0, 0, 3, 3), 0.5);
+        assert_eq!(out.at4(0, 1, 0, 0), -0.5);
+    }
+}

@@ -1,0 +1,240 @@
+//! Threaded, cache-blocked matrix multiplication.
+//!
+//! Three variants cover every use in the training stack without explicit
+//! transposition copies:
+//!
+//! * [`matmul`]   — `C = A · B`
+//! * [`matmul_bt`] — `C = A · Bᵀ` (weight-gradient shapes)
+//! * [`matmul_at`] — `C = Aᵀ · B` (input-gradient shapes)
+
+use crate::parallel::par_rows_mut;
+use crate::{Result, Tensor, TensorError};
+
+fn check_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// Minimum number of output rows per worker before threading kicks in.
+const MIN_ROWS_PER_WORKER: usize = 16;
+
+/// `C = A · B` for row-major matrices `A: (m, k)`, `B: (k, n)`.
+///
+/// The inner loop is written as an axpy over B's rows, which vectorizes well
+/// and reads both operands sequentially.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix operands and
+/// [`TensorError::ShapeMismatch`] when `A.cols != B.rows`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2("matmul", a)?;
+    let (k2, n) = check_rank2("matmul", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
+        for (local, i) in rows.enumerate() {
+            let crow = &mut chunk[local * n..(local + 1) * n];
+            let arow = &ad[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` for `A: (m, k)`, `B: (n, k)` producing `(m, n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
+/// for [`matmul`].
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2("matmul_bt", a)?;
+    let (n, k2) = check_rank2("matmul_bt", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bt",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
+        for (local, i) in rows.enumerate() {
+            let arow = &ad[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                chunk[local * n + j] = acc;
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C = Aᵀ · B` for `A: (k, m)`, `B: (k, n)` producing `(m, n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
+/// for [`matmul`].
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_rank2("matmul_at", a)?;
+    let (k2, n) = check_rank2("matmul_at", b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for (local, i) in rows.clone().enumerate() {
+                let av = arow[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[local * n..(local + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Tensor::rand_uniform(&[5, 5], -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &Tensor::eye(5)).unwrap(), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(5), &a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_rectangular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::rand_uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[13, 5], -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matches_naive_threaded_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::rand_uniform(&[130, 40], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[40, 33], -1.0, 1.0, &mut rng);
+        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn bt_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::rand_uniform(&[9, 6], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[11, 6], -1.0, 1.0, &mut rng);
+        let expected = matmul(&a, &b.transpose().unwrap()).unwrap();
+        assert_close(&matmul_bt(&a, &b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn at_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::rand_uniform(&[6, 9], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[6, 11], -1.0, 1.0, &mut rng);
+        let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
+        assert_close(&matmul_at(&a, &b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_bt(&a, &Tensor::zeros(&[5, 4])).is_err());
+        assert!(matmul_at(&Tensor::zeros(&[3, 2]), &Tensor::zeros(&[4, 5])).is_err());
+    }
+
+    #[test]
+    fn rank_checked() {
+        let v = Tensor::zeros(&[3]);
+        let m = Tensor::zeros(&[3, 3]);
+        assert!(matmul(&v, &m).is_err());
+        assert!(matmul(&m, &v).is_err());
+    }
+
+    #[test]
+    fn zero_sized_edges() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[0, 4]);
+    }
+}

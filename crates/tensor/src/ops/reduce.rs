@@ -1,0 +1,157 @@
+//! Axis reductions and row softmax used by the classifier head and
+//! normalization layers.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Sums a rank-2 tensor over axis 0, producing a `(cols,)` vector.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix input.
+pub fn sum_axis0(x: &Tensor) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "sum_axis0",
+            expected: 2,
+            actual: x.rank(),
+        });
+    }
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = Tensor::zeros(&[cols]);
+    let o = out.as_mut_slice();
+    for r in 0..rows {
+        for (c, v) in o.iter_mut().enumerate() {
+            *v += x.as_slice()[r * cols + c];
+        }
+    }
+    Ok(out)
+}
+
+/// Sums an `(N, C, H, W)` tensor over N, H, W producing a `(C,)` vector —
+/// the shape of a convolution bias gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn sum_spatial_per_channel(x: &Tensor) -> Result<Tensor> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "sum_spatial_per_channel",
+            expected: 4,
+            actual: x.rank(),
+        });
+    }
+    let d = x.shape();
+    let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+    let mut out = Tensor::zeros(&[c]);
+    let o = out.as_mut_slice();
+    let src = x.as_slice();
+    for ni in 0..n {
+        for (ci, v) in o.iter_mut().enumerate() {
+            let plane = &src[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
+            *v += plane.iter().map(|&p| p as f64).sum::<f64>() as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-channel mean over N, H, W of an `(N, C, H, W)` tensor: `(C,)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn mean_axes_keep_channel(x: &Tensor) -> Result<Tensor> {
+    let d = x.shape().to_vec();
+    let sums = sum_spatial_per_channel(x)?;
+    let count = (d[0] * d[2] * d[3]).max(1) as f32;
+    Ok(sums.scale(1.0 / count))
+}
+
+/// Numerically-stable softmax of each row of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix input.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows",
+            expected: 2,
+            actual: x.rank(),
+        });
+    }
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = x.clone();
+    let data = out.as_mut_slice();
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis0_known() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(sum_axis0(&x).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert!(sum_axis0(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn sum_spatial_per_channel_known() {
+        let mut x = Tensor::zeros(&[2, 2, 1, 2]);
+        x.set4(0, 0, 0, 0, 1.0);
+        x.set4(0, 0, 0, 1, 2.0);
+        x.set4(1, 0, 0, 0, 3.0);
+        x.set4(0, 1, 0, 1, 10.0);
+        let s = sum_spatial_per_channel(&x).unwrap();
+        assert_eq!(s.as_slice(), &[6.0, 10.0]);
+    }
+
+    #[test]
+    fn mean_keep_channel() {
+        let x = Tensor::ones(&[2, 3, 2, 2]);
+        let m = mean_axes_keep_channel(&x).unwrap();
+        assert_eq!(m.as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        for r in 0..2 {
+            let row_sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+        // Softmax is shift-invariant: both rows differ by a constant 2.
+        for c in 0..3 {
+            assert!((s.at(&[0, c]) - s.at(&[1, c])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_rank_checked() {
+        assert!(softmax_rows(&Tensor::zeros(&[3])).is_err());
+    }
+}

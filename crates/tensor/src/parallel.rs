@@ -1,0 +1,172 @@
+//! Minimal data-parallel helpers built on `crossbeam::scope`.
+//!
+//! The training stack's hot loops (matmul, im2col) are embarrassingly
+//! parallel over output rows / batch items. Rather than pull in a full
+//! work-stealing runtime, we split index ranges across scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the number of worker threads to use.
+///
+/// Defaults to the machine's available parallelism, capped at 8 (beyond
+/// which the small matrices in this workspace stop scaling). Honors the
+/// `LECA_THREADS` environment variable when set to a positive integer.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("LECA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Runs `f(start, end)` over disjoint sub-ranges of `0..len` in parallel.
+///
+/// `f` is called once per worker with a contiguous range. When `len` is
+/// small (or only one thread is available) the call runs inline on the
+/// current thread, so there is no overhead for tiny problems.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn par_ranges<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || len <= min_chunk {
+        f(0, len);
+        return;
+    }
+    let workers = threads.min(len / min_chunk.max(1)).max(1);
+    if workers == 1 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move |_| f(start, end));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Splits `out` into disjoint row-chunks of `row_len` floats and runs
+/// `f(row_range, chunk)` on each in parallel.
+///
+/// This is the mutable-output variant of [`par_ranges`] used by matmul:
+/// each worker owns an exclusive slice of the output buffer, so no locking
+/// is needed.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * row_len`, or if a worker panics.
+pub fn par_rows_mut<F>(out: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "output buffer size mismatch");
+    let threads = num_threads();
+    if threads <= 1 || rows <= min_rows {
+        f(0..rows, out);
+        return;
+    }
+    let workers = threads.min(rows / min_rows.max(1)).max(1);
+    if workers == 1 {
+        f(0..rows, out);
+        return;
+    }
+    let chunk = rows.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(rows);
+            if start >= end {
+                break;
+            }
+            let (head, tail) = rest.split_at_mut((end - start) * row_len);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| f(start..end, head));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_once() {
+        let total = AtomicU64::new(0);
+        par_ranges(1000, 8, |s, e| {
+            let local: u64 = (s as u64..e as u64).sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_ranges_small_runs_inline() {
+        let total = AtomicU64::new(0);
+        par_ranges(3, 64, |s, e| {
+            total.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn par_ranges_zero_len() {
+        par_ranges(0, 1, |s, e| assert_eq!(s, e));
+    }
+
+    #[test]
+    fn par_rows_mut_fills_disjoint_rows() {
+        let rows = 37;
+        let row_len = 5;
+        let mut out = vec![0.0f32; rows * row_len];
+        par_rows_mut(&mut out, rows, row_len, 2, |range, chunk| {
+            for (i, r) in range.clone().enumerate() {
+                for c in 0..row_len {
+                    chunk[i * row_len + c] = (r * row_len + c) as f32;
+                }
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer size mismatch")]
+    fn par_rows_mut_checks_size() {
+        let mut out = vec![0.0f32; 9];
+        par_rows_mut(&mut out, 2, 5, 1, |_, _| {});
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: train and evaluate a small LeCA pipeline end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a SynthVision dataset, pre-trains a small backbone, freezes it,
+//! jointly trains a hard-modality LeCA encoder/decoder at the paper's
+//! CR = 8 design point (N_ch|Q_bit = 4|3), and reports the accuracy with
+//! and without compression.
+
+use leca::core::config::LecaConfig;
+use leca::core::encoder::Modality;
+use leca::core::trainer::{self, TrainConfig};
+use leca::core::LecaPipeline;
+use leca::data::{SynthConfig, SynthVision};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A small dataset so the example finishes in about a minute.
+    let mut dcfg = SynthConfig::proxy();
+    dcfg.train_per_class = 40;
+    dcfg.val_per_class = 15;
+    let data = SynthVision::generate(&dcfg, 1);
+    println!(
+        "dataset: {} train / {} val images, {} classes, {:?} px",
+        data.train().len(),
+        data.val().len(),
+        data.train().num_classes(),
+        data.train().image_shape().expect("non-empty dataset")
+    );
+
+    // 1. Pre-train the downstream backbone on raw images, then freeze it.
+    let mut backbone = trainer::backbone_for(data.train(), 0);
+    let mut tc = TrainConfig::experiment();
+    tc.epochs = 6;
+    let report = trainer::train_backbone(&mut backbone, data.train(), data.val(), &tc)?;
+    println!("backbone accuracy on raw images: {:.1}%", report.val_accuracy * 100.0);
+
+    // 2. Joint LeCA training: hard modality (analytical circuit models),
+    //    CR = 8 via N_ch|Q_bit = 4|3 (Fig. 4(b) optimum).
+    let cfg = LecaConfig::paper_for_cr(8)?;
+    println!(
+        "LeCA config: K={}, N_ch={}, Q_bit={}, CR={} (Eq. 1)",
+        cfg.k,
+        cfg.n_ch,
+        cfg.qbit,
+        cfg.compression_ratio()
+    );
+    let mut pipeline = LecaPipeline::new(&cfg, Modality::Hard, backbone, 42)?;
+    let mut tc = TrainConfig::experiment();
+    tc.epochs = 3;
+    let report = trainer::train_pipeline(&mut pipeline, data.train(), data.val(), &tc)?;
+    println!(
+        "LeCA pipeline accuracy at 8x compression: {:.1}% (losses per epoch: {:?})",
+        report.val_accuracy * 100.0,
+        report
+            .epoch_losses
+            .iter()
+            .map(|l| format!("{l:.2}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "accuracy cost of compressing 8x before digitization: {:.1} pp",
+        (trainer::backbone_accuracy(pipeline.backbone_mut(), data.val())? - report.val_accuracy)
+            * 100.0
+    );
+    Ok(())
+}

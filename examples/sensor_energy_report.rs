@@ -1,0 +1,59 @@
+//! Sensor energy and timing report: conventional vs LeCA configurations.
+//!
+//! ```text
+//! cargo run --release --example sensor_energy_report
+//! ```
+//!
+//! Pure analytical models — no training — at the paper's native 448x448
+//! geometry and at 1080p, demonstrating how compression ratio translates
+//! into frame energy and rate (Fig. 13 / Sec. 4.2 / Sec. 6.4).
+
+use leca::sensor::energy::EnergyModel;
+use leca::sensor::timing::TimingModel;
+use leca::sensor::SensorGeometry;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let energy = EnergyModel::paper();
+    let timing = TimingModel::paper();
+
+    println!("{:<28} {:>12} {:>10} {:>8}", "configuration", "energy (uJ)", "fps", "passes");
+    println!("{}", "-".repeat(62));
+    for (rows, cols, label) in [(448usize, 448usize, "448x448"), (1080, 1920, "1080p")] {
+        let cnv = energy.cnv_frame(rows, cols)?;
+        let geom = SensorGeometry { rows, cols, n_ch: 4 };
+        println!(
+            "{:<28} {:>12.1} {:>10.1} {:>8}",
+            format!("{label} conventional 8-bit"),
+            cnv.total_uj(),
+            1e9 / (rows as f64 * timing.t_row_readout_ns),
+            1
+        );
+        for (n_ch, qbit, cr) in [(8usize, 3.0f32, 4usize), (4, 4.0, 6), (4, 3.0, 8)] {
+            let geom = SensorGeometry { rows, cols, n_ch };
+            let b = energy.leca_frame(&geom, qbit)?;
+            println!(
+                "{:<28} {:>12.1} {:>10.1} {:>8}",
+                format!("{label} LeCA CR={cr} ({n_ch}|{qbit})"),
+                b.total_uj(),
+                timing.fps(&geom),
+                geom.readout_passes()
+            );
+        }
+        let leca8 = energy.leca_frame(&SensorGeometry { rows, cols, n_ch: 4 }, 3.0)?;
+        println!(
+            "  -> LeCA CR=8 is {:.1}x more energy-efficient than conventional at {label}\n",
+            cnv.total_uj() / leca8.total_uj()
+        );
+        let _ = geom;
+    }
+
+    // Component view for one configuration.
+    let b = energy.leca_frame(&SensorGeometry::paper(4), 3.0)?;
+    println!("LeCA CR=8 component breakdown at 448x448 (uJ):");
+    println!(
+        "  pixel {:.2} | ADC {:.2} | PE {:.2} | SRAM {:.2} | comm {:.2} | digital {:.2}",
+        b.pixel_uj, b.adc_uj, b.pe_uj, b.sram_uj, b.comm_uj, b.digital_uj
+    );
+    Ok(())
+}

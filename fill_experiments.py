@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Injects results/*.txt tables into EXPERIMENTS.md placeholder sections."""
+import re, pathlib
+
+root = pathlib.Path(__file__).parent
+exp = (root / "EXPERIMENTS.md").read_text()
+
+def grab(fname, start=None, lines=None):
+    p = root / "results" / fname
+    if not p.exists():
+        return "*(results pending — run `./run_experiments.sh`)*"
+    text = p.read_text()
+    # drop cargo/harness noise
+    keep = [l for l in text.splitlines()
+            if not l.startswith(("warning", "    Finished", "     Running",
+                                 "   Compiling", "[harness]", "+ ", "WARNING"))]
+    out = "\n".join(keep).strip()
+    return "```text\n" + out + "\n```"
+
+fills = {
+    "fig4a": grab("fig4a_kernel_size.txt"),
+    "fig4b": grab("fig4b_nch_qbit.txt"),
+    "fig10": grab("fig10_accuracy.txt"),
+    "fig10c": grab("fig10c_tradeoff.txt"),
+    "fig11": grab("fig11_modalities.txt"),
+    "fig12": grab("fig12_visualize.txt"),
+    "jpeg": grab("discussion_jpeg.txt"),
+    "unfrozen": grab("discussion_unfrozen.txt"),
+    "pareto": grab("fig13c_pareto.txt"),
+}
+for key, content in fills.items():
+    marker = f"<!-- RESULTS:{key} -->"
+    block = f"<!-- RESULTS:{key} -->\n\n{content}"
+    # replace marker and anything previously injected up to next heading
+    pattern = re.compile(re.escape(marker) + r"(?:\n\n```text.*?```)?", re.S)
+    exp = pattern.sub(block, exp, count=1)
+
+(root / "EXPERIMENTS.md").write_text(exp)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper. Results land in results/.
+# Training checkpoints are cached in .leca-cache/ so re-runs are incremental.
+set -x
+export LECA_EPOCHS=${LECA_EPOCHS:-2}
+for bin in tab1_methods tab2_structure fig2c_survey fig6_timing framerate \
+           fig8_circuit fig13_energy fig10_accuracy fig4b_nch_qbit \
+           fig4a_kernel_size fig11_modalities fig12_visualize \
+           fig10c_tradeoff fig13c_pareto discussion_jpeg discussion_unfrozen \
+           ablation_obuffer; do
+  cargo run --release -p leca-bench --bin "$bin" > "results/$bin.txt" 2>&1 || echo "FAILED: $bin"
+  echo "done: $bin"
+done

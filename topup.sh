@@ -1,0 +1,8 @@
+#!/bin/sh
+set -x
+export LECA_EPOCHS=5
+for bin in fig10_accuracy fig11_modalities fig12_visualize fig10c_tradeoff \
+           fig13c_pareto discussion_jpeg discussion_unfrozen; do
+  cargo run --release -p leca-bench --bin "$bin" > "results/$bin.txt" 2>&1 || echo "FAILED: $bin"
+  echo "done: $bin"
+done
