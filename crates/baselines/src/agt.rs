@@ -8,8 +8,10 @@
 //! between sampled pixels. Compression is image-dependent: flat regions
 //! compress heavily, textured regions barely.
 
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::{CodecError, Result};
 use leca_tensor::Tensor;
 

@@ -1,7 +1,9 @@
 //! Conventional sensor (CNV): pixel-wise uniform 8-bit quantization.
 
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::Result;
 use leca_tensor::Tensor;
 

@@ -9,8 +9,10 @@
 //! paper cites as CS's practical weakness.
 
 use crate::dct::Dct;
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::{CodecError, Result};
 use leca_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -105,24 +107,26 @@ impl Cs {
             // Gradient step toward the measurements, with the normalized-IHT
             // step size ||g||² / ||Φg||² (exact line minimizer of the data
             // term along g).
-            let residual: Vec<f32> = self
-                .measure(&x)
-                .iter()
-                .zip(y)
-                .map(|(m, t)| t - m)
-                .collect();
+            let residual: Vec<f32> = self.measure(&x).iter().zip(y).map(|(m, t)| t - m).collect();
             let grad = self.adjoint(&residual);
             let g_norm: f32 = grad.iter().map(|g| g * g).sum();
             let pg = self.measure(&grad);
             let pg_norm: f32 = pg.iter().map(|g| g * g).sum();
-            let step = if pg_norm > 1e-12 { g_norm / pg_norm } else { 0.0 };
+            let step = if pg_norm > 1e-12 {
+                g_norm / pg_norm
+            } else {
+                0.0
+            };
             for (xi, g) in x.iter_mut().zip(&grad) {
                 *xi += step * g;
             }
             // Hard-threshold in the DCT basis: keep the s largest coeffs.
             let mut coeffs = dct.forward2d(&x);
-            let mut mags: Vec<(usize, f32)> =
-                coeffs.iter().enumerate().map(|(i, c)| (i, c.abs())).collect();
+            let mut mags: Vec<(usize, f32)> = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.abs()))
+                .collect();
             mags.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let keep: std::collections::HashSet<usize> =
                 mags.iter().take(self.sparsity).map(|(i, _)| *i).collect();
@@ -229,7 +233,11 @@ mod tests {
     fn compression_ratio_accounts_measurement_bits() {
         let cs = Cs::paper_4x(0).unwrap();
         let out = cs.transcode(&smooth_image()).unwrap();
-        assert!((out.compression_ratio - 3.2).abs() < 0.01, "cr {}", out.compression_ratio);
+        assert!(
+            (out.compression_ratio - 3.2).abs() < 0.01,
+            "cr {}",
+            out.compression_ratio
+        );
     }
 
     #[test]

@@ -46,6 +46,8 @@ mod tests {
         let e: CodecError = TensorError::InvalidGeometry("x".into()).into();
         assert!(e.to_string().contains("tensor"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(CodecError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CodecError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

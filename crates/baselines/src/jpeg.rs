@@ -8,27 +8,28 @@
 //! closely enough for the compression-ratio axis.)
 
 use crate::dct::{zigzag_order, Dct};
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::{CodecError, Result};
 use leca_tensor::Tensor;
 
 /// Standard JPEG luminance quantization table (quality 50).
 const LUMA_QTABLE: [f32; 64] = [
-    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, 12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0,
-    55.0, 14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, 14.0, 17.0, 22.0, 29.0, 51.0, 87.0,
-    80.0, 62.0, 18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, 24.0, 35.0, 55.0, 64.0, 81.0,
-    104.0, 113.0, 92.0, 49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, 72.0, 92.0, 95.0,
-    98.0, 112.0, 100.0, 103.0, 99.0,
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, 12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0,
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, 14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0,
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, 24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0,
+    92.0, 49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, 72.0, 92.0, 95.0, 98.0, 112.0, 100.0,
+    103.0, 99.0,
 ];
 
 /// Standard JPEG chrominance quantization table (quality 50).
 const CHROMA_QTABLE: [f32; 64] = [
-    17.0, 18.0, 24.0, 47.0, 99.0, 99.0, 99.0, 99.0, 18.0, 21.0, 26.0, 66.0, 99.0, 99.0, 99.0,
-    99.0, 24.0, 26.0, 56.0, 99.0, 99.0, 99.0, 99.0, 99.0, 47.0, 66.0, 99.0, 99.0, 99.0, 99.0,
-    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
-    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
-    99.0, 99.0, 99.0, 99.0,
+    17.0, 18.0, 24.0, 47.0, 99.0, 99.0, 99.0, 99.0, 18.0, 21.0, 26.0, 66.0, 99.0, 99.0, 99.0, 99.0,
+    24.0, 26.0, 56.0, 99.0, 99.0, 99.0, 99.0, 99.0, 47.0, 66.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
+    99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0, 99.0,
 ];
 
 /// JPEG-like codec with a 1–100 quality factor.
@@ -133,7 +134,11 @@ impl Codec for Jpeg {
         let mut total_bits = 0.0f32;
         let mut decoded = vec![vec![0.0f32; hw]; 3];
         for (ci, plane) in planes.iter().enumerate() {
-            let table = if ci == 0 { &LUMA_QTABLE } else { &CHROMA_QTABLE };
+            let table = if ci == 0 {
+                &LUMA_QTABLE
+            } else {
+                &CHROMA_QTABLE
+            };
             for by in (0..h).step_by(8) {
                 for bx in (0..w).step_by(8) {
                     let mut block = [0.0f32; 64];
@@ -255,7 +260,10 @@ mod tests {
 
     #[test]
     fn rejects_indivisible_shapes() {
-        assert!(Jpeg::new(50).unwrap().transcode(&Tensor::zeros(&[3, 12, 16])).is_err());
+        assert!(Jpeg::new(50)
+            .unwrap()
+            .transcode(&Tensor::zeros(&[3, 12, 16]))
+            .is_err());
     }
 
     #[test]

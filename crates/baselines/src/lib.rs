@@ -34,8 +34,9 @@ mod error;
 mod traits;
 
 pub use error::CodecError;
-pub use traits::{Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
-    QualityMetric};
+pub use traits::{
+    Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective, QualityMetric,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CodecError>;

@@ -5,8 +5,10 @@
 //! pixel quantized to 3-bit, 1.5-bit (ternary) or 1-bit for its three
 //! compression points.
 
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::{CodecError, Result};
 use leca_nn::quant::{quantize_uniform, BitDepth};
 use leca_tensor::Tensor;
@@ -25,8 +27,8 @@ impl Lr {
     ///
     /// Returns [`CodecError::InvalidConfig`] for unsupported bit depths.
     pub fn new(qbit: f32) -> Result<Self> {
-        let depth = BitDepth::from_qbit(qbit)
-            .map_err(|e| CodecError::InvalidConfig(e.to_string()))?;
+        let depth =
+            BitDepth::from_qbit(qbit).map_err(|e| CodecError::InvalidConfig(e.to_string()))?;
         Ok(Lr { depth, qbit })
     }
 
@@ -86,7 +88,7 @@ mod tests {
 
     #[test]
     fn one_bit_binarizes() {
-        let img = Tensor::from_vec(vec![0.1, 0.6, 0.4, 0.9].repeat(3), &[3, 2, 2]).unwrap();
+        let img = Tensor::from_vec([0.1, 0.6, 0.4, 0.9].repeat(3), &[3, 2, 2]).unwrap();
         let out = Lr::new(1.0).unwrap().transcode(&img).unwrap();
         assert_eq!(out.reconstruction.as_slice()[..4], [0.0, 1.0, 0.0, 1.0]);
         assert_eq!(out.compression_ratio, 8.0);
@@ -128,11 +130,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let img = Tensor::rand_uniform(&[3, 16, 16], 0.0, 1.0, &mut rng);
         let e3 = img
-            .sub(&Lr::new(3.0).unwrap().transcode(&img).unwrap().reconstruction)
+            .sub(
+                &Lr::new(3.0)
+                    .unwrap()
+                    .transcode(&img)
+                    .unwrap()
+                    .reconstruction,
+            )
             .unwrap()
             .norm_sq();
         let e1 = img
-            .sub(&Lr::new(1.0).unwrap().transcode(&img).unwrap().reconstruction)
+            .sub(
+                &Lr::new(1.0)
+                    .unwrap()
+                    .transcode(&img)
+                    .unwrap()
+                    .reconstruction,
+            )
             .unwrap()
             .norm_sq();
         assert!(e1 > e3);
@@ -140,6 +154,9 @@ mod tests {
 
     #[test]
     fn rejects_non_rgb() {
-        assert!(Lr::new(2.0).unwrap().transcode(&Tensor::zeros(&[4, 4])).is_err());
+        assert!(Lr::new(2.0)
+            .unwrap()
+            .transcode(&Tensor::zeros(&[4, 4]))
+            .is_err());
     }
 }

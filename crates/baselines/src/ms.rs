@@ -7,8 +7,10 @@
 //! dither. Compression is image-independent here (the paper notes MS's
 //! ratio varies 4–5x with entropy coding; we charge the raw 2 bits/pixel).
 
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::Result;
 use leca_tensor::Tensor;
 
@@ -55,8 +57,7 @@ impl Codec for Ms {
                     let v = (plane[y * w + x] + shift).clamp(0.0, 1.0);
                     let code = ((v / step).floor() as usize).min(LEVELS - 1);
                     // Decode: mid-rise reconstruction minus the known shift.
-                    decoded[y * w + x] =
-                        (code as f32 * step + step / 2.0 - shift).clamp(0.0, 1.0);
+                    decoded[y * w + x] = (code as f32 * step + step / 2.0 - shift).clamp(0.0, 1.0);
                 }
             }
             // Spatial smoothing pools the dither phases back into

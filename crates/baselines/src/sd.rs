@@ -4,8 +4,10 @@
 //! bilinear interpolation back to full resolution) to reach compression
 //! ratios of 4, 6 and 8 respectively, keeping 8-bit precision.
 
-use crate::traits::{expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead,
-    Objective, QualityMetric};
+use crate::traits::{
+    expect_rgb, Codec, CodecOutput, CodecTraits, EncodingDomain, HwOverhead, Objective,
+    QualityMetric,
+};
 use crate::{CodecError, Result};
 use leca_tensor::Tensor;
 
@@ -24,7 +26,9 @@ impl Sd {
     /// Returns [`CodecError::InvalidConfig`] for zero-sized windows.
     pub fn new(ky: usize, kx: usize) -> Result<Self> {
         if ky == 0 || kx == 0 {
-            return Err(CodecError::InvalidConfig("pooling window must be positive".into()));
+            return Err(CodecError::InvalidConfig(
+                "pooling window must be positive".into(),
+            ));
         }
         Ok(Sd { ky, kx })
     }
@@ -89,8 +93,7 @@ impl Codec for Sd {
                             acc += plane[(oy * self.ky + dy) * w + ox * self.kx + dx];
                         }
                     }
-                    pooled[oy * ow + ox] =
-                        ((acc * inv).clamp(0.0, 1.0) * 255.0).round() / 255.0;
+                    pooled[oy * ow + ox] = ((acc * inv).clamp(0.0, 1.0) * 255.0).round() / 255.0;
                 }
             }
             // Bilinear upsample back to (h, w), aligning block centers.

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_circuit(c: &mut Criterion) {
     let params = CircuitParams::paper_65nm();
     let mut group = c.benchmark_group("circuit");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let scm = ScmModel::new(params.clone());
     group.bench_function("scm_mac_chain_16", |bench| {

@@ -18,7 +18,9 @@ fn bench_codecs(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let img = Tensor::rand_uniform(&[3, 32, 32], 0.0, 1.0, &mut rng);
     let mut group = c.benchmark_group("codecs");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
         ("cnv", Box::new(Cnv::new())),

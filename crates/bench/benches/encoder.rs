@@ -14,7 +14,9 @@ fn bench_encoder(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let x = Tensor::rand_uniform(&[8, 3, 32, 32], 0.05, 0.95, &mut rng);
     let mut group = c.benchmark_group("leca_encoder");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for (name, modality) in [
         ("soft", Modality::Soft),

@@ -10,7 +10,9 @@ use std::time::Duration;
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut group = c.benchmark_group("kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_sensor(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensor");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     // A 64x64 raw array (32x32 RGB) — the proxy deployment size.
     let geom = SensorGeometry {
@@ -24,11 +26,17 @@ fn bench_sensor(c: &mut Criterion) {
         .expect("weights");
     let scene: Vec<f32> = (0..64 * 64).map(|i| (i % 64) as f32 / 63.0).collect();
     group.bench_function("capture_64x64_leca", |bench| {
-        bench.iter(|| std::hint::black_box(sensor.capture::<StdRng>(&scene, None).expect("capture")));
+        bench.iter(|| {
+            std::hint::black_box(sensor.capture::<StdRng>(&scene, None).expect("capture"))
+        });
     });
     group.bench_function("capture_64x64_normal", |bench| {
         bench.iter(|| {
-            std::hint::black_box(sensor.capture_normal::<StdRng>(&scene, None).expect("capture"))
+            std::hint::black_box(
+                sensor
+                    .capture_normal::<StdRng>(&scene, None)
+                    .expect("capture"),
+            )
         });
     });
 

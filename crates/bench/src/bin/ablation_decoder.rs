@@ -19,9 +19,11 @@ use leca_core::encoder::Modality;
 
 fn main() {
     let data = harness::proxy_data();
-    let (_, baseline) =
-        harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    let (_, baseline) = harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     let mut rows = Vec::new();
     for (m, f) in [(1usize, 8usize), (1, 16), (3, 16), (5, 24)] {

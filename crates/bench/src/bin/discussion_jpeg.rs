@@ -15,7 +15,10 @@ fn main() {
     let data = harness::proxy_data();
     let (mut backbone, baseline) =
         harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     let mut rows = Vec::new();
     for quality in [85u32, 60, 35, 15] {
@@ -54,7 +57,13 @@ fn main() {
 
     harness::print_table(
         "Sec. 6.4 — JPEG vs LeCA (proxy pipeline)",
-        &["Method", "CR", "Accuracy", "Loss", "Where compression happens"],
+        &[
+            "Method",
+            "CR",
+            "Accuracy",
+            "Loss",
+            "Where compression happens",
+        ],
         &rows,
     );
     println!(

@@ -14,13 +14,16 @@ use leca_core::LecaPipeline;
 
 fn main() {
     let data = harness::proxy_data();
-    let (_, baseline) =
-        harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    let (_, baseline) = harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     let suffix = if harness::fast_mode() { "-fast" } else { "" };
     let mut rows = Vec::new();
-    for cr in [8usize] {
+    {
+        let cr = 8usize;
         let cfg = LecaConfig::paper_for_cr(cr).expect("design point");
 
         // Frozen (the cached standard pipeline).
@@ -41,7 +44,10 @@ fn main() {
         unfrozen.set_backbone_frozen(false);
         cache::load_or_train(
             &mut unfrozen,
-            &format!("pipe-proxy-n{}q{}-hard-unfrozen{suffix}", cfg.n_ch, cfg.qbit),
+            &format!(
+                "pipe-proxy-n{}q{}-hard-unfrozen{suffix}",
+                cfg.n_ch, cfg.qbit
+            ),
             |p| {
                 let mut tc = leca_core::trainer::TrainConfig::experiment();
                 tc.epochs = harness::leca_epochs();
@@ -62,7 +68,13 @@ fn main() {
     }
     harness::print_table(
         "Sec. 6.4 — frozen vs unfrozen backbone (proxy pipeline, hard training)",
-        &["CR", "Frozen acc", "Frozen loss", "Unfrozen acc", "Unfrozen loss"],
+        &[
+            "CR",
+            "Frozen acc",
+            "Frozen loss",
+            "Unfrozen acc",
+            "Unfrozen loss",
+        ],
         &rows,
     );
     println!(

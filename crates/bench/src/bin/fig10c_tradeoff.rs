@@ -20,7 +20,10 @@ fn main() {
     let data = harness::proxy_data();
     let (mut backbone, baseline) =
         harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut push_codec = |codec: &dyn Codec, backbone: &mut leca_nn::backbone::Backbone| {

@@ -24,16 +24,21 @@ fn eval_under(
     data: &SynthVision,
 ) -> f32 {
     let original = pipeline.encoder().modality();
-    pipeline.encoder_mut().set_modality(modality).expect("K=2 pipelines");
+    pipeline
+        .encoder_mut()
+        .set_modality(modality)
+        .expect("K=2 pipelines");
     let acc = pipeline_accuracy(pipeline, data.val()).expect("evaluation runs");
-    pipeline.encoder_mut().set_modality(original).expect("restore modality");
+    pipeline
+        .encoder_mut()
+        .set_modality(original)
+        .expect("restore modality");
     acc
 }
 
 fn run(pipeline_name: &str, data: &SynthVision) {
-    let (_, baseline) =
-        harness::cached_backbone(&format!("backbone-{pipeline_name}"), data)
-            .expect("backbone trains");
+    let (_, baseline) = harness::cached_backbone(&format!("backbone-{pipeline_name}"), data)
+        .expect("backbone trains");
     // The paper's CR = 6 design point (4|4).
     let cfg = LecaConfig::paper_for_cr(6).expect("paper design point");
 
@@ -65,7 +70,9 @@ fn run(pipeline_name: &str, data: &SynthVision) {
     let hard_on_noisy = eval_under(&mut hard, Modality::Noisy, data);
 
     // Noisy fine-tuning from the hard weights (Fig. 9 step 3).
-    hard.encoder_mut().set_modality(Modality::Noisy).expect("K=2");
+    hard.encoder_mut()
+        .set_modality(Modality::Noisy)
+        .expect("K=2");
     let suffix = if harness::fast_mode() { "-fast" } else { "" };
     cache::load_or_train(
         &mut hard,
@@ -87,13 +94,21 @@ fn run(pipeline_name: &str, data: &SynthVision) {
         ),
         &["Training", "Eval (own modality)", "Eval (noisy hardware)"],
         &[
-            vec!["soft".into(), harness::pct(soft_acc), harness::pct(soft_on_noisy)],
+            vec![
+                "soft".into(),
+                harness::pct(soft_acc),
+                harness::pct(soft_on_noisy),
+            ],
             vec![
                 "soft → hard mapping".into(),
                 harness::pct(soft_on_hard),
                 String::from("(see row above)"),
             ],
-            vec!["hard".into(), harness::pct(hard_acc), harness::pct(hard_on_noisy)],
+            vec![
+                "hard".into(),
+                harness::pct(hard_acc),
+                harness::pct(hard_on_noisy),
+            ],
             vec![
                 "noisy (fine-tuned from hard)".into(),
                 harness::pct(noisy_acc),
@@ -110,7 +125,10 @@ fn run(pipeline_name: &str, data: &SynthVision) {
 fn main() {
     run("proxy", &harness::proxy_data());
     // The full pipeline triples the training cost; opt in explicitly.
-    if std::env::var("LECA_FULL").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("LECA_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         run("full", &harness::full_data());
     } else {
         println!("\n(set LECA_FULL=1 to additionally run the full pipeline)");

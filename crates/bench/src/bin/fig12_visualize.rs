@@ -24,8 +24,7 @@ fn main() {
 
     for (label, cr) in [("q4", 6usize), ("q3", 8usize)] {
         let cfg = LecaConfig::paper_for_cr(cr).expect("paper design point");
-        let (bb, _) =
-            harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
+        let (bb, _) = harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
         let tag = format!("pipe-proxy-n{}q{}-hard", cfg.n_ch, cfg.qbit);
         let (mut pipe, acc) =
             harness::cached_pipeline(&tag, &cfg, Modality::Hard, &data, bb).expect("trains");

@@ -53,7 +53,9 @@ fn main() {
     ];
     leca_bench::print_table(
         "Fig. 13(a) — absolute frame energy at 448x448 (uJ; normalized column vs LeCA CR=4)",
-        &["Sensor", "Pixel", "ADC", "PE", "SRAM", "Comm", "Digital", "Total", "Norm"],
+        &[
+            "Sensor", "Pixel", "ADC", "PE", "SRAM", "Comm", "Digital", "Total", "Norm",
+        ],
         &rows,
     );
 
@@ -94,17 +96,26 @@ fn main() {
             ],
             vec![
                 "CS vs LeCA(CR=4)".into(),
-                format!("{:.0}% less", (1.0 - leca4.total_uj() / cs.total_uj()) * 100.0),
+                format!(
+                    "{:.0}% less",
+                    (1.0 - leca4.total_uj() / cs.total_uj()) * 100.0
+                ),
                 "11% less".into(),
             ],
             vec![
                 "MS vs LeCA(CR=4)".into(),
-                format!("{:.0}% less", (1.0 - leca4.total_uj() / ms.total_uj()) * 100.0),
+                format!(
+                    "{:.0}% less",
+                    (1.0 - leca4.total_uj() / ms.total_uj()) * 100.0
+                ),
                 "57% less".into(),
             ],
             vec![
                 "AGT vs LeCA(CR=4)".into(),
-                format!("{:.0}% less", (1.0 - leca4.total_uj() / agt.total_uj()) * 100.0),
+                format!(
+                    "{:.0}% less",
+                    (1.0 - leca4.total_uj() / agt.total_uj()) * 100.0
+                ),
                 "31% less".into(),
             ],
         ],

@@ -99,9 +99,9 @@ fn main() {
     let pareto: Vec<bool> = points
         .iter()
         .map(|p| {
-            !points.iter().any(|q| {
-                q.energy_uj < p.energy_uj - 1e-9 && q.loss_pp < p.loss_pp - 1e-4
-            })
+            !points
+                .iter()
+                .any(|q| q.energy_uj < p.energy_uj - 1e-9 && q.loss_pp < p.loss_pp - 1e-4)
         })
         .collect();
 
@@ -119,7 +119,12 @@ fn main() {
         .collect();
     harness::print_table(
         "Fig. 13(c) — energy vs accuracy-loss (448x448 frame energy; proxy accuracy)",
-        &["Sensor", "Frame energy (uJ)", "Accuracy loss (pp)", "Pareto-optimal"],
+        &[
+            "Sensor",
+            "Frame energy (uJ)",
+            "Accuracy loss (pp)",
+            "Pareto-optimal",
+        ],
         &rows,
     );
     let leca_on_frontier = points

@@ -1,7 +1,8 @@
 //! Fig. 2(c): ADC and output-buffer overheads from the CIS survey.
 
-use leca_sensor::survey::{aggregate, survey_entries, PAPER_AREA_PCT, PAPER_POWER_PCT,
-    PAPER_READOUT_PCT};
+use leca_sensor::survey::{
+    aggregate, survey_entries, PAPER_AREA_PCT, PAPER_POWER_PCT, PAPER_READOUT_PCT,
+};
 
 fn main() {
     let entries = survey_entries();

@@ -11,29 +11,28 @@ use leca_core::encoder::Modality;
 
 fn main() {
     let data = harness::proxy_data();
-    let (_, baseline) =
-        harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    let (_, baseline) = harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     // Configurations holding CR fixed while K varies (Eq. (1)):
     // CR = K²·3·8 / (N_ch·Q_bit).
-    let sweeps: &[(usize, &[(usize, usize, f32)])] = &[
+    type Sweep = (usize, &'static [(usize, usize, f32)]);
+    let sweeps: &[Sweep] = &[
         // (CR, [(K, N_ch, Q_bit)])
         (4, &[(2, 8, 3.0), (3, 9, 6.0), (4, 12, 8.0)]),
         (8, &[(2, 4, 3.0), (4, 12, 4.0)]),
     ];
-    let size = data
-        .train()
-        .image_shape()
-        .map(|s| s[1])
-        .unwrap_or(24);
+    let size = data.train().image_shape().map(|s| s[1]).unwrap_or(24);
 
     let mut rows = Vec::new();
     for (cr, configs) in sweeps {
         for (k, n_ch, qbit) in configs.iter() {
             let mut cfg = LecaConfig::new(*k, *n_ch, *qbit).expect("valid config");
             // Skip K values that do not tile the dataset's image size.
-            if size % k != 0 {
+            if !size.is_multiple_of(*k) {
                 rows.push(vec![
                     format!("{cr}x"),
                     k.to_string(),

@@ -12,9 +12,11 @@ use leca_core::encoder::Modality;
 
 fn main() {
     let data = harness::proxy_data();
-    let (_, baseline) =
-        harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
-    println!("frozen backbone baseline accuracy: {}", harness::pct(baseline));
+    let (_, baseline) = harness::cached_backbone("backbone-proxy", &data).expect("backbone trains");
+    println!(
+        "frozen backbone baseline accuracy: {}",
+        harness::pct(baseline)
+    );
 
     // Iso-CR lines: N_ch · Q_bit = 96 / CR (K=2, C=3, Q_full=8).
     let lines: &[(usize, &[(usize, f32)])] = &[

@@ -34,7 +34,13 @@ fn main() {
         .collect();
     leca_bench::print_table(
         "Fig. 6(b) — controller timing, one 4-row group",
-        &["Step", "Start (ns)", "End (ns)", "Duration (ns)", "Clock domain"],
+        &[
+            "Step",
+            "Start (ns)",
+            "End (ns)",
+            "Duration (ns)",
+            "Clock domain",
+        ],
         &rows,
     );
 

@@ -8,9 +8,21 @@ fn main() {
     let t = TimingModel::paper();
     let mut rows = Vec::new();
     for (label, geom, paper_fps) in [
-        ("448x448, N_ch<=4 (paper: 209 fps)", SensorGeometry::paper(4), Some(209.0)),
-        ("448x448, N_ch=8 (repetitive readout)", SensorGeometry::paper(8), None),
-        ("1080p, N_ch<=4 (paper: 86 fps)", SensorGeometry::hd1080(4), Some(86.0)),
+        (
+            "448x448, N_ch<=4 (paper: 209 fps)",
+            SensorGeometry::paper(4),
+            Some(209.0),
+        ),
+        (
+            "448x448, N_ch=8 (repetitive readout)",
+            SensorGeometry::paper(8),
+            None,
+        ),
+        (
+            "1080p, N_ch<=4 (paper: 86 fps)",
+            SensorGeometry::hd1080(4),
+            Some(86.0),
+        ),
         ("1080p, N_ch=8", SensorGeometry::hd1080(8), None),
     ] {
         let fps = t.fps(&geom);
@@ -20,12 +32,21 @@ fn main() {
             geom.readout_passes().to_string(),
             format!("{:.2}", t.frame_latency_ns(&geom) / 1e6),
             format!("{fps:.1}"),
-            paper_fps.map(|p| format!("{p:.0}")).unwrap_or_else(|| "-".into()),
+            paper_fps
+                .map(|p| format!("{p:.0}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     leca_bench::print_table(
         "Frame rate from the Sec. 4.2 timing model",
-        &["Configuration", "Raw array", "Passes", "Frame latency (ms)", "fps (model)", "fps (paper)"],
+        &[
+            "Configuration",
+            "Raw array",
+            "Passes",
+            "Frame latency (ms)",
+            "fps (model)",
+            "fps (paper)",
+        ],
         &rows,
     );
     println!(

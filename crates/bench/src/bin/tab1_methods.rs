@@ -78,7 +78,13 @@ fn main() {
     ];
     leca_bench::print_table(
         "Table 1 — Comparison of Image Compression Methods",
-        &["Method", "Encoding Domain", "Objective", "Quality Metric", "HW Overhead"],
+        &[
+            "Method",
+            "Encoding Domain",
+            "Objective",
+            "Quality Metric",
+            "HW Overhead",
+        ],
         &rows,
     );
 }

@@ -26,7 +26,9 @@ pub type Result<T> = std::result::Result<T, LecaError>;
 
 /// True when `LECA_FAST=1` smoke-test mode is active.
 pub fn fast_mode() -> bool {
-    std::env::var("LECA_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LECA_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// LeCA training epochs (default 4; `LECA_EPOCHS` overrides; 1 in fast
@@ -135,11 +137,7 @@ pub fn cached_pipeline(
 /// # Errors
 ///
 /// Propagates training errors.
-pub fn finetune(
-    pipeline: &mut LecaPipeline,
-    data: &SynthVision,
-    epochs: usize,
-) -> Result<f32> {
+pub fn finetune(pipeline: &mut LecaPipeline, data: &SynthVision, epochs: usize) -> Result<f32> {
     let mut tc = TrainConfig::experiment();
     tc.epochs = epochs.max(1);
     tc.incremental = false;
@@ -168,12 +166,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("  {}", padded.join("  "));
     };
     fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    fmt_row(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         fmt_row(row);
     }
@@ -192,7 +185,9 @@ pub fn pct(x: f32) -> String {
 /// Ensures a frozen backbone stays frozen across cache loads (defensive).
 pub fn assert_frozen(pipeline: &mut LecaPipeline) {
     let mut any = false;
-    pipeline.backbone_mut().visit_params(&mut |p| any |= !p.frozen);
+    pipeline
+        .backbone_mut()
+        .visit_params(&mut |p| any |= !p.frozen);
     assert!(!any, "backbone must remain frozen");
 }
 

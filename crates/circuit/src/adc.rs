@@ -198,9 +198,18 @@ mod tests {
 
     #[test]
     fn resolution_parsing() {
-        assert_eq!(AdcResolution::from_qbit(1.5).unwrap(), AdcResolution::Ternary);
-        assert_eq!(AdcResolution::from_qbit(4.0).unwrap(), AdcResolution::Sar(4));
-        assert_eq!(AdcResolution::from_qbit(8.0).unwrap(), AdcResolution::Sar(8));
+        assert_eq!(
+            AdcResolution::from_qbit(1.5).unwrap(),
+            AdcResolution::Ternary
+        );
+        assert_eq!(
+            AdcResolution::from_qbit(4.0).unwrap(),
+            AdcResolution::Sar(4)
+        );
+        assert_eq!(
+            AdcResolution::from_qbit(8.0).unwrap(),
+            AdcResolution::Sar(8)
+        );
         assert!(AdcResolution::from_qbit(1.0).is_err());
         assert!(AdcResolution::from_qbit(9.0).is_err());
         assert!(AdcResolution::from_qbit(3.3).is_err());
@@ -282,7 +291,9 @@ mod tests {
         let adc = AdcModel::device(AdcResolution::Sar(4), 0.7, &mut rng).unwrap();
         // Far from a decision boundary the code is stable under noise.
         let stable = adc.dequantize(3);
-        let codes: Vec<i32> = (0..100).map(|_| adc.quantize_noisy(stable, &mut rng)).collect();
+        let codes: Vec<i32> = (0..100)
+            .map(|_| adc.quantize_noisy(stable, &mut rng))
+            .collect();
         assert!(codes.iter().all(|&c| c == 3));
         // At a decision boundary the noisy comparator dithers.
         let boundary = stable + adc.lsb() / 2.0;

@@ -30,10 +30,18 @@ pub enum CircuitError {
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CircuitError::VoltageOutOfRange { stage, value, lo, hi } => {
+            CircuitError::VoltageOutOfRange {
+                stage,
+                value,
+                lo,
+                hi,
+            } => {
                 write!(f, "{stage}: voltage {value} V outside [{lo}, {hi}] V")
             }
-            CircuitError::WeightCodeOutOfRange { code, max_magnitude } => {
+            CircuitError::WeightCodeOutOfRange {
+                code,
+                max_magnitude,
+            } => {
                 write!(f, "weight code {code} outside ±{max_magnitude}")
             }
             CircuitError::UnsupportedResolution(q) => {

@@ -1,0 +1,354 @@
+//! Deterministic hardware fault injection for the LeCA sensor chain.
+//!
+//! A [`FaultPlan`] describes a *population* of permanent manufacturing or
+//! field defects — stuck/hot pixels in the array, dead columns feeding the
+//! PE array, bit flips in the programmed SCM weight codes, and stuck or
+//! missing ADC output codes — parameterized by per-domain rates and a
+//! seed. Unlike the Monte-Carlo noise models in [`crate::noise`] and
+//! [`crate::mismatch`] (fresh random draws per capture), a fault plan is
+//! **static**: whether a given site is faulty, and how, is a pure function
+//! of `(seed, domain, site index)`, so the same plan always injects the
+//! same defects regardless of evaluation order or how many sites are
+//! queried. This is what makes degradation curves reproducible and lets
+//! fault-aware fine-tuning train against the exact defect map that
+//! deployment will see.
+//!
+//! Site selection is hash-based (SplitMix64 finalizer) rather than drawn
+//! from a sequential RNG: each query is O(1), independent of every other
+//! site, and composable with the existing noise/mismatch Monte-Carlo
+//! without perturbing those streams.
+
+/// A pixel-level defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PixelFault {
+    /// Photosite reads the dark level regardless of the scene.
+    StuckLow,
+    /// Photosite reads full-well regardless of the scene.
+    StuckHigh,
+    /// Excess dark current: a large signal-independent offset.
+    Hot,
+}
+
+/// An ADC conversion defect on one (PE, kernel) channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdcFault {
+    /// The ADC always emits this code (comparator/DAC failure).
+    StuckCode(i32),
+    /// This code never appears; conversions that would produce it emit the
+    /// adjacent code toward zero (classic SAR missing-code defect).
+    MissingCode(i32),
+}
+
+/// Extra signal a hot pixel adds before clamping, as a fraction of
+/// full-well.
+pub const HOT_PIXEL_OFFSET: f32 = 0.5;
+
+const DOMAIN_PIXEL: u64 = 0x5049_5845;
+const DOMAIN_COLUMN: u64 = 0x434f_4c55;
+const DOMAIN_WEIGHT: u64 = 0x5745_4947;
+const DOMAIN_ADC: u64 = 0x4144_4343;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the top 53 bits of a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded, deterministic population of permanent hardware faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    stuck_pixel_rate: f64,
+    dead_column_rate: f64,
+    weight_bit_flip_rate: f64,
+    adc_fault_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; enable domains with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            stuck_pixel_rate: 0.0,
+            dead_column_rate: 0.0,
+            weight_bit_flip_rate: 0.0,
+            adc_fault_rate: 0.0,
+        }
+    }
+
+    /// The canonical fault-free plan. Injection sites verify
+    /// [`FaultPlan::is_none`] first, so carrying this plan is a no-op.
+    pub fn none() -> Self {
+        FaultPlan::new(0)
+    }
+
+    /// A plan with every fault domain at the same `rate`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed)
+            .with_stuck_pixels(rate)
+            .with_dead_columns(rate)
+            .with_weight_bit_flips(rate)
+            .with_adc_faults(rate)
+    }
+
+    /// Sets the fraction of photosites that are stuck or hot.
+    #[must_use]
+    pub fn with_stuck_pixels(mut self, rate: f64) -> Self {
+        self.stuck_pixel_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fraction of pixel-array columns whose readout line to the
+    /// PE array is dead (samples read the reset level).
+    #[must_use]
+    pub fn with_dead_columns(mut self, rate: f64) -> Self {
+        self.dead_column_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-code probability that one bit of a programmed SCM
+    /// weight (sign or magnitude) is flipped in the weight SRAM.
+    #[must_use]
+    pub fn with_weight_bit_flips(mut self, rate: f64) -> Self {
+        self.weight_bit_flip_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-(PE, kernel) probability of a stuck or missing ADC
+    /// code.
+    #[must_use]
+    pub fn with_adc_faults(mut self, rate: f64) -> Self {
+        self.adc_fault_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when no domain can inject anything (all rates zero).
+    pub fn is_none(&self) -> bool {
+        self.stuck_pixel_rate == 0.0
+            && self.dead_column_rate == 0.0
+            && self.weight_bit_flip_rate == 0.0
+            && self.adc_fault_rate == 0.0
+    }
+
+    /// Per-site hash: deterministic in `(seed, domain, a, b)`.
+    fn site(&self, domain: u64, a: u64, b: u64) -> u64 {
+        mix(mix(mix(self.seed ^ domain) ^ a) ^ b)
+    }
+
+    /// Defect of the photosite at linear index `idx`, if any.
+    pub fn pixel_fault(&self, idx: usize) -> Option<PixelFault> {
+        if self.stuck_pixel_rate == 0.0 {
+            return None;
+        }
+        let h = self.site(DOMAIN_PIXEL, idx as u64, 0);
+        if unit(h) >= self.stuck_pixel_rate {
+            return None;
+        }
+        // A second, independent hash picks the defect kind.
+        Some(match mix(h) % 3 {
+            0 => PixelFault::StuckLow,
+            1 => PixelFault::StuckHigh,
+            _ => PixelFault::Hot,
+        })
+    }
+
+    /// Applies this plan's pixel defect (if any) to a normalized `[0, 1]`
+    /// sample from photosite `idx`.
+    pub fn apply_pixel(&self, idx: usize, value: f32) -> f32 {
+        match self.pixel_fault(idx) {
+            None => value,
+            Some(PixelFault::StuckLow) => 0.0,
+            Some(PixelFault::StuckHigh) => 1.0,
+            Some(PixelFault::Hot) => (value + HOT_PIXEL_OFFSET).min(1.0),
+        }
+    }
+
+    /// True when pixel-array column `col` is dead (its samples never reach
+    /// the PE and read as the reset/dark level).
+    pub fn column_dead(&self, col: usize) -> bool {
+        self.dead_column_rate > 0.0
+            && unit(self.site(DOMAIN_COLUMN, col as u64, 0)) < self.dead_column_rate
+    }
+
+    /// The effective SCM weight code at `(kernel, pos)` after any SRAM bit
+    /// flip. `code` is the intended signed-magnitude code, `max_code` the
+    /// magnitude bound (e.g. 15 for ±4-bit); the result stays within
+    /// `±max_code`.
+    pub fn weight_code(&self, kernel: usize, pos: usize, code: i32, max_code: i32) -> i32 {
+        if self.weight_bit_flip_rate == 0.0 || max_code <= 0 {
+            return code;
+        }
+        let h = self.site(DOMAIN_WEIGHT, kernel as u64, pos as u64);
+        if unit(h) >= self.weight_bit_flip_rate {
+            return code;
+        }
+        let mag_bits = (32 - (max_code as u32).leading_zeros()) as u64;
+        let bit = mix(h) % (mag_bits + 1); // magnitude bits + the sign bit
+        if bit == mag_bits {
+            -code
+        } else {
+            let flipped = code.unsigned_abs() ^ (1u32 << bit);
+            (flipped.min(max_code as u32) as i32) * if code < 0 { -1 } else { 1 }
+        }
+    }
+
+    /// The ADC defect on PE `pe`, output channel `kernel`, if any.
+    /// Injected codes always lie within `±max_code`.
+    pub fn adc_fault(&self, pe: usize, kernel: usize, max_code: i32) -> Option<AdcFault> {
+        if self.adc_fault_rate == 0.0 || max_code <= 0 {
+            return None;
+        }
+        let h = self.site(DOMAIN_ADC, pe as u64, kernel as u64);
+        if unit(h) >= self.adc_fault_rate {
+            return None;
+        }
+        let span = (2 * max_code + 1) as u64;
+        let code = (mix(h) % span) as i32 - max_code;
+        if mix(mix(h)) & 1 == 0 {
+            Some(AdcFault::StuckCode(code))
+        } else {
+            Some(AdcFault::MissingCode(code))
+        }
+    }
+
+    /// Applies this plan's ADC defect (if any) on PE `pe`, channel
+    /// `kernel` to an output `code`.
+    pub fn apply_adc(&self, pe: usize, kernel: usize, code: i32, max_code: i32) -> i32 {
+        match self.adc_fault(pe, kernel, max_code) {
+            None => code,
+            Some(AdcFault::StuckCode(c)) => c,
+            Some(AdcFault::MissingCode(m)) => {
+                if code == m {
+                    // The missing level resolves to the adjacent code
+                    // toward zero; a missing zero resolves upward.
+                    match m.cmp(&0) {
+                        std::cmp::Ordering::Greater => m - 1,
+                        std::cmp::Ordering::Less => m + 1,
+                        std::cmp::Ordering::Equal => 1.min(max_code),
+                    }
+                } else {
+                    code
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_identity_everywhere() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for i in 0..1000 {
+            assert_eq!(plan.pixel_fault(i), None);
+            assert!(!plan.column_dead(i));
+            assert_eq!(plan.weight_code(i, i, 7, 15), 7);
+            assert_eq!(plan.adc_fault(i, i, 7), None);
+            assert_eq!(plan.apply_adc(i, i, 3, 7), 3);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sites() {
+        let a = FaultPlan::uniform(42, 0.1);
+        let b = FaultPlan::uniform(42, 0.1);
+        for i in 0..500 {
+            assert_eq!(a.pixel_fault(i), b.pixel_fault(i));
+            assert_eq!(a.column_dead(i), b.column_dead(i));
+            assert_eq!(a.adc_fault(i, i % 7, 7), b.adc_fault(i, i % 7, 7));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1).with_stuck_pixels(0.2);
+        let b = FaultPlan::new(2).with_stuck_pixels(0.2);
+        let diff = (0..2000)
+            .filter(|&i| a.pixel_fault(i) != b.pixel_fault(i))
+            .count();
+        assert!(diff > 100, "only {diff} sites differ between seeds");
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let plan = FaultPlan::new(7).with_stuck_pixels(0.05);
+        let n = 20_000;
+        let hit = (0..n).filter(|&i| plan.pixel_fault(i).is_some()).count();
+        let rate = hit as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "measured rate {rate}");
+    }
+
+    #[test]
+    fn weight_flips_stay_in_precision() {
+        let plan = FaultPlan::new(3).with_weight_bit_flips(1.0);
+        let mut changed = 0;
+        for k in 0..16 {
+            for pos in 0..16 {
+                for code in -15..=15 {
+                    let out = plan.weight_code(k, pos, code, 15);
+                    assert!(out.abs() <= 15, "code {code} -> {out} out of range");
+                    if out != code {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        assert!(changed > 0, "rate-1.0 plan must flip something");
+    }
+
+    #[test]
+    fn adc_codes_stay_in_range() {
+        for qmax in [1i32, 3, 7, 127] {
+            let plan = FaultPlan::new(11).with_adc_faults(1.0);
+            for pe in 0..8 {
+                for kern in 0..8 {
+                    for code in -qmax..=qmax {
+                        let out = plan.apply_adc(pe, kern, code, qmax);
+                        assert!(out.abs() <= qmax, "{out} beyond ±{qmax}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_code_never_appears() {
+        let plan = FaultPlan::new(5).with_adc_faults(1.0);
+        for pe in 0..16 {
+            for kern in 0..4 {
+                if let Some(AdcFault::MissingCode(m)) = plan.adc_fault(pe, kern, 7) {
+                    for code in -7..=7 {
+                        assert_ne!(plan.apply_adc(pe, kern, code, 7), m);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_pixels_add_but_clamp() {
+        let plan = FaultPlan::new(9).with_stuck_pixels(1.0);
+        for i in 0..200 {
+            if plan.pixel_fault(i) == Some(PixelFault::Hot) {
+                assert_eq!(plan.apply_pixel(i, 0.2), 0.2 + HOT_PIXEL_OFFSET);
+                assert_eq!(plan.apply_pixel(i, 0.9), 1.0);
+            }
+        }
+    }
+}

@@ -28,6 +28,7 @@
 //! sweep.
 
 pub mod adc;
+pub mod fault;
 pub mod fvf;
 pub mod mismatch;
 pub mod noise;

@@ -41,9 +41,16 @@ impl Lut {
             ));
         }
         if step <= 0.0 {
-            return Err(CircuitError::InvalidConfig("LUT step must be positive".into()));
+            return Err(CircuitError::InvalidConfig(
+                "LUT step must be positive".into(),
+            ));
         }
-        Ok(Lut { lo, step, mean, sigma })
+        Ok(Lut {
+            lo,
+            step,
+            mean,
+            sigma,
+        })
     }
 
     /// Input-domain lower bound.

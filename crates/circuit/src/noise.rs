@@ -120,7 +120,10 @@ mod tests {
             (samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / samples.len() as f32).sqrt();
         assert!((mean - x).abs() < 1e-3, "mean {mean}");
         let expected = n.sigma_at(x);
-        assert!((std - expected).abs() / expected < 0.1, "{std} vs {expected}");
+        assert!(
+            (std - expected).abs() / expected < 0.1,
+            "{std} vs {expected}"
+        );
     }
 
     #[test]

@@ -108,7 +108,7 @@ impl AnalogPe {
         weights: &[Vec<i32>],
         mut rng: Option<&mut R>,
     ) -> Result<Vec<i32>> {
-        if width == 0 || pixels.len() % width != 0 {
+        if width == 0 || !pixels.len().is_multiple_of(width) {
             return Err(CircuitError::InvalidConfig(format!(
                 "pixel block of {} values is not rows x {width}",
                 pixels.len()
@@ -171,8 +171,12 @@ impl AnalogPe {
         for k in 0..weights.len() {
             let (bp, bn) = match rng.as_deref_mut() {
                 Some(rng) => {
-                    let bp = self.fvf.transfer_noisy(vp[k].clamp(0.0, self.params.vdd), rng)?;
-                    let bn = self.fvf.transfer_noisy(vn[k].clamp(0.0, self.params.vdd), rng)?;
+                    let bp = self
+                        .fvf
+                        .transfer_noisy(vp[k].clamp(0.0, self.params.vdd), rng)?;
+                    let bn = self
+                        .fvf
+                        .transfer_noisy(vn[k].clamp(0.0, self.params.vdd), rng)?;
                     (bp, bn)
                 }
                 None => {
@@ -237,10 +241,10 @@ mod tests {
         let pe = pe(4.0);
         let weights = vec![vec![8i32; 16]];
         let dark = pe
-            .encode_block::<StdRng>(&vec![0.05; 16], 4, &weights, None)
+            .encode_block::<StdRng>(&[0.05; 16], 4, &weights, None)
             .unwrap()[0];
         let bright = pe
-            .encode_block::<StdRng>(&vec![0.95; 16], 4, &weights, None)
+            .encode_block::<StdRng>(&[0.95; 16], 4, &weights, None)
             .unwrap()[0];
         // Charge-domain MAC inverts: brighter pixels pull the accumulator
         // down (2·V_CM − V_in), so the bright code is lower.
@@ -266,7 +270,12 @@ mod tests {
     fn multiple_kernels_processed_together() {
         let pe = pe(4.0);
         let pixels: Vec<f32> = (0..16).map(|i| (i % 4) as f32 / 4.0).collect();
-        let weights = vec![vec![5i32; 16], vec![-5i32; 16], vec![0i32; 16], vec![12i32; 16]];
+        let weights = vec![
+            vec![5i32; 16],
+            vec![-5i32; 16],
+            vec![0i32; 16],
+            vec![12i32; 16],
+        ];
         let codes = pe
             .encode_block::<StdRng>(&pixels, 4, &weights, None)
             .unwrap();
@@ -280,23 +289,33 @@ mod tests {
         let pe = pe(4.0);
         let pixels = vec![0.4; 16];
         let weights = vec![vec![10i32; 16]];
-        let clean = pe.encode_block::<StdRng>(&pixels, 4, &weights, None).unwrap()[0];
+        let clean = pe
+            .encode_block::<StdRng>(&pixels, 4, &weights, None)
+            .unwrap()[0];
         let mut rng = StdRng::seed_from_u64(0);
         let noisy: Vec<i32> = (0..50)
             .map(|_| {
-                pe.encode_block(&pixels, 4, &weights, Some(&mut rng)).unwrap()[0]
+                pe.encode_block(&pixels, 4, &weights, Some(&mut rng))
+                    .unwrap()[0]
             })
             .collect();
         let mean: f32 = noisy.iter().map(|&c| c as f32).sum::<f32>() / noisy.len() as f32;
-        assert!((mean - clean as f32).abs() <= 1.0, "mean {mean} vs clean {clean}");
+        assert!(
+            (mean - clean as f32).abs() <= 1.0,
+            "mean {mean} vs clean {clean}"
+        );
     }
 
     #[test]
     fn ternary_mode_emits_signs() {
         let pe = pe(1.5);
         let weights = vec![vec![15i32; 16]];
-        let dark = pe.encode_block::<StdRng>(&vec![0.0; 16], 4, &weights, None).unwrap()[0];
-        let bright = pe.encode_block::<StdRng>(&vec![1.0; 16], 4, &weights, None).unwrap()[0];
+        let dark = pe
+            .encode_block::<StdRng>(&[0.0; 16], 4, &weights, None)
+            .unwrap()[0];
+        let bright = pe
+            .encode_block::<StdRng>(&[1.0; 16], 4, &weights, None)
+            .unwrap()[0];
         assert_eq!(dark, 1);
         assert_eq!(bright, -1);
     }
@@ -328,8 +347,12 @@ mod tests {
             for base in [0.1f32, 0.35, 0.6, 0.85] {
                 let pixels: Vec<f32> = (0..16).map(|i| base + i as f32 / 160.0).collect();
                 let weights = vec![vec![w; 16]];
-                let ca = a.encode_block::<StdRng>(&pixels, 4, &weights, None).unwrap();
-                let cb = b.encode_block::<StdRng>(&pixels, 4, &weights, None).unwrap();
+                let ca = a
+                    .encode_block::<StdRng>(&pixels, 4, &weights, None)
+                    .unwrap();
+                let cb = b
+                    .encode_block::<StdRng>(&pixels, 4, &weights, None)
+                    .unwrap();
                 any_differ |= ca != cb;
             }
         }
@@ -357,9 +380,13 @@ mod tests {
         let mut pe = pe(4.0);
         let pixels = vec![0.15; 16];
         let weights = vec![vec![6i32; 16]];
-        let before = pe.encode_block::<StdRng>(&pixels, 4, &weights, None).unwrap()[0];
+        let before = pe
+            .encode_block::<StdRng>(&pixels, 4, &weights, None)
+            .unwrap()[0];
         pe.set_adc_vfs(0.08).unwrap();
-        let after = pe.encode_block::<StdRng>(&pixels, 4, &weights, None).unwrap()[0];
+        let after = pe
+            .encode_block::<StdRng>(&pixels, 4, &weights, None)
+            .unwrap()[0];
         assert!(after.abs() >= before.abs());
         assert!(pe.set_adc_vfs(-1.0).is_err());
     }

@@ -138,7 +138,11 @@ impl ScmDevice {
                     weight_sum += w;
                 }
             }
-            d.cap_err[code] = if weight_sum > 0.0 { total / weight_sum } else { 0.0 };
+            d.cap_err[code] = if weight_sum > 0.0 {
+                total / weight_sum
+            } else {
+                0.0
+            };
         }
         d
     }
@@ -151,11 +155,7 @@ impl ScmDevice {
     /// Effective connected capacitance (fF) for a code, with mismatch.
     pub fn effective_csample(&self, magnitude: u32) -> f32 {
         let nominal = self.model.params().csample_for_code(magnitude);
-        let err = self
-            .cap_err
-            .get(magnitude as usize)
-            .copied()
-            .unwrap_or(0.0);
+        let err = self.cap_err.get(magnitude as usize).copied().unwrap_or(0.0);
         nominal * (1.0 + err)
     }
 

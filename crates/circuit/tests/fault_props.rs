@@ -1,0 +1,96 @@
+//! Property-based tests for the deterministic fault-injection plan.
+
+use leca_circuit::adc::AdcResolution;
+use leca_circuit::fault::FaultPlan;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A plan with every rate at zero is bit-identical to no plan at all,
+    /// for every fault class and site.
+    #[test]
+    fn rate_zero_plan_is_the_identity(
+        seed in 0u64..u64::MAX,
+        idx in 0usize..100_000,
+        col in 0usize..4096,
+        code in -15i32..16,
+        v in -2.0f32..2.0,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_stuck_pixels(0.0)
+            .with_dead_columns(0.0)
+            .with_weight_bit_flips(0.0)
+            .with_adc_faults(0.0);
+        prop_assert!(plan.is_none());
+        prop_assert_eq!(plan.apply_pixel(idx, v).to_bits(), v.to_bits());
+        prop_assert!(!plan.column_dead(col));
+        prop_assert_eq!(plan.weight_code(idx % 7, idx % 16, code, 15), code);
+        prop_assert_eq!(plan.apply_adc(idx % 9, idx % 4, code, 15), code);
+        prop_assert!(plan.pixel_fault(idx).is_none());
+        prop_assert!(plan.adc_fault(idx % 9, idx % 4, 15).is_none());
+    }
+
+    /// Fault sites are a pure function of (seed, site): two plans built
+    /// from the same seed and rates agree everywhere.
+    #[test]
+    fn same_seed_yields_identical_fault_sites(
+        seed in 0u64..u64::MAX,
+        rate in 0.0f64..1.0,
+        idx in 0usize..100_000,
+        col in 0usize..4096,
+        code in -15i32..16,
+        v in -2.0f32..2.0,
+    ) {
+        let a = FaultPlan::uniform(seed, rate);
+        let b = FaultPlan::uniform(seed, rate);
+        prop_assert_eq!(a.pixel_fault(idx), b.pixel_fault(idx));
+        prop_assert_eq!(a.apply_pixel(idx, v).to_bits(), b.apply_pixel(idx, v).to_bits());
+        prop_assert_eq!(a.column_dead(col), b.column_dead(col));
+        prop_assert_eq!(
+            a.weight_code(idx % 7, idx % 16, code, 15),
+            b.weight_code(idx % 7, idx % 16, code, 15)
+        );
+        prop_assert_eq!(
+            a.apply_adc(idx % 9, idx % 4, code, 15),
+            b.apply_adc(idx % 9, idx % 4, code, 15)
+        );
+    }
+
+    /// Injected ADC codes never leave the resolution's `[-max, +max]`
+    /// range, for every supported Q_bit and any in-range input code.
+    #[test]
+    fn injected_adc_codes_stay_in_qbit_range(
+        seed in 0u64..u64::MAX,
+        qbit in 2u8..9,
+        ternary in 0u32..2,
+        pe in 0usize..64,
+        kern in 0usize..4,
+        code_pick in 0u32..1_000_000,
+    ) {
+        let resolution = if ternary == 1 {
+            AdcResolution::from_qbit(1.5).unwrap()
+        } else {
+            AdcResolution::from_qbit(qbit as f32).unwrap()
+        };
+        let max = resolution.max_code();
+        let span = 2 * max + 1;
+        let code = (code_pick as i32 % span) - max;
+        let plan = FaultPlan::new(seed).with_adc_faults(1.0);
+        let out = plan.apply_adc(pe, kern, code, max);
+        prop_assert!((-max..=max).contains(&out), "code {out} outside ±{max}");
+    }
+
+    /// Faulted weight codes respect the SCM's signed-magnitude precision.
+    #[test]
+    fn flipped_weight_codes_stay_in_precision(
+        seed in 0u64..u64::MAX,
+        kern in 0usize..4,
+        pos in 0usize..16,
+        code in -15i32..16,
+    ) {
+        let plan = FaultPlan::new(seed).with_weight_bit_flips(1.0);
+        let out = plan.weight_code(kern, pos, code, 15);
+        prop_assert!((-15..=15).contains(&out), "code {out} outside ±15");
+    }
+}

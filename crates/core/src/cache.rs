@@ -34,8 +34,19 @@ where
     F: FnOnce(&mut L) -> LecaResult<()>,
 {
     let path = checkpoint_path(tag);
-    if path.exists() && leca_nn::serialize::load(layer, &path).is_ok() {
-        return Ok(false);
+    if path.exists() {
+        match leca_nn::serialize::load(layer, &path) {
+            Ok(()) => return Ok(false),
+            Err(e) => {
+                // A corrupt or mismatched checkpoint is a deliberate
+                // retrain, not a silent one: say why the cache was ignored.
+                eprintln!(
+                    "leca-cache: discarding unusable checkpoint {} ({e}); retraining",
+                    path.display()
+                );
+                std::fs::remove_file(&path).ok();
+            }
+        }
     }
     train(layer)?;
     std::fs::create_dir_all(cache_dir()).map_err(leca_nn::NnError::Io)?;
@@ -90,6 +101,50 @@ mod tests {
         })
         .unwrap();
         assert!(trained);
+
+        // Scenario 3: a corrupted checkpoint (flipped payload byte) is
+        // detected, discarded, retrained and cleanly overwritten.
+        let tag3 = "unit-test-corrupt";
+        std::fs::remove_file(checkpoint_path(tag3)).ok();
+        let mut c = Linear::new(3, 2, &mut rng);
+        load_or_train(&mut c, tag3, |l| {
+            l.visit_params(&mut |p| p.value.fill(0.5));
+            Ok(())
+        })
+        .unwrap();
+        let path3 = checkpoint_path(tag3);
+        let mut bytes = std::fs::read(&path3).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path3, &bytes).unwrap();
+        let mut d = Linear::new(3, 2, &mut rng);
+        let trained = load_or_train(&mut d, tag3, |l| {
+            l.visit_params(&mut |p| p.value.fill(0.75));
+            Ok(())
+        })
+        .unwrap();
+        assert!(trained, "corrupt checkpoint must retrain");
+        let mut vals = Vec::new();
+        d.visit_params(&mut |p| vals.push(p.value.as_slice()[0]));
+        assert!(vals.iter().all(|&v| v == 0.75));
+        // The rewritten file is valid again and loads on the next call.
+        let mut e = Linear::new(3, 2, &mut rng);
+        let trained = load_or_train(&mut e, tag3, |_| {
+            panic!("rewritten checkpoint must load");
+        })
+        .unwrap();
+        assert!(!trained);
+
+        // Scenario 4: a truncated checkpoint also retrains.
+        let truncated = std::fs::read(&path3).unwrap();
+        std::fs::write(&path3, &truncated[..truncated.len() / 3]).unwrap();
+        let mut f = Linear::new(3, 2, &mut rng);
+        let trained = load_or_train(&mut f, tag3, |l| {
+            l.visit_params(&mut |p| p.value.fill(0.1));
+            Ok(())
+        })
+        .unwrap();
+        assert!(trained, "truncated checkpoint must retrain");
 
         std::fs::remove_dir_all(&dir).ok();
         std::env::remove_var("LECA_CACHE_DIR");

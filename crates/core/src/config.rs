@@ -103,7 +103,7 @@ impl LecaConfig {
     /// Returns [`LecaError::InvalidConfig`] when the input is not divisible
     /// by `K`.
     pub fn ofmap_dims(&self, h: usize, w: usize) -> Result<(usize, usize)> {
-        if h % self.k != 0 || w % self.k != 0 {
+        if !h.is_multiple_of(self.k) || !w.is_multiple_of(self.k) {
             return Err(LecaError::InvalidConfig(format!(
                 "{h}x{w} input not divisible by K = {}",
                 self.k
@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(LecaConfig::new(2, 8, 3.0).unwrap().compression_ratio(), 4.0);
         assert_eq!(LecaConfig::new(2, 4, 4.0).unwrap().compression_ratio(), 6.0);
         assert_eq!(LecaConfig::new(2, 4, 3.0).unwrap().compression_ratio(), 8.0);
-        assert_eq!(LecaConfig::new(2, 2, 4.0).unwrap().compression_ratio(), 12.0);
+        assert_eq!(
+            LecaConfig::new(2, 2, 4.0).unwrap().compression_ratio(),
+            12.0
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ mod tests {
     fn k3_decoder_upsamples_3x() {
         let c = LecaConfig::new(3, 4, 3.0).unwrap();
         let mut dec = LecaDecoder::new(&c, 0).unwrap();
-        let y = dec.forward(&Tensor::zeros(&[1, 4, 4, 4]), Mode::Eval).unwrap();
+        let y = dec
+            .forward(&Tensor::zeros(&[1, 4, 4, 4]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 3, 12, 12]);
     }
 

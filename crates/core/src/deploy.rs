@@ -60,6 +60,10 @@ pub fn export_weight_codes(enc: &LecaEncoder) -> LecaResult<Vec<Vec<i32>>> {
 /// Builds a LeCA sensor sized for `(h, w)` RGB frames, programmed with the
 /// trained encoder's weight codes and ADC boundary.
 ///
+/// The encoder's [`FaultPlan`](leca_circuit::fault::FaultPlan) is carried
+/// over to the sensor, so a pipeline fine-tuned with `Modality::Faulty`
+/// deploys onto hardware exhibiting the very defects it trained against.
+///
 /// # Errors
 ///
 /// Propagates geometry/weight validation errors.
@@ -72,6 +76,9 @@ pub fn program_sensor(enc: &LecaEncoder, h: usize, w: usize) -> LecaResult<LecaS
     let mut sensor = LecaSensor::new(geometry, enc.qbit())?;
     sensor.program_weights(export_weight_codes(enc)?)?;
     sensor.set_adc_vfs(enc.v_fs())?;
+    if !enc.fault_plan().is_none() {
+        sensor.set_fault_plan(enc.fault_plan().clone());
+    }
     Ok(sensor)
 }
 
@@ -151,7 +158,11 @@ pub fn hardware_accuracy(
             labels.clear();
         }
     }
-    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+    Ok(if count == 0 {
+        0.0
+    } else {
+        correct / count as f32
+    })
 }
 
 #[cfg(test)]
@@ -246,6 +257,26 @@ mod tests {
         let ds = Dataset::new(images, vec![0, 1, 2, 0, 1, 2], 3).unwrap();
         let acc = hardware_accuracy(&mut p, &ds, false, 0).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn program_sensor_carries_the_encoder_fault_plan() {
+        use leca_circuit::fault::FaultPlan;
+        let mut enc = encoder();
+        let plan = FaultPlan::uniform(21, 0.2);
+        enc.set_fault_plan(plan.clone());
+        let sensor = program_sensor(&enc, 8, 8).unwrap();
+        assert_eq!(sensor.fault_plan(), &plan);
+        // The deployed faults actually bite: the faulted sensor's clean
+        // capture differs from a pristine sensor's.
+        let mut rng = StdRng::seed_from_u64(22);
+        let img = Tensor::rand_uniform(&[3, 8, 8], 0.1, 0.9, &mut rng);
+        let mut pristine = enc;
+        pristine.set_fault_plan(FaultPlan::none());
+        let clean = program_sensor(&pristine, 8, 8).unwrap();
+        let a = sensor_encode(&sensor, &img, false, 0).unwrap();
+        let b = sensor_encode(&clean, &img, false, 0).unwrap();
+        assert_ne!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -27,13 +27,14 @@
 use crate::config::LecaConfig;
 use crate::{LecaError, Result as LecaResult};
 use leca_circuit::adc::AdcResolution;
+use leca_circuit::fault::FaultPlan;
 use leca_circuit::fvf::FvfModel;
 use leca_circuit::mismatch::{extract_fvf_lut, extract_psf_lut, Lut, PAPER_MC_SAMPLES};
 use leca_circuit::noise::PixelNoise;
 use leca_circuit::psf::PsfModel;
 use leca_circuit::scm::ScmModel;
 use leca_circuit::CircuitParams;
-use leca_nn::quant::quantize_signed_magnitude;
+use leca_nn::quant::signed_magnitude_quantize;
 use leca_nn::{Layer, Mode, NnError, Param};
 use leca_tensor::{ops, standard_normal, Tensor};
 use rand::rngs::StdRng;
@@ -48,6 +49,11 @@ pub enum Modality {
     Hard,
     /// Full device behaviour with noise and variations.
     Noisy,
+    /// [`Modality::Noisy`] plus the permanent defects of the encoder's
+    /// [`FaultPlan`] (stuck/hot pixels, dead columns, weight-SRAM bit
+    /// flips, stuck/missing ADC codes) — fault-aware fine-tuning trains
+    /// through the exact defect map the deployed sensor will exhibit.
+    Faulty,
 }
 
 /// SCM incomplete-transfer loss and per-step charge injection used by the
@@ -73,7 +79,12 @@ struct BayerStep {
 
 /// The 16-step raw-Bayer MAC schedule for a 2x2x3 RGB kernel (Fig. 5(a)).
 fn bayer_schedule() -> [BayerStep; 16] {
-    let mut steps = [BayerStep { c: 0, dy: 0, dx: 0, factor: 1.0 }; 16];
+    let mut steps = [BayerStep {
+        c: 0,
+        dy: 0,
+        dx: 0,
+        factor: 1.0,
+    }; 16];
     for row in 0..4 {
         for col in 0..4 {
             let (dy, pr) = (row / 2, row % 2);
@@ -138,6 +149,7 @@ pub struct LecaEncoder {
     psf_lut: Lut,
     fvf_lut: Lut,
     pixel_noise: PixelNoise,
+    fault_plan: FaultPlan,
     schedule: [BayerStep; 16],
     rng: StdRng,
     cache: Option<Cache>,
@@ -199,6 +211,7 @@ impl LecaEncoder {
             fvf_lut: extract_fvf_lut(&params, PAPER_MC_SAMPLES, 33, seed ^ 0x79b9),
             params,
             pixel_noise: PixelNoise::typical(),
+            fault_plan: FaultPlan::none(),
             schedule: bayer_schedule(),
             rng: StdRng::seed_from_u64(seed.wrapping_add(1)),
             cache: None,
@@ -220,6 +233,19 @@ impl LecaEncoder {
         }
         self.modality = modality;
         Ok(())
+    }
+
+    /// The active fault plan (consulted only in [`Modality::Faulty`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Installs the permanent-defect plan the faulty modality trains
+    /// through. Use the same seed/rates when building the deployed sensor
+    /// (`deploy::program_sensor` propagates this plan) so training and
+    /// deployment see identical defect maps.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
     }
 
     /// The ofmap bit depth.
@@ -301,6 +327,25 @@ impl LecaEncoder {
         }
     }
 
+    /// Applies the fault plan's ADC defect (if any) on PE column `pe`,
+    /// kernel `kern` to a normalized quantizer output, staying on the
+    /// centrally-symmetric code grid.
+    fn adc_faulted(&self, pe: usize, kern: usize, q: f32) -> f32 {
+        match self.resolution {
+            AdcResolution::Ternary => {
+                // Normalized ternary outputs {-2/3, 0, 2/3} carry codes
+                // {-1, 0, 1} (the deploy normalization convention).
+                let code = (q * 1.5).round() as i32;
+                self.fault_plan.apply_adc(pe, kern, code, 1) as f32 * (2.0 / 3.0)
+            }
+            AdcResolution::Sar(_) => {
+                let max = self.resolution.max_code();
+                let code = (q * max as f32).round() as i32;
+                self.fault_plan.apply_adc(pe, kern, code, max) as f32 / max as f32
+            }
+        }
+    }
+
     fn forward_soft(&mut self, x: &Tensor, mode: Mode) -> leca_nn::Result<Tensor> {
         let y = ops::conv2d(x, &self.weight.value, None, self.k, 0)?;
         let vfs = self.v_fs();
@@ -360,7 +405,10 @@ impl LecaEncoder {
         if noisy {
             let mean = self.fvf_lut.value(v);
             let sigma = self.fvf_lut.sigma(v);
-            (mean + sigma * standard_normal(&mut self.rng), self.fvf_lut.slope(v))
+            (
+                mean + sigma * standard_normal(&mut self.rng),
+                self.fvf_lut.slope(v),
+            )
         } else {
             (self.fvf.transfer(v), self.fvf.gain)
         }
@@ -374,7 +422,8 @@ impl LecaEncoder {
                 actual: x.rank(),
             }));
         }
-        let noisy = self.modality == Modality::Noisy;
+        let noisy = matches!(self.modality, Modality::Noisy | Modality::Faulty);
+        let faulty = self.modality == Modality::Faulty && !self.fault_plan.is_none();
         let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         if h % 2 != 0 || w % 2 != 0 {
             return Err(NnError::InvalidConfig(format!(
@@ -395,11 +444,18 @@ impl LecaEncoder {
         let mut on_pos = vec![true; n_ch * 16];
         let mut w_mask = vec![true; n_ch * 16];
         let schedule_w = self.schedule;
+        let max_wcode = self.params.max_weight_code();
         for kern in 0..n_ch {
             for (j, step) in schedule_w.iter().enumerate() {
                 let wv = self.weight.value.at4(kern, step.c, step.dy, step.dx) * step.factor;
-                let wq = quantize_signed_magnitude(&Tensor::from_slice(&[wv]), 4, 1.0)
-                    .as_slice()[0];
+                let mut wq = signed_magnitude_quantize(wv, 4, 1.0);
+                if faulty {
+                    // Weight-SRAM bit flips act on the programmed code,
+                    // exactly as `LecaSensor::program_weights` sees them.
+                    let code = (wq * max_wcode as f32).round() as i32;
+                    wq = self.fault_plan.weight_code(kern, j, code, max_wcode) as f32
+                        / max_wcode as f32;
+                }
                 cs[kern * 16 + j] = wq.abs() * ctot * loss_factor;
                 on_pos[kern * 16 + j] = wq >= 0.0;
                 w_mask[kern * 16 + j] = wv.abs() <= 1.0;
@@ -425,10 +481,18 @@ impl LecaEncoder {
                         if noisy {
                             px = self.pixel_noise.apply(px, &mut self.rng);
                         }
-                        let v = self
-                            .params
-                            .pixel_to_voltage(px)
-                            .clamp(win_lo, win_hi);
+                        if faulty {
+                            // Map MAC step j onto the raw-Bayer photosite
+                            // the sensor reads: block (by, bx) covers raw
+                            // rows by*4.. and cols bx*4.., step j scanning
+                            // row-major within the 4x4 block.
+                            let (ry, rx) = (by * 4 + j / 4, bx * 4 + j % 4);
+                            px = self.fault_plan.apply_pixel(ry * (ow * 4) + rx, px);
+                            if self.fault_plan.column_dead(rx) {
+                                px = 0.0;
+                            }
+                        }
+                        let v = self.params.pixel_to_voltage(px).clamp(win_lo, win_hi);
                         let idx = (ni * blocks + b) * 16 + j;
                         vpix[idx] = v;
                         let (buffered, _) = self.psf_eval(v, noisy);
@@ -444,11 +508,8 @@ impl LecaEncoder {
                             let acc = if on_pos[ks] { &mut acc_p } else { &mut acc_n };
                             prev[((ni * n_ch + kern) * blocks + b) * 16 + j] = *acc;
                             if cs[ks] > 0.0 {
-                                let mut v = self.scm.step(
-                                    *acc,
-                                    vin[(ni * blocks + b) * 16 + j],
-                                    cs[ks],
-                                );
+                                let mut v =
+                                    self.scm.step(*acc, vin[(ni * blocks + b) * 16 + j], cs[ks]);
                                 if noisy {
                                     v += CHARGE_INJECTION
                                         + SCM_STEP_NOISE * standard_normal(&mut self.rng);
@@ -468,7 +529,11 @@ impl LecaEncoder {
                         }
                         let uu = vdiff / vfs;
                         u[kb] = uu;
-                        out.set4(ni, kern, by, bx, self.quant_norm(uu));
+                        let mut q = self.quant_norm(uu);
+                        if faulty {
+                            q = self.adc_faulted(bx, kern, q);
+                        }
+                        out.set4(ni, kern, by, bx, q);
                     }
                 }
             }
@@ -494,7 +559,7 @@ impl LecaEncoder {
     }
 
     fn backward_hw(&mut self, grad_out: &Tensor, cache: HwCache) -> leca_nn::Result<Tensor> {
-        let noisy = self.modality == Modality::Noisy;
+        let noisy = matches!(self.modality, Modality::Noisy | Modality::Faulty);
         let (n, oh, ow) = (cache.x_shape[0], cache.oh, cache.ow);
         let blocks = oh * ow;
         let n_ch = self.n_ch;
@@ -560,10 +625,8 @@ impl LecaEncoder {
                         if cache.w_mask[ks] {
                             let step = schedule[j];
                             let sign = if cache.on_pos[ks] { 1.0 } else { -1.0 };
-                            let contrib =
-                                *gacc * d_cs * ctot * loss_factor * step.factor * sign;
-                            let widx = ((kern * 3 + step.c) * self.k + step.dy) * self.k
-                                + step.dx;
+                            let contrib = *gacc * d_cs * ctot * loss_factor * step.factor * sign;
+                            let widx = ((kern * 3 + step.c) * self.k + step.dy) * self.k + step.dx;
                             gw.as_mut_slice()[widx] += contrib;
                         }
                         // Input gradient through PSF and the pixel window.
@@ -596,7 +659,7 @@ impl Layer for LecaEncoder {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> leca_nn::Result<Tensor> {
         match self.modality {
             Modality::Soft => self.forward_soft(x, mode),
-            Modality::Hard | Modality::Noisy => self.forward_hw(x, mode),
+            Modality::Hard | Modality::Noisy | Modality::Faulty => self.forward_hw(x, mode),
         }
     }
 
@@ -645,9 +708,9 @@ mod tests {
         for st in &s {
             totals[st.c][st.dy * 2 + st.dx] += st.factor;
         }
-        for c in 0..3 {
-            for cell in 0..4 {
-                assert!((totals[c][cell] - 1.0).abs() < 1e-6, "c{c} cell{cell}");
+        for (c, row) in totals.iter().enumerate() {
+            for (cell, &t) in row.iter().enumerate() {
+                assert!((t - 1.0).abs() < 1e-6, "c{c} cell{cell}");
             }
         }
     }
@@ -733,8 +796,7 @@ mod tests {
         for (a, b) in gx.as_slice().iter().zip(expect_gx.as_slice()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
-        let expect_gw =
-            leca_tensor::ops::conv2d_grad_weight(&x, &g_y, 2, 2, 2, 0).unwrap();
+        let expect_gw = leca_tensor::ops::conv2d_grad_weight(&x, &g_y, 2, 2, 2, 0).unwrap();
         for (a, b) in enc.weight.grad.as_slice().iter().zip(expect_gw.as_slice()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
@@ -836,10 +898,16 @@ mod tests {
         enc.set_qbit(1.5).unwrap();
         assert_eq!(enc.qbit(), 1.5);
         let coarse = enc.forward(&x, Mode::Eval).unwrap();
-        let distinct_fine: std::collections::HashSet<i32> =
-            fine.as_slice().iter().map(|v| (v * 127.0).round() as i32).collect();
-        let distinct_coarse: std::collections::HashSet<i32> =
-            coarse.as_slice().iter().map(|v| (v * 3.0).round() as i32).collect();
+        let distinct_fine: std::collections::HashSet<i32> = fine
+            .as_slice()
+            .iter()
+            .map(|v| (v * 127.0).round() as i32)
+            .collect();
+        let distinct_coarse: std::collections::HashSet<i32> = coarse
+            .as_slice()
+            .iter()
+            .map(|v| (v * 3.0).round() as i32)
+            .collect();
         assert!(distinct_fine.len() > distinct_coarse.len());
     }
 
@@ -848,7 +916,9 @@ mod tests {
         let mut enc = LecaEncoder::new(&cfg(2, 3.0), Modality::Hard, 16).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let w = Tensor::from_vec(
-            (0..enc.weight().len()).map(|_| rng.gen_range(-3.0..3.0)).collect(),
+            (0..enc.weight().len())
+                .map(|_| rng.gen_range(-3.0..3.0))
+                .collect(),
             enc.weight().shape(),
         )
         .unwrap();
@@ -866,14 +936,60 @@ mod tests {
     }
 
     #[test]
+    fn faulty_with_empty_plan_matches_noisy_exactly() {
+        // Faults draw no randomness, so with FaultPlan::none() the faulty
+        // modality must be bit-identical to noisy at the same seed.
+        let x = input(1, 8, 20);
+        let mut noisy = LecaEncoder::new(&cfg(4, 3.0), Modality::Noisy, 21).unwrap();
+        let mut faulty = LecaEncoder::new(&cfg(4, 3.0), Modality::Faulty, 21).unwrap();
+        assert!(faulty.fault_plan().is_none());
+        let a = noisy.forward(&x, Mode::Eval).unwrap();
+        let b = faulty.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_plan_changes_faulty_output_and_stays_on_grid() {
+        let x = input(1, 8, 22);
+        let mut a = LecaEncoder::new(&cfg(4, 3.0), Modality::Faulty, 23).unwrap();
+        let mut b = LecaEncoder::new(&cfg(4, 3.0), Modality::Faulty, 23).unwrap();
+        b.set_fault_plan(FaultPlan::uniform(5, 0.4));
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(ya, yb, "a heavy fault plan must perturb the ofmap");
+        for &v in yb.as_slice() {
+            let scaled = v * 3.0;
+            assert!((scaled - scaled.round()).abs() < 1e-4, "off-grid {v}");
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn faulty_gradients_flow_for_fine_tuning() {
+        let mut enc = LecaEncoder::new(&cfg(4, 8.0), Modality::Faulty, 24).unwrap();
+        enc.set_fault_plan(FaultPlan::uniform(6, 0.1));
+        let x = input(1, 8, 25);
+        enc.zero_grad();
+        let y = enc.forward(&x, Mode::Train).unwrap();
+        let gx = enc.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.norm_sq() > 0.0, "input gradient must be non-zero");
+        assert!(enc.weight.grad.norm_sq() > 0.0, "weight gradient must flow");
+    }
+
+    #[test]
     fn brighter_input_lowers_hard_codes_with_positive_weights() {
         // The charge-domain inversion (2·V_CM − V_in) must appear in the
         // training model exactly as in the sensor.
         let c = cfg(1, 8.0);
         let mut enc = LecaEncoder::new(&c, Modality::Hard, 18).unwrap();
         enc.set_weight(Tensor::full(&[1, 3, 2, 2], 0.6)).unwrap();
-        let dark = enc.forward(&Tensor::full(&[1, 3, 4, 4], 0.1), Mode::Eval).unwrap();
-        let bright = enc.forward(&Tensor::full(&[1, 3, 4, 4], 0.9), Mode::Eval).unwrap();
+        let dark = enc
+            .forward(&Tensor::full(&[1, 3, 4, 4], 0.1), Mode::Eval)
+            .unwrap();
+        let bright = enc
+            .forward(&Tensor::full(&[1, 3, 4, 4], 0.9), Mode::Eval)
+            .unwrap();
         assert!(bright.mean() < dark.mean());
     }
 }

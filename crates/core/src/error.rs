@@ -17,6 +17,12 @@ pub enum LecaError {
     Codec(leca_baselines::CodecError),
     /// Invalid LeCA configuration.
     InvalidConfig(String),
+    /// Training diverged (non-finite loss) and exhausted its rollback
+    /// budget.
+    Diverged {
+        /// Rollbacks attempted before giving up.
+        rollbacks: usize,
+    },
 }
 
 impl fmt::Display for LecaError {
@@ -29,6 +35,10 @@ impl fmt::Display for LecaError {
             LecaError::Data(e) => write!(f, "data error: {e}"),
             LecaError::Codec(e) => write!(f, "codec error: {e}"),
             LecaError::InvalidConfig(m) => write!(f, "invalid LeCA config: {m}"),
+            LecaError::Diverged { rollbacks } => write!(
+                f,
+                "training diverged: loss stayed non-finite after {rollbacks} rollbacks"
+            ),
         }
     }
 }
@@ -42,7 +52,7 @@ impl std::error::Error for LecaError {
             LecaError::Sensor(e) => Some(e),
             LecaError::Data(e) => Some(e),
             LecaError::Codec(e) => Some(e),
-            LecaError::InvalidConfig(_) => None,
+            LecaError::InvalidConfig(_) | LecaError::Diverged { .. } => None,
         }
     }
 }

@@ -216,11 +216,13 @@ mod tests {
         assert!(loss > 0.0);
         // Encoder + decoder grads non-zero.
         let mut enc_dec = 0.0;
-        p.encoder_mut().visit_params(&mut |pp| enc_dec += pp.grad.norm_sq());
+        p.encoder_mut()
+            .visit_params(&mut |pp| enc_dec += pp.grad.norm_sq());
         assert!(enc_dec > 0.0, "encoder must receive gradients");
         // Backbone params are frozen.
         let mut any_unfrozen = false;
-        p.backbone_mut().visit_params(&mut |pp| any_unfrozen |= !pp.frozen);
+        p.backbone_mut()
+            .visit_params(&mut |pp| any_unfrozen |= !pp.frozen);
         assert!(!any_unfrozen, "backbone must be frozen");
     }
 
@@ -231,8 +233,12 @@ mod tests {
         let loss = p.train_step(&x, &labels).unwrap();
         assert!(loss.is_finite() && loss > 0.0);
         let mut enc = 0.0;
-        p.encoder_mut().visit_params(&mut |pp| enc += pp.grad.norm_sq());
-        assert!(enc > 0.0, "hard encoder must receive gradients through Eq.(3)");
+        p.encoder_mut()
+            .visit_params(&mut |pp| enc += pp.grad.norm_sq());
+        assert!(
+            enc > 0.0,
+            "hard encoder must receive gradients through Eq.(3)"
+        );
     }
 
     #[test]
@@ -250,7 +256,8 @@ mod tests {
         let mut p = pipeline(Modality::Soft);
         p.set_backbone_frozen(false);
         let mut any_frozen = false;
-        p.backbone_mut().visit_params(&mut |pp| any_frozen |= pp.frozen);
+        p.backbone_mut()
+            .visit_params(&mut |pp| any_frozen |= pp.frozen);
         assert!(!any_frozen);
     }
 

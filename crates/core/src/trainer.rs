@@ -13,7 +13,7 @@
 
 use crate::encoder::Modality;
 use crate::pipeline::LecaPipeline;
-use crate::Result as LecaResult;
+use crate::{LecaError, Result as LecaResult};
 use leca_data::augment::paper_augment;
 use leca_data::Dataset;
 use leca_nn::backbone::{resnet_full, resnet_proxy, Backbone};
@@ -74,10 +74,69 @@ impl TrainConfig {
 /// Per-run training telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
-    /// Mean training loss per epoch.
+    /// Mean training loss per epoch (finite by construction: diverged
+    /// epochs are rolled back and retried, never recorded).
     pub epoch_losses: Vec<f32>,
     /// Validation accuracy after the final epoch.
     pub val_accuracy: f32,
+    /// Divergence rollbacks taken: each one restored the last finite-loss
+    /// snapshot and backed the learning rate off by [`LR_BACKOFF`].
+    pub rollbacks: usize,
+}
+
+/// Learning-rate multiplier applied on every divergence rollback.
+pub const LR_BACKOFF: f32 = 0.1;
+
+/// Rollbacks allowed before training reports [`LecaError::Diverged`].
+pub const MAX_ROLLBACKS: usize = 10;
+
+/// Divergence-rollback state shared by the two training loops: a byte
+/// snapshot of the last model that produced a finite epoch loss, plus the
+/// accumulated learning-rate backoff.
+struct EpochGuard {
+    snapshot: Vec<u8>,
+    lr_scale: f32,
+    rollbacks: usize,
+}
+
+impl EpochGuard {
+    fn new<L: Layer + ?Sized>(model: &mut L) -> Self {
+        EpochGuard {
+            snapshot: leca_nn::serialize::to_bytes(model),
+            lr_scale: 1.0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Accepts a finite epoch: re-snapshots the model. Call after pushing
+    /// the epoch loss.
+    fn accept<L: Layer + ?Sized>(&mut self, model: &mut L) {
+        self.snapshot = leca_nn::serialize::to_bytes(model);
+    }
+
+    /// Handles a non-finite epoch loss: restores the last good snapshot
+    /// and backs off the learning rate. The caller retries the epoch with
+    /// a fresh optimizer (NaN-poisoned Adam moments must not survive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::Diverged`] once the rollback budget is spent.
+    fn rollback<L: Layer + ?Sized>(&mut self, model: &mut L, epoch: usize) -> LecaResult<()> {
+        self.rollbacks += 1;
+        if self.rollbacks > MAX_ROLLBACKS {
+            return Err(LecaError::Diverged {
+                rollbacks: self.rollbacks - 1,
+            });
+        }
+        self.lr_scale *= LR_BACKOFF;
+        eprintln!(
+            "trainer: non-finite loss in epoch {epoch}; rolling back to last good snapshot, \
+             lr scale now {}",
+            self.lr_scale
+        );
+        leca_nn::serialize::from_bytes(model, &self.snapshot)?;
+        Ok(())
+    }
 }
 
 /// Builds the right backbone architecture for a dataset's image size.
@@ -108,8 +167,10 @@ pub fn train_backbone(
     let lossfn = SoftmaxCrossEntropy::new();
     let mut data = train.clone();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
-        opt.set_lr(cfg.schedule.lr_at(epoch));
+    let mut guard = EpochGuard::new(backbone);
+    let mut epoch = 0;
+    while epoch < cfg.epochs {
+        opt.set_lr(cfg.schedule.lr_at(epoch) * guard.lr_scale);
         data.shuffle(&mut rng);
         let mut total = 0.0;
         let mut batches = 0;
@@ -122,13 +183,25 @@ pub fn train_backbone(
             opt.step(backbone);
             total += loss;
             batches += 1;
+            if !loss.is_finite() {
+                break; // the epoch is already lost; stop poisoning weights
+            }
         }
-        epoch_losses.push(total / batches.max(1) as f32);
+        let mean = total / batches.max(1) as f32;
+        if !mean.is_finite() {
+            guard.rollback(backbone, epoch)?;
+            opt = Adam::new(cfg.schedule.base_lr)?;
+            continue; // retry the epoch at the backed-off rate
+        }
+        epoch_losses.push(mean);
+        guard.accept(backbone);
+        epoch += 1;
     }
     let val_accuracy = backbone_accuracy(backbone, val)?;
     Ok(TrainReport {
         epoch_losses,
         val_accuracy,
+        rollbacks: guard.rollbacks,
     })
 }
 
@@ -145,7 +218,11 @@ pub fn backbone_accuracy(backbone: &mut Backbone, ds: &Dataset) -> LecaResult<f3
         correct += accuracy(&logits, &labels)? * labels.len() as f32;
         count += labels.len();
     }
-    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+    Ok(if count == 0 {
+        0.0
+    } else {
+        correct / count as f32
+    })
 }
 
 fn maybe_augment(x: &Tensor, enabled: bool, rng: &mut StdRng) -> LecaResult<Tensor> {
@@ -188,11 +265,13 @@ pub fn train_pipeline(
     let mut data = train.clone();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let hw_modality = pipeline.encoder().modality() != Modality::Soft;
-    for epoch in 0..cfg.epochs {
+    let mut guard = EpochGuard::new(pipeline);
+    let mut epoch = 0;
+    while epoch < cfg.epochs {
         if anneal && epoch == warm_epochs {
             pipeline.encoder_mut().set_qbit(target_qbit)?;
         }
-        opt.set_lr(cfg.schedule.lr_at(epoch));
+        opt.set_lr(cfg.schedule.lr_at(epoch) * guard.lr_scale);
         data.shuffle(&mut rng);
         let mut total = 0.0;
         let mut batches = 0;
@@ -206,13 +285,25 @@ pub fn train_pipeline(
             }
             total += loss;
             batches += 1;
+            if !loss.is_finite() {
+                break; // the epoch is already lost; stop poisoning weights
+            }
         }
-        epoch_losses.push(total / batches.max(1) as f32);
+        let mean = total / batches.max(1) as f32;
+        if !mean.is_finite() {
+            guard.rollback(pipeline, epoch)?;
+            opt = Adam::new(cfg.schedule.base_lr)?;
+            continue; // retry the epoch at the backed-off rate
+        }
+        epoch_losses.push(mean);
+        guard.accept(pipeline);
+        epoch += 1;
     }
     let val_accuracy = pipeline_accuracy(pipeline, val)?;
     Ok(TrainReport {
         epoch_losses,
         val_accuracy,
+        rollbacks: guard.rollbacks,
     })
 }
 
@@ -228,7 +319,11 @@ pub fn pipeline_accuracy(pipeline: &mut LecaPipeline, ds: &Dataset) -> LecaResul
         correct += pipeline.accuracy(&x, &labels)? * labels.len() as f32;
         count += labels.len();
     }
-    Ok(if count == 0 { 0.0 } else { correct / count as f32 })
+    Ok(if count == 0 {
+        0.0
+    } else {
+        correct / count as f32
+    })
 }
 
 #[cfg(test)]
@@ -294,6 +389,67 @@ mod tests {
         train_pipeline(&mut p, data.train(), data.val(), &TrainConfig::fast_test()).unwrap();
         assert!(p.encoder().weight().max() <= 1.0);
         assert!(p.encoder().weight().min() >= -1.0);
+    }
+
+    #[test]
+    fn epoch_guard_restores_last_finite_snapshot() {
+        let mut net = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
+        let mut guard = EpochGuard::new(&mut net);
+        // A good epoch moves the weights and accepts the new snapshot.
+        net.visit_params(&mut |p| p.value.fill(0.125));
+        guard.accept(&mut net);
+        // Divergence poisons the weights; rollback must restore the last
+        // *accepted* state — not the initialization — and back off the LR.
+        net.visit_params(&mut |p| p.value.fill(f32::NAN));
+        guard.rollback(&mut net, 1).unwrap();
+        let mut ok = true;
+        net.visit_params(&mut |p| ok &= p.value.as_slice().iter().all(|&v| v == 0.125));
+        assert!(ok, "rollback must restore the last finite-loss snapshot");
+        assert_eq!(guard.lr_scale, LR_BACKOFF);
+        assert_eq!(guard.rollbacks, 1);
+    }
+
+    #[test]
+    fn epoch_guard_budget_is_finite() {
+        let mut net = tiny_cnn(2, &mut StdRng::seed_from_u64(1));
+        let mut guard = EpochGuard::new(&mut net);
+        for _ in 0..MAX_ROLLBACKS {
+            guard.rollback(&mut net, 0).unwrap();
+        }
+        assert!(matches!(
+            guard.rollback(&mut net, 0),
+            Err(LecaError::Diverged {
+                rollbacks: MAX_ROLLBACKS
+            })
+        ));
+    }
+
+    #[test]
+    fn nan_loss_is_detected_backed_off_and_reported() {
+        // A NaN pixel makes every epoch's loss non-finite: the trainer
+        // must detect it, roll back with LR backoff rather than keep
+        // stepping on poisoned weights, and — since no learning rate can
+        // fix broken data — report Diverged instead of silently returning
+        // NaN losses.
+        let mut img = Tensor::zeros(&[3, 8, 8]);
+        img.as_mut_slice()[0] = f32::NAN;
+        let images = vec![img.clone(), img.clone(), img.clone(), img];
+        let ds = Dataset::new(images, vec![0, 1, 0, 1], 2).unwrap();
+        let mut bb = tiny_cnn(2, &mut StdRng::seed_from_u64(2));
+        match train_backbone(&mut bb, &ds, &ds, &TrainConfig::fast_test()) {
+            Err(LecaError::Diverged { rollbacks }) => assert_eq!(rollbacks, MAX_ROLLBACKS),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_training_reports_zero_rollbacks() {
+        let data = tiny_data();
+        let mut bb = tiny_cnn(data.train().num_classes(), &mut StdRng::seed_from_u64(5));
+        let report =
+            train_backbone(&mut bb, data.train(), data.val(), &TrainConfig::fast_test()).unwrap();
+        assert_eq!(report.rollbacks, 0);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl fmt::Display for DatasetError {
             }
             DatasetError::InhomogeneousShapes => write!(f, "images have differing shapes"),
             DatasetError::RangeOutOfBounds { start, count, len } => {
-                write!(f, "batch [{start}, {}) out of range for {len} items", start + count)
+                write!(
+                    f,
+                    "batch [{start}, {}) out of range for {len} items",
+                    start + count
+                )
             }
             DatasetError::LabelOutOfRange { label, num_classes } => {
                 write!(f, "label {label} out of range for {num_classes} classes")
@@ -68,7 +72,11 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns a [`DatasetError`] describing the first inconsistency.
-    pub fn new(images: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+    pub fn new(
+        images: Vec<Tensor>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
         if images.len() != labels.len() {
             return Err(DatasetError::LengthMismatch {
                 images: images.len(),

@@ -89,7 +89,11 @@ pub fn ssim(a: &Tensor, b: &Tensor) -> Result<f32, TensorError> {
             y += stride;
         }
     }
-    Ok(if count == 0 { 1.0 } else { (total / count as f64) as f32 })
+    Ok(if count == 0 {
+        1.0
+    } else {
+        (total / count as f64) as f32
+    })
 }
 
 #[cfg(test)]
@@ -116,8 +120,12 @@ mod tests {
     fn psnr_decreases_with_noise() {
         let mut rng = StdRng::seed_from_u64(0);
         let a = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
-        let small = a.add(&Tensor::randn(&[3, 8, 8], 0.0, 0.01, &mut rng)).unwrap();
-        let big = a.add(&Tensor::randn(&[3, 8, 8], 0.0, 0.1, &mut rng)).unwrap();
+        let small = a
+            .add(&Tensor::randn(&[3, 8, 8], 0.0, 0.01, &mut rng))
+            .unwrap();
+        let big = a
+            .add(&Tensor::randn(&[3, 8, 8], 0.0, 0.1, &mut rng))
+            .unwrap();
         assert!(psnr(&a, &small, 1.0).unwrap() > psnr(&a, &big, 1.0).unwrap());
     }
 

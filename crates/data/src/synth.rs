@@ -216,9 +216,8 @@ fn shape_coverage(class: usize, u: f32, v: f32, freq: f32) -> f32 {
         10 => soft(r - 0.72) * smoothstep(0.5, -((u + v) * freq * 0.7).sin()),
         // two dots
         11 => {
-            let d1 = (((u - 0.42).powi(2) + v * v).sqrt() - 0.3).min(
-                ((u + 0.42).powi(2) + v * v).sqrt() - 0.3,
-            );
+            let d1 = (((u - 0.42).powi(2) + v * v).sqrt() - 0.3)
+                .min(((u + 0.42).powi(2) + v * v).sqrt() - 0.3);
             soft(d1)
         }
         // L shape
@@ -259,7 +258,7 @@ pub fn render_sample<R: Rng + ?Sized>(cfg: &SynthConfig, class: usize, rng: &mut
         rng.gen_range(0.1..0.9),
     ];
     let gdir = rng.gen_range(0.0..std::f32::consts::TAU);
-    let gamp = rng.gen_range(0.0..0.25);
+    let gamp = rng.gen_range(0.0..0.25f32);
 
     // Foreground color: force contrast against background.
     let mut fg = [0.0f32; 3];

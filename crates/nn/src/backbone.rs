@@ -6,9 +6,7 @@
 //! mirroring the paper's methodology of keeping the downstream DNN fixed
 //! while LeCA's encoder/decoder learn through it.
 
-use crate::layers::{
-    BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock, Sequential,
-};
+use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock, Sequential};
 use crate::{Layer, Mode, Param, Result};
 use leca_tensor::Tensor;
 use rand::Rng;
@@ -136,7 +134,9 @@ mod tests {
     fn proxy_shapes() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut b = resnet_proxy(10, &mut rng);
-        let y = b.forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval).unwrap();
+        let y = b
+            .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         assert_eq!(b.num_classes(), 10);
         assert_eq!(b.arch(), "resnet_proxy");
@@ -146,7 +146,9 @@ mod tests {
     fn full_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = resnet_full(16, &mut rng);
-        let y = b.forward(&Tensor::zeros(&[1, 3, 64, 64]), Mode::Eval).unwrap();
+        let y = b
+            .forward(&Tensor::zeros(&[1, 3, 64, 64]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 16]);
     }
 
@@ -154,7 +156,9 @@ mod tests {
     fn tiny_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut b = tiny_cnn(4, &mut rng);
-        let y = b.forward(&Tensor::zeros(&[3, 3, 16, 16]), Mode::Eval).unwrap();
+        let y = b
+            .forward(&Tensor::zeros(&[3, 3, 16, 16]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[3, 4]);
     }
 
@@ -168,7 +172,10 @@ mod tests {
         let y = b.forward(&x, Mode::Train).unwrap();
         let gx = b.backward(&Tensor::ones(y.shape())).unwrap();
         assert_eq!(gx.shape(), x.shape());
-        assert!(gx.norm_sq() > 0.0, "gradient must flow through frozen layers");
+        assert!(
+            gx.norm_sq() > 0.0,
+            "gradient must flow through frozen layers"
+        );
     }
 
     #[test]
@@ -181,7 +188,10 @@ mod tests {
         let y_train = b.forward(&x, Mode::Train).unwrap();
         let y_eval = b.forward(&x, Mode::Eval).unwrap();
         let diff = y_train.sub(&y_eval).unwrap().norm_sq();
-        assert!(diff > 0.0, "batch vs running stats must differ early in training");
+        assert!(
+            diff > 0.0,
+            "batch vs running stats must differ early in training"
+        );
     }
 
     #[test]

@@ -65,10 +65,8 @@ pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Re
     // perturb each parameter value in place.
     let mut param_grads: Vec<Tensor> = Vec::new();
     layer.visit_params(&mut |p| param_grads.push(p.grad.clone()));
-    let num_params = param_grads.len();
-    for pi in 0..num_params {
-        let plen = param_grads[pi].len();
-        for &i in &sample_coords(plen, MAX_COORDS) {
+    for (pi, pg) in param_grads.iter().enumerate() {
+        for &i in &sample_coords(pg.len(), MAX_COORDS) {
             let numeric = {
                 perturb_param(layer, pi, i, EPS);
                 let fp = layer.forward(x, Mode::Train)?.sum();
@@ -77,7 +75,7 @@ pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Re
                 perturb_param(layer, pi, i, EPS);
                 (fp - fm) / (2.0 * EPS)
             };
-            let analytic = param_grads[pi].as_slice()[i];
+            let analytic = pg.as_slice()[i];
             if !close(analytic, numeric, tol) {
                 return Err(NnError::InvalidConfig(format!(
                     "{}: param {pi} grad mismatch at {i}: analytic {analytic} vs numeric {numeric}",

@@ -19,7 +19,10 @@ impl Layer for Relu {
         if mode.is_train() {
             self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
         }
-        Ok(x.map(|v| v.max(0.0)))
+        // Not `v.max(0.0)`: f32::max drops NaN operands, which would
+        // silently launder a poisoned activation into a healthy zero and
+        // hide divergence from the trainer's non-finite-loss detector.
+        Ok(x.map(|v| if v > 0.0 || v.is_nan() { v } else { 0.0 }))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -105,6 +108,18 @@ mod tests {
         let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
         let y = r.forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relus_propagate_nan() {
+        // A poisoned activation must stay poisoned — `max(0.0)` would
+        // launder NaN to 0 and mask divergence from the trainer.
+        let x = Tensor::from_slice(&[f32::NAN, -1.0, 2.0]);
+        let y = Relu::new().forward(&x, Mode::Eval).unwrap();
+        assert!(y.as_slice()[0].is_nan());
+        assert_eq!(&y.as_slice()[1..], &[0.0, 2.0]);
+        let y = LeakyRelu::new(0.1).forward(&x, Mode::Eval).unwrap();
+        assert!(y.as_slice()[0].is_nan());
     }
 
     #[test]

@@ -112,7 +112,10 @@ impl Layer for BatchNorm2d {
                 let inv_std = 1.0 / (var + self.eps).sqrt();
                 inv_stds.push(inv_std);
 
-                let (g, b) = (self.gamma.value.as_slice()[ci], self.beta.value.as_slice()[ci]);
+                let (g, b) = (
+                    self.gamma.value.as_slice()[ci],
+                    self.beta.value.as_slice()[ci],
+                );
                 for ni in 0..n {
                     for p in 0..hw {
                         let idx = (ni * c + ci) * hw + p;
@@ -140,7 +143,10 @@ impl Layer for BatchNorm2d {
             for ci in 0..c {
                 let mean = self.running_mean.as_slice()[ci];
                 let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
-                let (g, b) = (self.gamma.value.as_slice()[ci], self.beta.value.as_slice()[ci]);
+                let (g, b) = (
+                    self.gamma.value.as_slice()[ci],
+                    self.beta.value.as_slice()[ci],
+                );
                 for ni in 0..n {
                     for p in 0..hw {
                         let idx = (ni * c + ci) * hw + p;
@@ -280,7 +286,9 @@ mod tests {
     #[test]
     fn channel_mismatch_errors() {
         let mut bn = BatchNorm2d::new(2);
-        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train)
+            .is_err());
         assert!(bn.forward(&Tensor::zeros(&[4, 4]), Mode::Train).is_err());
     }
 

@@ -67,7 +67,11 @@ impl Conv2d {
     /// Panics if `weight` is not rank 4 or non-square.
     pub fn from_weights(weight: Tensor, bias: Option<Tensor>, stride: usize, pad: usize) -> Self {
         assert_eq!(weight.rank(), 4, "conv weight must be rank 4");
-        assert_eq!(weight.shape()[2], weight.shape()[3], "kernel must be square");
+        assert_eq!(
+            weight.shape()[2],
+            weight.shape()[3],
+            "kernel must be square"
+        );
         let kernel = weight.shape()[2];
         Conv2d {
             weight: Param::new(weight),
@@ -116,7 +120,14 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let x = self.cache.take().ok_or(NnError::NoForwardCache("conv2d"))?;
-        let gw = ops::conv2d_grad_weight(&x, grad_out, self.kernel, self.kernel, self.stride, self.pad)?;
+        let gw = ops::conv2d_grad_weight(
+            &x,
+            grad_out,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.pad,
+        )?;
         self.weight.accumulate(&gw);
         if let Some(b) = &mut self.bias {
             let gb = ops::sum_spatial_per_channel(grad_out)?;
@@ -154,7 +165,9 @@ mod tests {
     fn output_shape() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut c = Conv2d::new(3, 4, 3, 1, 1, true, &mut rng);
-        let y = c.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = c
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 4, 8, 8]);
         assert_eq!(c.num_params(), 4 * 3 * 9 + 4);
     }

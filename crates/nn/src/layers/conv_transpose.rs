@@ -114,7 +114,9 @@ mod tests {
     fn upsamples_by_stride() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut ct = ConvTranspose2d::new(4, 3, 2, 2, 0, true, &mut rng);
-        let y = ct.forward(&Tensor::zeros(&[1, 4, 4, 4]), Mode::Eval).unwrap();
+        let y = ct
+            .forward(&Tensor::zeros(&[1, 4, 4, 4]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 3, 8, 8]);
     }
 

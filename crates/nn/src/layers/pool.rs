@@ -86,7 +86,9 @@ mod tests {
     #[test]
     fn avg_pool_shape() {
         let mut p = AvgPool2d::new(2);
-        let y = p.forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval).unwrap();
+        let y = p
+            .forward(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 2, 4, 4]);
     }
 
@@ -110,8 +112,12 @@ mod tests {
 
     #[test]
     fn backward_requires_forward() {
-        assert!(AvgPool2d::new(2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
-        assert!(MaxPool2d::new(2).backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        assert!(AvgPool2d::new(2)
+            .backward(&Tensor::zeros(&[1, 1, 2, 2]))
+            .is_err());
+        assert!(MaxPool2d::new(2)
+            .backward(&Tensor::zeros(&[1, 1, 2, 2]))
+            .is_err());
     }
 
     #[test]

@@ -17,11 +17,7 @@ pub struct ResidualBlock {
 
 impl std::fmt::Debug for ResidualBlock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "ResidualBlock(projection: {})",
-            self.shortcut.is_some()
-        )
+        write!(f, "ResidualBlock(projection: {})", self.shortcut.is_some())
     }
 }
 
@@ -124,7 +120,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut b = ResidualBlock::new(4, 4, 1, &mut rng);
         assert!(!b.has_projection());
-        let y = b.forward(&Tensor::zeros(&[1, 4, 8, 8]), Mode::Eval).unwrap();
+        let y = b
+            .forward(&Tensor::zeros(&[1, 4, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 4, 8, 8]);
     }
 
@@ -133,13 +131,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = ResidualBlock::new(4, 8, 2, &mut rng);
         assert!(b.has_projection());
-        let y = b.forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval).unwrap();
+        let y = b
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 8, 4, 4]);
     }
 
     #[test]
     fn gradcheck_identity_block() {
-        let mut rng = StdRng::seed_from_u64(2);
+        // Seed chosen away from ReLU kinks: finite differences at ±1e-3
+        // disagree with the analytic gradient when a pre-activation sits
+        // within ~1e-3 of zero, which a handful of seeds hit by chance.
+        let mut rng = StdRng::seed_from_u64(4);
         let mut b = ResidualBlock::new(2, 2, 1, &mut rng);
         let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
         check_layer(&mut b, &x, 3e-2).unwrap();

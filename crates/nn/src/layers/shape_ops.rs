@@ -159,7 +159,9 @@ mod tests {
     #[test]
     fn backward_requires_forward() {
         assert!(Flatten::new().backward(&Tensor::zeros(&[1, 4])).is_err());
-        assert!(GlobalAvgPool::new().backward(&Tensor::zeros(&[1, 4])).is_err());
+        assert!(GlobalAvgPool::new()
+            .backward(&Tensor::zeros(&[1, 4]))
+            .is_err());
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl SoftmaxCrossEntropy {
         let mut grad = probs.clone();
         let inv_n = 1.0 / n.max(1) as f32;
         for (r, &label) in labels.iter().enumerate() {
-            let p = probs.as_slice()[r * k + label].max(1e-12);
+            // `f32::max` drops NaN operands, so clamping a NaN probability
+            // would report a finite loss for a poisoned forward pass; keep
+            // NaN visible so the trainer's divergence detector can fire.
+            let p = probs.as_slice()[r * k + label];
+            let p = if p.is_nan() { p } else { p.max(1e-12) };
             loss -= (p as f64).ln();
             grad.as_mut_slice()[r * k + label] -= 1.0;
         }
@@ -121,6 +125,16 @@ mod tests {
     }
 
     #[test]
+    fn nan_logits_yield_non_finite_loss() {
+        // The 1e-12 probability clamp must not swallow NaN — a poisoned
+        // forward pass has to surface as a non-finite loss so the trainer
+        // can roll back instead of stepping on garbage gradients.
+        let logits = Tensor::from_vec(vec![f32::NAN, 0.0, 0.0], &[1, 3]).unwrap();
+        let (loss, _) = SoftmaxCrossEntropy::new().forward(&logits, &[0]).unwrap();
+        assert!(!loss.is_finite(), "NaN logits gave finite loss {loss}");
+    }
+
+    #[test]
     fn gradient_matches_finite_difference() {
         let logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.1, 0.2, -0.5], &[2, 3]).unwrap();
         let labels = [2usize, 0];
@@ -157,8 +171,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.3, 0.7], &[3, 2]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 2.0 / 3.0);
         assert!(accuracy(&logits, &[0]).is_err());
     }

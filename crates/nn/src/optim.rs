@@ -52,7 +52,9 @@ impl Sgd {
     /// Returns [`NnError::InvalidConfig`] for non-positive learning rates.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
         if lr <= 0.0 {
-            return Err(NnError::InvalidConfig(format!("lr must be positive, got {lr}")));
+            return Err(NnError::InvalidConfig(format!(
+                "lr must be positive, got {lr}"
+            )));
         }
         Ok(Sgd {
             lr,
@@ -127,9 +129,17 @@ impl Adam {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidConfig`] for out-of-range values.
-    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Result<Self> {
+    pub fn with_config(
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Result<Self> {
         if lr <= 0.0 {
-            return Err(NnError::InvalidConfig(format!("lr must be positive, got {lr}")));
+            return Err(NnError::InvalidConfig(format!(
+                "lr must be positive, got {lr}"
+            )));
         }
         if !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta2) {
             return Err(NnError::InvalidConfig("betas must be in [0, 1)".into()));

@@ -43,7 +43,7 @@ impl BitDepth {
         if (qbit - 1.5).abs() < 1e-6 {
             return Self::from_levels(3);
         }
-        if qbit >= 1.0 && qbit <= 16.0 && (qbit - qbit.round()).abs() < 1e-6 {
+        if (1.0..=16.0).contains(&qbit) && (qbit - qbit.round()).abs() < 1e-6 {
             return Self::from_levels(1usize << qbit.round() as usize);
         }
         Err(NnError::InvalidConfig(format!("unsupported Q_bit {qbit}")))
@@ -192,6 +192,13 @@ pub fn signed_magnitude_code(v: f32, mag_bits: u32, scale: f32) -> i32 {
     (v.clamp(-scale, scale) / scale * max_code).round() as i32
 }
 
+/// Scalar form of [`quantize_signed_magnitude`] for hot loops (no tensor
+/// allocation per element).
+pub fn signed_magnitude_quantize(v: f32, mag_bits: u32, scale: f32) -> f32 {
+    let max_code = ((1u32 << mag_bits) - 1) as f32;
+    (v.clamp(-scale, scale) / scale * max_code).round() / max_code * scale
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,11 +303,23 @@ mod tests {
         let w = Tensor::from_slice(&[0.5, -0.5, 0.04, 2.0]);
         let q = quantize_signed_magnitude(&w, 4, 1.0);
         // Grid step is 1/15.
-        assert!((q.as_slice()[0] - 7.0 / 15.0).abs() < 1e-6 || (q.as_slice()[0] - 8.0 / 15.0).abs() < 1e-6);
+        assert!(
+            (q.as_slice()[0] - 7.0 / 15.0).abs() < 1e-6
+                || (q.as_slice()[0] - 8.0 / 15.0).abs() < 1e-6
+        );
         assert_eq!(q.as_slice()[1], -q.as_slice()[0]);
         assert_eq!(q.as_slice()[3], 1.0, "clamps to scale");
         assert_eq!(signed_magnitude_code(1.0, 4, 1.0), 15);
         assert_eq!(signed_magnitude_code(-1.0, 4, 1.0), -15);
         assert_eq!(signed_magnitude_code(0.0, 4, 1.0), 0);
+    }
+
+    #[test]
+    fn scalar_quantize_matches_tensor_form() {
+        for i in 0..200 {
+            let v = (i as f32 - 100.0) / 80.0; // spans beyond ±1
+            let t = quantize_signed_magnitude(&Tensor::from_slice(&[v]), 4, 1.0).as_slice()[0];
+            assert_eq!(signed_magnitude_quantize(v, 4, 1.0), t, "v = {v}");
+        }
     }
 }

@@ -10,6 +10,20 @@
 //! per tensor: same encoding
 //! ```
 //!
+//! Files written by [`save`] append a 16-byte integrity footer:
+//!
+//! ```text
+//! u32     CRC-32 (IEEE) of the payload above
+//! u64     payload length in bytes
+//! magic   b"LCK1"
+//! ```
+//!
+//! and are written atomically (`<path>.tmp` + fsync + rename), so a crash
+//! mid-write never leaves a half-written file under the final name, and a
+//! corrupt or truncated checkpoint is *detected* on [`load`] rather than
+//! silently restoring garbage weights. Footer-less files (the legacy
+//! format) still load.
+//!
 //! Checkpoints are used to cache pre-trained backbones between experiment
 //! runs and to hand weights from hard training to noisy fine-tuning.
 
@@ -19,6 +33,58 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"LECAWT01";
+const FOOTER_MAGIC: &[u8; 4] = b"LCK1";
+const FOOTER_LEN: usize = 16;
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the integrity footer to a serialized payload.
+fn append_footer(payload: &mut Vec<u8>) {
+    let crc = crc32(payload);
+    let len = payload.len() as u64;
+    payload.extend_from_slice(&crc.to_le_bytes());
+    payload.extend_from_slice(&len.to_le_bytes());
+    payload.extend_from_slice(FOOTER_MAGIC);
+}
+
+/// Validates and strips the footer, returning the payload slice. Files
+/// without a footer (legacy format) pass through unchanged.
+fn strip_footer(data: &[u8]) -> Result<&[u8]> {
+    if data.len() < FOOTER_LEN || &data[data.len() - 4..] != FOOTER_MAGIC {
+        return Ok(data); // legacy footer-less checkpoint
+    }
+    let base = data.len() - FOOTER_LEN;
+    let crc = u32::from_le_bytes(data[base..base + 4].try_into().expect("length checked"));
+    let len = u64::from_le_bytes(
+        data[base + 4..base + 12]
+            .try_into()
+            .expect("length checked"),
+    );
+    if len != base as u64 {
+        return Err(NnError::CheckpointMismatch(format!(
+            "checkpoint footer records {len} payload bytes, file holds {base}"
+        )));
+    }
+    let payload = &data[..base];
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(NnError::CheckpointMismatch(format!(
+            "checkpoint checksum mismatch: footer {crc:#010x}, payload {actual:#010x}"
+        )));
+    }
+    Ok(payload)
+}
 
 fn write_tensor(out: &mut Vec<u8>, t: &Tensor) {
     out.extend_from_slice(&(t.rank() as u32).to_le_bytes());
@@ -144,28 +210,47 @@ pub fn from_bytes<L: Layer + ?Sized>(layer: &mut L, data: &[u8]) -> Result<()> {
     Ok(())
 }
 
-/// Saves a layer checkpoint to a file.
+/// Saves a layer checkpoint to a file, atomically and with an integrity
+/// footer.
+///
+/// The bytes land in `<path>.tmp` first, are fsynced, and only then renamed
+/// over `path`, so readers never observe a partially written checkpoint —
+/// either the old file or the complete new one.
 ///
 /// # Errors
 ///
 /// Returns [`NnError::Io`] on filesystem errors.
 pub fn save<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<()> {
-    let bytes = to_bytes(layer);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
-    Ok(())
+    let path = path.as_ref();
+    let mut bytes = to_bytes(layer);
+    append_footer(&mut bytes);
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".into(),
+    });
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result.map_err(NnError::Io)
 }
 
-/// Loads a layer checkpoint from a file.
+/// Loads a layer checkpoint from a file, validating the integrity footer
+/// when one is present (legacy footer-less files still load).
 ///
 /// # Errors
 ///
 /// Returns [`NnError::Io`] on filesystem errors and
-/// [`NnError::CheckpointMismatch`] on format/shape mismatches.
+/// [`NnError::CheckpointMismatch`] on checksum, format or shape mismatches.
 pub fn load<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<()> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    from_bytes(layer, &bytes)
+    from_bytes(layer, strip_footer(&bytes)?)
 }
 
 #[cfg(test)]
@@ -268,5 +353,91 @@ mod tests {
         let bytes = to_bytes(&mut a);
         let mut b = small_net(12);
         assert!(from_bytes(&mut b, &bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn saved_file_carries_validating_footer() {
+        let dir = std::env::temp_dir().join("leca_nn_footer_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut a = small_net(13);
+        save(&mut a, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 4..], FOOTER_MAGIC);
+        assert_eq!(
+            strip_footer(&bytes).unwrap().len(),
+            bytes.len() - FOOTER_LEN
+        );
+        assert!(
+            !path.with_extension("bin.tmp").exists(),
+            "temp file must not survive a successful save"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let dir = std::env::temp_dir().join("leca_nn_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut a = small_net(14);
+        save(&mut a, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut b = small_net(15);
+        match load(&mut b, &path) {
+            Err(NnError::CheckpointMismatch(msg)) => {
+                assert!(msg.contains("checksum"), "unexpected message: {msg}")
+            }
+            other => panic!("bit flip must fail the checksum, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_fails_footer_length() {
+        let dir = std::env::temp_dir().join("leca_nn_truncate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut a = small_net(16);
+        save(&mut a, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Drop bytes from the middle but keep the footer: the recorded
+        // length no longer matches.
+        let mut cut = bytes[..20].to_vec();
+        cut.extend_from_slice(&bytes[bytes.len() - FOOTER_LEN..]);
+        std::fs::write(&path, &cut).unwrap();
+        let mut b = small_net(17);
+        assert!(matches!(
+            load(&mut b, &path),
+            Err(NnError::CheckpointMismatch(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_footerless_file_still_loads() {
+        let dir = std::env::temp_dir().join("leca_nn_legacy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        let mut a = small_net(18);
+        std::fs::write(&path, to_bytes(&mut a)).unwrap();
+        let mut b = small_net(19);
+        load(&mut b, &path).unwrap();
+        let x = leca_tensor::Tensor::ones(&[1, 2, 4, 4]);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap(),
+            b.forward(&x, Mode::Eval).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

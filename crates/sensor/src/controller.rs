@@ -123,11 +123,15 @@ mod tests {
     fn trace_has_all_steps() {
         let t = trace();
         assert_eq!(
-            t.iter().filter(|e| matches!(e.step, Step::RowReadout(_))).count(),
+            t.iter()
+                .filter(|e| matches!(e.step, Step::RowReadout(_)))
+                .count(),
             4
         );
         assert_eq!(
-            t.iter().filter(|e| matches!(e.step, Step::MacSequence(_))).count(),
+            t.iter()
+                .filter(|e| matches!(e.step, Step::MacSequence(_)))
+                .count(),
             4
         );
         assert_eq!(t.iter().filter(|e| e.step == Step::WeightWrite).count(), 1);
@@ -138,10 +142,7 @@ mod tests {
     fn weight_write_hidden_behind_first_readout() {
         let t = trace();
         let ww = t.iter().find(|e| e.step == Step::WeightWrite).unwrap();
-        let ro = t
-            .iter()
-            .find(|e| e.step == Step::RowReadout(0))
-            .unwrap();
+        let ro = t.iter().find(|e| e.step == Step::RowReadout(0)).unwrap();
         assert!(ww.start_ns >= ro.start_ns);
         assert!(ww.end_ns <= ro.end_ns, "weight write must hide in readout");
     }

@@ -169,8 +169,8 @@ impl EnergyModel {
         let groups = (geom.rows / 4) as f64;
         let weight_bits = 16.0 * 5.0 * groups * geom.num_pes() as f64 * passes;
 
-        let pixel = n * self.e_pixel_pj as f64
-            * (1.0 + self.reread_fraction as f64 * (passes - 1.0));
+        let pixel =
+            n * self.e_pixel_pj as f64 * (1.0 + self.reread_fraction as f64 * (passes - 1.0));
         Ok(EnergyBreakdown {
             pixel_uj: pixel * PJ_TO_UJ,
             adc_uj: conversions * self.adc_conversion_pj(qbit)? as f64 * PJ_TO_UJ,

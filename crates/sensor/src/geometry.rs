@@ -53,7 +53,7 @@ impl SensorGeometry {
                 "rows, cols and n_ch must be positive".into(),
             ));
         }
-        if self.rows % COLUMNS_PER_PE != 0 || self.cols % COLUMNS_PER_PE != 0 {
+        if !self.rows.is_multiple_of(COLUMNS_PER_PE) || !self.cols.is_multiple_of(COLUMNS_PER_PE) {
             return Err(SensorError::InvalidGeometry(format!(
                 "{}x{} raw array is not a multiple of the {COLUMNS_PER_PE}-pixel block",
                 self.rows, self.cols

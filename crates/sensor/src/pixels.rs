@@ -6,6 +6,7 @@
 
 use crate::geometry::SensorGeometry;
 use crate::{Result, SensorError};
+use leca_circuit::fault::FaultPlan;
 use leca_circuit::noise::PixelNoise;
 use rand::Rng;
 
@@ -15,6 +16,7 @@ pub struct PixelArray {
     rows: usize,
     cols: usize,
     noise: PixelNoise,
+    faults: FaultPlan,
 }
 
 impl PixelArray {
@@ -24,6 +26,7 @@ impl PixelArray {
             rows: geom.rows,
             cols: geom.cols,
             noise: PixelNoise::typical(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -31,6 +34,17 @@ impl PixelArray {
     pub fn with_noise(mut self, noise: PixelNoise) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Replaces the manufacturing-fault plan (stuck/hot photosites).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan in use.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Array dimensions `(rows, cols)`.
@@ -57,7 +71,9 @@ impl PixelArray {
                 actual: scene.len(),
             });
         }
-        Ok(scene.iter().map(|&x| self.noise.apply(x, rng)).collect())
+        let mut out: Vec<f32> = scene.iter().map(|&x| self.noise.apply(x, rng)).collect();
+        self.apply_faults(&mut out);
+        Ok(out)
     }
 
     /// Noiseless exposure (clamps only); used by deterministic experiments.
@@ -72,7 +88,20 @@ impl PixelArray {
                 actual: scene.len(),
             });
         }
-        Ok(scene.iter().map(|&x| x.clamp(0.0, 1.0)).collect())
+        let mut out: Vec<f32> = scene.iter().map(|&x| x.clamp(0.0, 1.0)).collect();
+        self.apply_faults(&mut out);
+        Ok(out)
+    }
+
+    /// Overwrites faulty photosites in a sampled frame. A no-op plan
+    /// (the default) skips the per-pixel queries entirely.
+    fn apply_faults(&self, frame: &mut [f32]) {
+        if self.faults.is_none() {
+            return;
+        }
+        for (idx, v) in frame.iter_mut().enumerate() {
+            *v = self.faults.apply_pixel(idx, *v);
+        }
     }
 }
 
@@ -108,9 +137,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(matches!(
             a.expose(&vec![0.0; 63], &mut rng),
-            Err(SensorError::FrameShapeMismatch { expected: 64, actual: 63 })
+            Err(SensorError::FrameShapeMismatch {
+                expected: 64,
+                actual: 63
+            })
         ));
-        assert!(a.expose_ideal(&vec![0.0; 10]).is_err());
+        assert!(a.expose_ideal(&[0.0; 10]).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::pixels::PixelArray;
 use crate::timing::TimingModel;
 use crate::{Result, SensorError};
 use leca_circuit::adc::AdcResolution;
+use leca_circuit::fault::FaultPlan;
 use leca_circuit::pe::AnalogPe;
 use leca_circuit::CircuitParams;
 use rand::Rng;
@@ -40,7 +41,10 @@ impl Ofmap {
     ///
     /// Panics when the index is out of bounds.
     pub fn at(&self, k: usize, y: usize, x: usize) -> i32 {
-        assert!(k < self.n_ch && y < self.oh && x < self.ow, "ofmap index out of bounds");
+        assert!(
+            k < self.n_ch && y < self.oh && x < self.ow,
+            "ofmap index out of bounds"
+        );
         self.codes[(k * self.oh + y) * self.ow + x]
     }
 
@@ -72,7 +76,13 @@ pub struct LecaSensor {
     /// One PE per column group when mismatch is enabled, else a single
     /// shared typical-corner PE.
     pes: Vec<AnalogPe>,
+    /// Weights as programmed (pristine codes).
     weights: Option<Vec<Vec<i32>>>,
+    /// Weights as stored in the (possibly faulty) SRAM: `weights` with the
+    /// fault plan's bit flips applied. What `capture` actually uses.
+    effective_weights: Option<Vec<Vec<i32>>>,
+    /// Permanent hardware defects; [`FaultPlan::none`] by default.
+    faults: FaultPlan,
 }
 
 impl LecaSensor {
@@ -93,6 +103,8 @@ impl LecaSensor {
             pixels: PixelArray::new(&geometry),
             pes: vec![AnalogPe::typical(&params, resolution)?],
             weights: None,
+            effective_weights: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -121,6 +133,8 @@ impl LecaSensor {
             pixels: PixelArray::new(&geometry),
             pes,
             weights: None,
+            effective_weights: None,
+            faults: FaultPlan::none(),
         })
     }
 
@@ -137,6 +151,38 @@ impl LecaSensor {
     /// Mutable access to the pixel array (e.g. to change the noise model).
     pub fn pixels_mut(&mut self) -> &mut PixelArray {
         &mut self.pixels
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Installs a permanent-defect plan across the whole chain: stuck/hot
+    /// photosites (via the pixel array), dead readout columns, SRAM weight
+    /// bit flips (re-derived from the pristine programmed weights), and
+    /// stuck/missing ADC codes. [`FaultPlan::none`] restores a pristine
+    /// sensor.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.pixels = self.pixels.clone().with_faults(faults.clone());
+        self.faults = faults;
+        self.effective_weights = self.weights.as_ref().map(|w| self.faulted_weights(w));
+    }
+
+    /// Applies the plan's SRAM bit flips to pristine weight codes.
+    fn faulted_weights(&self, weights: &[Vec<i32>]) -> Vec<Vec<i32>> {
+        let max = CircuitParams::paper_65nm().max_weight_code();
+        weights
+            .iter()
+            .enumerate()
+            .map(|(k, kernel)| {
+                kernel
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &code)| self.faults.weight_code(k, pos, code, max))
+                    .collect()
+            })
+            .collect()
     }
 
     /// Programs the encoder weights: `n_ch` kernels, each a flattened
@@ -171,6 +217,7 @@ impl LecaSensor {
                 )));
             }
         }
+        self.effective_weights = Some(self.faulted_weights(&weights));
         self.weights = Some(weights);
         Ok(())
     }
@@ -221,9 +268,11 @@ impl LecaSensor {
         mut rng: Option<&mut R>,
     ) -> Result<(Ofmap, FrameStats)> {
         let weights = self
-            .weights
+            .effective_weights
             .as_ref()
             .ok_or_else(|| SensorError::WeightShapeMismatch("no weights programmed".into()))?;
+        let has_faults = !self.faults.is_none();
+        let adc_max = self.pes[0].adc().resolution().max_code();
         let exposed = match rng.as_deref_mut() {
             Some(rng) => self.pixels.expose(scene, rng)?,
             None => self.pixels.expose_ideal(scene)?,
@@ -241,7 +290,14 @@ impl LecaSensor {
                         let y = gy * COLUMNS_PER_PE + by;
                         let x = gx * COLUMNS_PER_PE + bx;
                         debug_assert!(y < rows && x < cols);
-                        block[by * COLUMNS_PER_PE + bx] = exposed[y * cols + x];
+                        // A dead readout column never transfers charge to
+                        // the PE: its samples read the reset (dark) level.
+                        block[by * COLUMNS_PER_PE + bx] =
+                            if has_faults && self.faults.column_dead(x) {
+                                0.0
+                            } else {
+                                exposed[y * cols + x]
+                            };
                     }
                 }
                 let pe = self.pe_for_column(gx);
@@ -250,6 +306,11 @@ impl LecaSensor {
                     let out = pe.encode_block(&block, COLUMNS_PER_PE, chunk, rng.as_deref_mut())?;
                     for (i, &code) in out.iter().enumerate() {
                         let k = pass * KERNELS_PER_PASS + i;
+                        let code = if has_faults {
+                            self.faults.apply_adc(gx, k, code, adc_max)
+                        } else {
+                            code
+                        };
                         codes[(k * oh + gy) * ow + gx] = code;
                     }
                 }
@@ -261,7 +322,15 @@ impl LecaSensor {
             latency_ns: self.timing.frame_latency_ns(&self.geometry),
             fps: self.timing.fps(&self.geometry),
         };
-        Ok((Ofmap { n_ch, oh, ow, codes }, stats))
+        Ok((
+            Ofmap {
+                n_ch,
+                oh,
+                ow,
+                codes,
+            },
+            stats,
+        ))
     }
 
     /// Captures one frame in conventional (normal sensing) mode: the PE is
@@ -274,9 +343,9 @@ impl LecaSensor {
     pub fn capture_normal<R: Rng + ?Sized>(
         &self,
         scene: &[f32],
-        mut rng: Option<&mut R>,
+        rng: Option<&mut R>,
     ) -> Result<(Vec<u8>, FrameStats)> {
-        let exposed = match rng.as_deref_mut() {
+        let exposed = match rng {
             Some(rng) => self.pixels.expose(scene, rng)?,
             None => self.pixels.expose_ideal(scene)?,
         };
@@ -286,7 +355,9 @@ impl LecaSensor {
             out.push(pe.digitize_pixel(x)?);
         }
         let stats = FrameStats {
-            energy: self.energy.cnv_frame(self.geometry.rows, self.geometry.cols)?,
+            energy: self
+                .energy
+                .cnv_frame(self.geometry.rows, self.geometry.cols)?,
             // One pass, no PE processing: readout-only rows.
             latency_ns: self.geometry.rows as f64 * self.timing.t_row_readout_ns,
             fps: 1e9 / (self.geometry.rows as f64 * self.timing.t_row_readout_ns),
@@ -340,11 +411,17 @@ mod tests {
     #[test]
     fn weight_validation() {
         let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
-        assert!(s.program_weights(uniform_weights(3, 1)).is_err(), "wrong kernel count");
+        assert!(
+            s.program_weights(uniform_weights(3, 1)).is_err(),
+            "wrong kernel count"
+        );
         assert!(s
             .program_weights(vec![vec![1; 15], vec![1; 16], vec![1; 16], vec![1; 16]])
             .is_err());
-        assert!(s.program_weights(uniform_weights(4, 16)).is_err(), "code beyond ±15");
+        assert!(
+            s.program_weights(uniform_weights(4, 16)).is_err(),
+            "code beyond ±15"
+        );
         assert!(s.program_weights(uniform_weights(4, -15)).is_ok());
     }
 
@@ -436,6 +513,55 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let s = LecaSensor::with_mismatch(small_geom(4), 3.0, &mut rng).unwrap();
         assert_eq!(s.pes.len(), 2); // 8 columns / 4
+    }
+
+    #[test]
+    fn none_fault_plan_is_bit_identical() {
+        let mut clean = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        clean.program_weights(uniform_weights(4, 6)).unwrap();
+        let mut planned = clean.clone();
+        planned.set_fault_plan(FaultPlan::none());
+        let (a, _) = clean.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        let (b, _) = planned.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_order_independent() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 6)).unwrap();
+        s.set_fault_plan(FaultPlan::uniform(13, 0.3));
+        let (a, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        // Installing the plan before vs after programming must not matter.
+        let mut t = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        t.set_fault_plan(FaultPlan::uniform(13, 0.3));
+        t.program_weights(uniform_weights(4, 6)).unwrap();
+        let (b, _) = t.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_faults_change_the_ofmap() {
+        let mut s = LecaSensor::new(small_geom(4), 3.0).unwrap();
+        s.program_weights(uniform_weights(4, 6)).unwrap();
+        let (clean, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        s.set_fault_plan(FaultPlan::uniform(1, 0.5));
+        let (faulty, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_ne!(clean, faulty);
+        // Clearing the plan restores the pristine capture exactly.
+        s.set_fault_plan(FaultPlan::none());
+        let (restored, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        assert_eq!(clean, restored);
+    }
+
+    #[test]
+    fn faulted_codes_stay_within_adc_range() {
+        let mut s = LecaSensor::new(small_geom(8), 3.0).unwrap();
+        s.program_weights(uniform_weights(8, 15)).unwrap();
+        s.set_fault_plan(FaultPlan::uniform(99, 1.0));
+        let (ofmap, _) = s.capture::<StdRng>(&ramp_scene(), None).unwrap();
+        let max = AdcResolution::from_qbit(3.0).unwrap().max_code();
+        assert!(ofmap.codes().iter().all(|c| c.abs() <= max));
     }
 
     #[test]

@@ -86,13 +86,21 @@ mod tests {
     #[test]
     fn aggregates_match_paper() {
         let agg = aggregate(&survey_entries());
-        assert!((agg.power_pct - PAPER_POWER_PCT).abs() < 2.0, "{}", agg.power_pct);
+        assert!(
+            (agg.power_pct - PAPER_POWER_PCT).abs() < 2.0,
+            "{}",
+            agg.power_pct
+        );
         assert!(
             (agg.readout_time_pct - PAPER_READOUT_PCT).abs() < 2.0,
             "{}",
             agg.readout_time_pct
         );
-        assert!(agg.area_pct > 60.0, "area share must exceed 60%: {}", agg.area_pct);
+        assert!(
+            agg.area_pct > 60.0,
+            "area share must exceed 60%: {}",
+            agg.area_pct
+        );
         assert_eq!(agg.count, 37);
     }
 

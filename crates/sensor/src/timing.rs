@@ -41,8 +41,7 @@ impl TimingModel {
 
     /// Latency of one 4-row group in one pass (ns).
     pub fn group_latency_ns(&self) -> f64 {
-        COLUMNS_PER_PE as f64
-            * (self.t_row_readout_ns + self.t_ibuf_write_ns + self.t_mac_seq_ns)
+        COLUMNS_PER_PE as f64 * (self.t_row_readout_ns + self.t_ibuf_write_ns + self.t_mac_seq_ns)
             + self.t_ofmap_ns
     }
 

@@ -75,7 +75,10 @@ mod tests {
             expected: 4,
             actual: 3,
         };
-        assert_eq!(e.to_string(), "shape requires 4 elements but buffer holds 3");
+        assert_eq!(
+            e.to_string(),
+            "shape requires 4 elements but buffer holds 3"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ impl Conv2dGeometry {
     /// padded input or the stride is zero.
     pub fn out_dims(&self) -> Result<(usize, usize)> {
         if self.stride == 0 {
-            return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+            return Err(TensorError::InvalidGeometry(
+                "stride must be non-zero".into(),
+            ));
         }
         let ph = self.in_h + 2 * self.pad;
         let pw = self.in_w + 2 * self.pad;
@@ -50,7 +52,10 @@ impl Conv2dGeometry {
                 self.kh, self.kw, ph, pw
             )));
         }
-        Ok(((ph - self.kh) / self.stride + 1, (pw - self.kw) / self.stride + 1))
+        Ok((
+            (ph - self.kh) / self.stride + 1,
+            (pw - self.kw) / self.stride + 1,
+        ))
     }
 }
 
@@ -113,7 +118,14 @@ fn c_nm_to_nchw(m: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Te
 /// Returns an error for non-rank-4 input or invalid geometry.
 pub fn im2col(x: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Result<Tensor> {
     let [n, c, h, w] = expect_rank4("im2col", x)?;
-    let geom = Conv2dGeometry { in_h: h, in_w: w, kh, kw, stride, pad };
+    let geom = Conv2dGeometry {
+        in_h: h,
+        in_w: w,
+        kh,
+        kw,
+        stride,
+        pad,
+    };
     let (oh, ow) = geom.out_dims()?;
     let rows = c * kh * kw;
     let cols_per_sample = oh * ow;
@@ -235,7 +247,14 @@ pub fn conv2d(
             rhs: weight.shape().to_vec(),
         });
     }
-    let geom = Conv2dGeometry { in_h: h, in_w: w, kh, kw, stride, pad };
+    let geom = Conv2dGeometry {
+        in_h: h,
+        in_w: w,
+        kh,
+        kw,
+        stride,
+        pad,
+    };
     let (oh, ow) = geom.out_dims()?;
     let cols = im2col(x, kh, kw, stride, pad)?;
     let wmat = weight.reshape(&[o, c * kh * kw])?;
@@ -285,7 +304,9 @@ pub fn conv2d_grad_input(
     let gmat = nchw_to_c_nm(grad_out)?;
     let wmat = weight.reshape(&[o, c * kh * kw])?;
     let grad_cols = crate::ops::matmul_at(&wmat, &gmat)?;
-    col2im(&grad_cols, n, c, x_shape[2], x_shape[3], kh, kw, stride, pad, oh, ow)
+    col2im(
+        &grad_cols, n, c, x_shape[2], x_shape[3], kh, kw, stride, pad, oh, ow,
+    )
 }
 
 /// Gradient of [`conv2d`] with respect to its weight.
@@ -334,7 +355,9 @@ pub fn conv_transpose2d(
         });
     }
     if stride == 0 {
-        return Err(TensorError::InvalidGeometry("stride must be non-zero".into()));
+        return Err(TensorError::InvalidGeometry(
+            "stride must be non-zero".into(),
+        ));
     }
     let oh = (h - 1) * stride + kh;
     let ow = (w - 1) * stride + kw;
@@ -397,7 +420,15 @@ pub fn conv_transpose2d_grad_input(
     let l = gxmat.len() / ci.max(1) / n.max(1);
     // Recover the input grid (H, W) from the column count.
     let hw = l;
-    let (h, w) = infer_hw(grad_out.shape()[2], grad_out.shape()[3], kh, kw, stride, pad, hw)?;
+    let (h, w) = infer_hw(
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+        kh,
+        kw,
+        stride,
+        pad,
+        hw,
+    )?;
     c_nm_to_nchw(&gxmat, n, ci, h, w)
 }
 
@@ -433,7 +464,14 @@ fn infer_hw(
     pad: usize,
     hw: usize,
 ) -> Result<(usize, usize)> {
-    let geom = Conv2dGeometry { in_h: oh, in_w: ow, kh, kw, stride, pad };
+    let geom = Conv2dGeometry {
+        in_h: oh,
+        in_w: ow,
+        kh,
+        kw,
+        stride,
+        pad,
+    };
     let (h, w) = geom.out_dims()?;
     if h * w != hw {
         return Err(TensorError::InvalidGeometry(format!(
@@ -493,13 +531,41 @@ mod tests {
 
     #[test]
     fn geometry_out_dims() {
-        let g = Conv2dGeometry { in_h: 8, in_w: 8, kh: 2, kw: 2, stride: 2, pad: 0 };
+        let g = Conv2dGeometry {
+            in_h: 8,
+            in_w: 8,
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        };
         assert_eq!(g.out_dims().unwrap(), (4, 4));
-        let g = Conv2dGeometry { in_h: 5, in_w: 7, kh: 3, kw: 3, stride: 1, pad: 1 };
+        let g = Conv2dGeometry {
+            in_h: 5,
+            in_w: 7,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(g.out_dims().unwrap(), (5, 7));
-        let bad = Conv2dGeometry { in_h: 2, in_w: 2, kh: 5, kw: 5, stride: 1, pad: 0 };
+        let bad = Conv2dGeometry {
+            in_h: 2,
+            in_w: 2,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 0,
+        };
         assert!(bad.out_dims().is_err());
-        let bad = Conv2dGeometry { in_h: 2, in_w: 2, kh: 1, kw: 1, stride: 0, pad: 0 };
+        let bad = Conv2dGeometry {
+            in_h: 2,
+            in_w: 2,
+            kh: 1,
+            kw: 1,
+            stride: 0,
+            pad: 0,
+        };
         assert!(bad.out_dims().is_err());
     }
 
@@ -631,7 +697,11 @@ mod tests {
         let lhs = conv2d(&x, &w, None, 2, 0).unwrap().mul(&y).unwrap().sum();
         // A conv weight (O,C,kh,kw) is a convT weight with Ci=O, O=C, so the
         // same tensor implements the adjoint operator directly.
-        let rhs = conv_transpose2d(&y, &w, None, 2, 0).unwrap().mul(&x).unwrap().sum();
+        let rhs = conv_transpose2d(&y, &w, None, 2, 0)
+            .unwrap()
+            .mul(&x)
+            .unwrap()
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

@@ -45,21 +45,27 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
-        for (local, i) in rows.enumerate() {
-            let crow = &mut chunk[local * n..(local + 1) * n];
-            let arow = &ad[i * k..(i + 1) * k];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[p * n..(p + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
+    par_rows_mut(
+        out.as_mut_slice(),
+        m,
+        n,
+        MIN_ROWS_PER_WORKER,
+        |rows, chunk| {
+            for (local, i) in rows.enumerate() {
+                let crow = &mut chunk[local * n..(local + 1) * n];
+                let arow = &ad[i * k..(i + 1) * k];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     Ok(out)
 }
 
@@ -81,19 +87,25 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
-        for (local, i) in rows.enumerate() {
-            let arow = &ad[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &bd[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
+    par_rows_mut(
+        out.as_mut_slice(),
+        m,
+        n,
+        MIN_ROWS_PER_WORKER,
+        |rows, chunk| {
+            for (local, i) in rows.enumerate() {
+                let arow = &ad[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    chunk[local * n + j] = acc;
                 }
-                chunk[local * n + j] = acc;
             }
-        }
-    });
+        },
+    );
     Ok(out)
 }
 
@@ -115,22 +127,28 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let mut out = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(out.as_mut_slice(), m, n, MIN_ROWS_PER_WORKER, |rows, chunk| {
-        for p in 0..k {
-            let arow = &ad[p * m..(p + 1) * m];
-            let brow = &bd[p * n..(p + 1) * n];
-            for (local, i) in rows.clone().enumerate() {
-                let av = arow[i];
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut chunk[local * n..(local + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
+    par_rows_mut(
+        out.as_mut_slice(),
+        m,
+        n,
+        MIN_ROWS_PER_WORKER,
+        |rows, chunk| {
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (local, i) in rows.clone().enumerate() {
+                    let av = arow[i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut chunk[local * n..(local + 1) * n];
+                    for (c, &bv) in crow.iter_mut().zip(brow) {
+                        *c += av * bv;
+                    }
                 }
             }
-        }
-    });
+        },
+    );
     Ok(out)
 }
 

@@ -64,7 +64,9 @@ pub fn avg_pool2d(x: &Tensor, k: usize) -> Result<Tensor> {
 pub fn avg_pool2d_backward(grad_out: &Tensor, k: usize) -> Result<Tensor> {
     let [n, c, oh, ow] = expect_rank4("avg_pool2d_backward", grad_out)?;
     if k == 0 {
-        return Err(TensorError::InvalidGeometry("window must be non-zero".into()));
+        return Err(TensorError::InvalidGeometry(
+            "window must be non-zero".into(),
+        ));
     }
     let mut gx = Tensor::zeros(&[n, c, oh * k, ow * k]);
     let inv = 1.0 / (k * k) as f32;

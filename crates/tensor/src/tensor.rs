@@ -472,7 +472,10 @@ impl Tensor {
 
     /// Squared L2 norm of all elements.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
     }
 
     /// Index of the maximum element of each row of a rank-2 tensor.
@@ -519,7 +522,12 @@ impl Tensor {
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{} (", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|x| format!("{x:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", …")?;
@@ -554,7 +562,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![1.0; 5], &[2, 3]),
-            Err(TensorError::ShapeDataMismatch { expected: 6, actual: 5 })
+            Err(TensorError::ShapeDataMismatch {
+                expected: 6,
+                actual: 5
+            })
         ));
     }
 

@@ -31,10 +31,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut tc = TrainConfig::experiment();
     tc.epochs = 5;
     let base = trainer::train_backbone(&mut backbone, data.train(), data.val(), &tc)?;
-    println!("baseline (uncompressed) accuracy: {:.1}%\n", base.val_accuracy * 100.0);
+    println!(
+        "baseline (uncompressed) accuracy: {:.1}%\n",
+        base.val_accuracy * 100.0
+    );
     let snapshot = serialize::to_bytes(&mut backbone);
 
-    println!("{:<16} {:>6} {:>10} {:>10}", "config", "CR", "accuracy", "loss(pp)");
+    println!(
+        "{:<16} {:>6} {:>10} {:>10}",
+        "config", "CR", "accuracy", "loss(pp)"
+    );
     println!("{}", "-".repeat(46));
 
     for (n_ch, qbit) in [(8usize, 4.0f32), (8, 3.0), (4, 3.0), (4, 2.0), (2, 2.0)] {

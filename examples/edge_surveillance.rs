@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     trainer::train_pipeline(&mut pipeline, data.train(), data.val(), &tc)?;
 
     // Deploy: program the trained weights and ADC boundary into the sensor.
-    let shape = data.val().image_shape().expect("non-empty dataset").to_vec();
+    let shape = data
+        .val()
+        .image_shape()
+        .expect("non-empty dataset")
+        .to_vec();
     let sensor = program_sensor(pipeline.encoder(), shape[1], shape[2])?;
     println!(
         "sensor programmed: {}x{} raw Bayer array, {} PEs, N_ch={}, Q_bit={}",

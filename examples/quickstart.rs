@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut tc = TrainConfig::experiment();
     tc.epochs = 6;
     let report = trainer::train_backbone(&mut backbone, data.train(), data.val(), &tc)?;
-    println!("backbone accuracy on raw images: {:.1}%", report.val_accuracy * 100.0);
+    println!(
+        "backbone accuracy on raw images: {:.1}%",
+        report.val_accuracy * 100.0
+    );
 
     // 2. Joint LeCA training: hard modality (analytical circuit models),
     //    CR = 8 via N_ch|Q_bit = 4|3 (Fig. 4(b) optimum).

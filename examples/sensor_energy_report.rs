@@ -17,11 +17,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     let energy = EnergyModel::paper();
     let timing = TimingModel::paper();
 
-    println!("{:<28} {:>12} {:>10} {:>8}", "configuration", "energy (uJ)", "fps", "passes");
+    println!(
+        "{:<28} {:>12} {:>10} {:>8}",
+        "configuration", "energy (uJ)", "fps", "passes"
+    );
     println!("{}", "-".repeat(62));
     for (rows, cols, label) in [(448usize, 448usize, "448x448"), (1080, 1920, "1080p")] {
         let cnv = energy.cnv_frame(rows, cols)?;
-        let geom = SensorGeometry { rows, cols, n_ch: 4 };
+        let geom = SensorGeometry {
+            rows,
+            cols,
+            n_ch: 4,
+        };
         println!(
             "{:<28} {:>12.1} {:>10.1} {:>8}",
             format!("{label} conventional 8-bit"),
@@ -40,7 +47,14 @@ fn main() -> Result<(), Box<dyn Error>> {
                 geom.readout_passes()
             );
         }
-        let leca8 = energy.leca_frame(&SensorGeometry { rows, cols, n_ch: 4 }, 3.0)?;
+        let leca8 = energy.leca_frame(
+            &SensorGeometry {
+                rows,
+                cols,
+                n_ch: 4,
+            },
+            3.0,
+        )?;
         println!(
             "  -> LeCA CR=8 is {:.1}x more energy-efficient than conventional at {label}\n",
             cnv.total_uj() / leca8.total_uj()

@@ -7,7 +7,7 @@ for bin in tab1_methods tab2_structure fig2c_survey fig6_timing framerate \
            fig8_circuit fig13_energy fig10_accuracy fig4b_nch_qbit \
            fig4a_kernel_size fig11_modalities fig12_visualize \
            fig10c_tradeoff fig13c_pareto discussion_jpeg discussion_unfrozen \
-           ablation_obuffer; do
+           ablation_obuffer fault_sweep; do
   cargo run --release -p leca-bench --bin "$bin" > "results/$bin.txt" 2>&1 || echo "FAILED: $bin"
   echo "done: $bin"
 done

@@ -1,0 +1,177 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`/`measurement_time`, `bench_function`
+//! with `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock harness: each benchmark is warmed up,
+//! calibrated to a per-sample iteration count, then timed for `sample_size`
+//! samples, reporting min/median/max ns per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, then times
+    /// `sample_size` samples and prints a ns/iter summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+
+        // Calibration: grow the per-sample iteration count until one sample
+        // takes ~1/sample_size of the measurement budget (min 1 iter).
+        let per_sample = self.measurement_time.as_nanos() as u64 / self.sample_size as u64;
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let ns = b.elapsed.as_nanos() as u64;
+            if ns >= per_sample || iters >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the budget, with headroom for noise.
+            let scale = (per_sample / ns.max(1)).clamp(2, 16);
+            iters = iters.saturating_mul(scale);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = samples_ns.first().copied().unwrap_or(0.0);
+        let med = samples_ns[samples_ns.len() / 2];
+        let max = samples_ns.last().copied().unwrap_or(0.0);
+        println!(
+            "{}/{:<40} {:>12} ns/iter (min {}, max {}) [{} iters x {} samples]",
+            self.name,
+            id,
+            format_ns(med),
+            format_ns(min),
+            format_ns(max),
+            iters,
+            self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// per-benchmark, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

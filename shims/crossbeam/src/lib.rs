@@ -1,0 +1,68 @@
+//! Offline subset of the `crossbeam` scoped-thread API, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only what the workspace uses is provided: [`scope`] returning a
+//! `Result`, and `Scope::spawn` taking a closure that receives the scope
+//! (the workspace always ignores that argument).
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a scope reference for
+    /// API compatibility with crossbeam (nested spawns are not supported by
+    /// this shim; the workspace never uses them).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&ScopeRef) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&ScopeRef(())))
+    }
+}
+
+/// Placeholder for the scope argument crossbeam passes to spawned closures.
+pub struct ScopeRef(());
+
+/// Runs `f` with a scope in which threads borrowing local data can be
+/// spawned; all spawned threads are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Crossbeam reports worker panics as `Err`; `std::thread::scope` resumes
+/// the panic on join instead, so this shim never actually returns `Err` —
+/// a panicking worker propagates its panic directly. Callers that `.expect`
+/// the result observe equivalent behavior (a panic either way).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}
