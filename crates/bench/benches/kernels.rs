@@ -1,7 +1,12 @@
 //! Criterion micro-benchmarks for the tensor kernels that dominate
 //! training time.
+//!
+//! Each production kernel is paired with its retained naive reference
+//! (`ops::reference`) at the same shape, so a single run reads out the
+//! blocked-GEMM speedup directly. Results are recorded in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use leca_tensor::ops::reference::{conv2d_naive, matmul_naive};
 use leca_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,11 +24,17 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("matmul_64x144x4096", |bench| {
         bench.iter(|| std::hint::black_box(a.matmul(&b).expect("matmul")));
     });
+    group.bench_function("matmul_naive_64x144x4096", |bench| {
+        bench.iter(|| std::hint::black_box(matmul_naive(&a, &b).expect("matmul_naive")));
+    });
 
     let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
     let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
     group.bench_function("conv2d_8x16x32x32_3x3", |bench| {
         bench.iter(|| std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv")));
+    });
+    group.bench_function("conv2d_naive_8x16x32x32_3x3", |bench| {
+        bench.iter(|| std::hint::black_box(conv2d_naive(&x, &w, 1, 1).expect("conv_naive")));
     });
     group.bench_function("conv2d_grad_weight", |bench| {
         let gout = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
@@ -37,6 +48,9 @@ fn bench_kernels(c: &mut Criterion) {
     let enc_w = Tensor::rand_uniform(&[8, 3, 2, 2], -1.0, 1.0, &mut rng);
     group.bench_function("conv2d_leca_encoder_geometry", |bench| {
         bench.iter(|| std::hint::black_box(ops::conv2d(&img, &enc_w, None, 2, 0).expect("conv")));
+    });
+    group.bench_function("conv2d_naive_leca_encoder_geometry", |bench| {
+        bench.iter(|| std::hint::black_box(conv2d_naive(&img, &enc_w, 2, 0).expect("conv_naive")));
     });
 
     group.finish();

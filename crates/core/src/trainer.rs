@@ -205,6 +205,10 @@ pub fn train_backbone(
     })
 }
 
+/// Eval batch size: large enough that the blocked GEMM's panel packing
+/// amortizes per batch, small enough to keep activation memory bounded.
+const EVAL_BATCH: usize = 64;
+
 /// Validation accuracy of a backbone on raw images.
 ///
 /// # Errors
@@ -213,7 +217,7 @@ pub fn train_backbone(
 pub fn backbone_accuracy(backbone: &mut Backbone, ds: &Dataset) -> LecaResult<f32> {
     let mut correct = 0.0;
     let mut count = 0usize;
-    for (x, labels) in ds.iter_batches(64) {
+    for (x, labels) in ds.iter_batches(EVAL_BATCH) {
         let logits = backbone.forward(&x, Mode::Eval)?;
         correct += accuracy(&logits, &labels)? * labels.len() as f32;
         count += labels.len();
@@ -225,9 +229,16 @@ pub fn backbone_accuracy(backbone: &mut Backbone, ds: &Dataset) -> LecaResult<f3
     })
 }
 
-fn maybe_augment(x: &Tensor, enabled: bool, rng: &mut StdRng) -> LecaResult<Tensor> {
+/// Applies the paper's augmentation when enabled; borrows the batch
+/// untouched otherwise, so the no-augmentation hot loop (every fast_test
+/// config and all eval paths) never copies activations.
+fn maybe_augment<'a>(
+    x: &'a Tensor,
+    enabled: bool,
+    rng: &mut StdRng,
+) -> LecaResult<std::borrow::Cow<'a, Tensor>> {
     if !enabled {
-        return Ok(x.clone());
+        return Ok(std::borrow::Cow::Borrowed(x));
     }
     let n = x.shape()[0];
     let mut parts = Vec::with_capacity(n);
@@ -238,7 +249,7 @@ fn maybe_augment(x: &Tensor, enabled: bool, rng: &mut StdRng) -> LecaResult<Tens
         parts.push(aug.reshape(&[1, x.shape()[1], x.shape()[2], x.shape()[3]])?);
     }
     let refs: Vec<&Tensor> = parts.iter().collect();
-    Ok(Tensor::concat0(&refs)?)
+    Ok(std::borrow::Cow::Owned(Tensor::concat0(&refs)?))
 }
 
 /// Jointly trains a LeCA pipeline's encoder/decoder against the frozen
@@ -315,7 +326,7 @@ pub fn train_pipeline(
 pub fn pipeline_accuracy(pipeline: &mut LecaPipeline, ds: &Dataset) -> LecaResult<f32> {
     let mut correct = 0.0;
     let mut count = 0usize;
-    for (x, labels) in ds.iter_batches(64) {
+    for (x, labels) in ds.iter_batches(EVAL_BATCH) {
         correct += pipeline.accuracy(&x, &labels)? * labels.len() as f32;
         count += labels.len();
     }

@@ -15,7 +15,26 @@ fn close(analytic: f32, numeric: f32, tol: f32) -> bool {
 }
 
 /// Verifies a layer's input and parameter gradients against central finite
-/// differences of `L = sum(forward(x))`.
+/// differences of `L = sum(forward(x))`, forwarding in `Train` mode.
+///
+/// # Errors
+///
+/// See [`check_layer_in_mode`].
+pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Result<()> {
+    check_layer_in_mode(layer, x, tol, Mode::Train)
+}
+
+/// Verifies a layer's input and parameter gradients against central finite
+/// differences of `L = sum(forward(x))`, with every forward pass run in
+/// `mode`.
+///
+/// The mode parameter matters for layers whose forward function differs
+/// between training and inference (batch norm normalizes with batch
+/// statistics in `Train` but with constant running statistics in `Eval`);
+/// both functions are differentiable and both backward paths need
+/// checking. Stateful side effects that would break the finite-difference
+/// probes (running-statistics updates in `Train` mode) must be disabled by
+/// the caller, e.g. via [`Layer::set_stats_locked`].
 ///
 /// Checks up to 24 evenly-spaced coordinates of the input and of every
 /// parameter to keep the cost bounded for larger layers.
@@ -25,13 +44,18 @@ fn close(analytic: f32, numeric: f32, tol: f32) -> bool {
 /// Returns [`NnError::InvalidConfig`] describing the first coordinate whose
 /// analytic and numeric gradients disagree beyond `tol`, or propagates any
 /// layer error.
-pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Result<()> {
+pub fn check_layer_in_mode<L: Layer + ?Sized>(
+    layer: &mut L,
+    x: &Tensor,
+    tol: f32,
+    mode: Mode,
+) -> Result<()> {
     const EPS: f32 = 1e-3;
     const MAX_COORDS: usize = 24;
 
     // Analytic pass.
     layer.zero_grad();
-    let out = layer.forward(x, Mode::Train)?;
+    let out = layer.forward(x, mode)?;
     let gx = layer.backward(&Tensor::ones(out.shape()))?;
     if gx.shape() != x.shape() {
         return Err(NnError::InvalidConfig(format!(
@@ -49,8 +73,8 @@ pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Re
         xp.as_mut_slice()[i] += EPS;
         let mut xm = x.clone();
         xm.as_mut_slice()[i] -= EPS;
-        let fp = layer.forward(&xp, Mode::Train)?.sum();
-        let fm = layer.forward(&xm, Mode::Train)?.sum();
+        let fp = layer.forward(&xp, mode)?.sum();
+        let fm = layer.forward(&xm, mode)?.sum();
         let numeric = (fp - fm) / (2.0 * EPS);
         let analytic = gx.as_slice()[i];
         if !close(analytic, numeric, tol) {
@@ -69,9 +93,9 @@ pub fn check_layer<L: Layer + ?Sized>(layer: &mut L, x: &Tensor, tol: f32) -> Re
         for &i in &sample_coords(pg.len(), MAX_COORDS) {
             let numeric = {
                 perturb_param(layer, pi, i, EPS);
-                let fp = layer.forward(x, Mode::Train)?.sum();
+                let fp = layer.forward(x, mode)?.sum();
                 perturb_param(layer, pi, i, -2.0 * EPS);
-                let fm = layer.forward(x, Mode::Train)?.sum();
+                let fm = layer.forward(x, mode)?.sum();
                 perturb_param(layer, pi, i, EPS);
                 (fp - fm) / (2.0 * EPS)
             };

@@ -23,6 +23,11 @@ pub struct BatchNorm2d {
 struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
+    /// Whether the cached forward normalized with batch statistics
+    /// (`Train`) or constant running statistics (`Eval`). The backward
+    /// formulas differ: batch statistics depend on `x`, running statistics
+    /// do not.
+    train: bool,
 }
 
 impl BatchNorm2d {
@@ -138,11 +143,18 @@ impl Layer for BatchNorm2d {
             self.cache = Some(BnCache {
                 x_hat,
                 inv_std: inv_stds,
+                train: true,
             });
         } else {
+            // Eval-mode forward is also differentiable (the decoder is
+            // gradient-checked in both modes), so cache the normalized
+            // activations exactly as in training.
+            let mut x_hat = Tensor::zeros(x.shape());
+            let mut inv_stds = Vec::with_capacity(c);
             for ci in 0..c {
                 let mean = self.running_mean.as_slice()[ci];
                 let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
+                inv_stds.push(inv_std);
                 let (g, b) = (
                     self.gamma.value.as_slice()[ci],
                     self.beta.value.as_slice()[ci],
@@ -150,10 +162,17 @@ impl Layer for BatchNorm2d {
                 for ni in 0..n {
                     for p in 0..hw {
                         let idx = (ni * c + ci) * hw + p;
-                        out.as_mut_slice()[idx] = g * (x.as_slice()[idx] - mean) * inv_std + b;
+                        let xh = (x.as_slice()[idx] - mean) * inv_std;
+                        x_hat.as_mut_slice()[idx] = xh;
+                        out.as_mut_slice()[idx] = g * xh + b;
                     }
                 }
             }
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+                train: false,
+            });
         }
         Ok(out)
     }
@@ -183,17 +202,28 @@ impl Layer for BatchNorm2d {
             self.gamma.grad.as_mut_slice()[ci] += dgamma as f32;
             self.beta.grad.as_mut_slice()[ci] += dbeta as f32;
 
-            // dx = γ/σ · (dy - mean(dy) - x̂ · mean(dy·x̂))
             let g = self.gamma.value.as_slice()[ci];
             let scale = g * cache.inv_std[ci];
-            let mean_dy = dbeta as f32 / m;
-            let mean_dyxh = dgamma as f32 / m;
-            for ni in 0..n {
-                for p in 0..hw {
-                    let idx = (ni * c + ci) * hw + p;
-                    let dy = grad_out.as_slice()[idx];
-                    let xh = cache.x_hat.as_slice()[idx];
-                    gx.as_mut_slice()[idx] = scale * (dy - mean_dy - xh * mean_dyxh);
+            if cache.train {
+                // Batch statistics depend on x:
+                // dx = γ/σ · (dy - mean(dy) - x̂ · mean(dy·x̂))
+                let mean_dy = dbeta as f32 / m;
+                let mean_dyxh = dgamma as f32 / m;
+                for ni in 0..n {
+                    for p in 0..hw {
+                        let idx = (ni * c + ci) * hw + p;
+                        let dy = grad_out.as_slice()[idx];
+                        let xh = cache.x_hat.as_slice()[idx];
+                        gx.as_mut_slice()[idx] = scale * (dy - mean_dy - xh * mean_dyxh);
+                    }
+                }
+            } else {
+                // Running statistics are constants: dx = γ/σ · dy.
+                for ni in 0..n {
+                    for p in 0..hw {
+                        let idx = (ni * c + ci) * hw + p;
+                        gx.as_mut_slice()[idx] = scale * grad_out.as_slice()[idx];
+                    }
                 }
             }
         }

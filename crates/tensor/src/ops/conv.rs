@@ -10,7 +10,15 @@
 //! The im2col matrix has shape `(C*kh*kw, N*oh*ow)` with column index
 //! `n*oh*ow + oy*ow + ox`, so one matrix multiplication covers the whole
 //! batch.
+//!
+//! The hot kernels (forward conv, both weight gradients, and the
+//! transposed-conv input gradient) never materialize that matrix: they
+//! hand the blocked GEMM in [`super::gemm`] a *virtual* im2col view and
+//! the lowering happens inside B-panel packing, one cache-sized panel at a
+//! time. The standalone [`im2col`]/[`col2im`] entry points remain for the
+//! scatter-based paths and for tests.
 
+use super::gemm::{gemm, Im2colView, Operand};
 use crate::parallel::par_rows_mut;
 use crate::{Result, Tensor, TensorError};
 
@@ -107,6 +115,43 @@ fn c_nm_to_nchw(m: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Te
         }
     }
     Ok(out)
+}
+
+/// Builds the virtual im2col view of `x` for fused GEMM packing,
+/// validating the geometry. Returns the view and the output grid.
+fn im2col_view(
+    x: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<(Im2colView<'_>, usize, usize)> {
+    let [_, c, h, w] = expect_rank4("im2col", x)?;
+    let geom = Conv2dGeometry {
+        in_h: h,
+        in_w: w,
+        kh,
+        kw,
+        stride,
+        pad,
+    };
+    let (oh, ow) = geom.out_dims()?;
+    Ok((
+        Im2colView {
+            data: x.as_slice(),
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+            oh,
+            ow,
+        },
+        oh,
+        ow,
+    ))
 }
 
 /// Unfolds `x: (N, C, H, W)` into the im2col matrix `(C*kh*kw, N*oh*ow)`.
@@ -238,7 +283,7 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    let [n, c, h, w] = expect_rank4("conv2d", x)?;
+    let [n, c, _, _] = expect_rank4("conv2d", x)?;
     let [o, wc, kh, kw] = expect_rank4("conv2d", weight)?;
     if wc != c {
         return Err(TensorError::ShapeMismatch {
@@ -247,18 +292,22 @@ pub fn conv2d(
             rhs: weight.shape().to_vec(),
         });
     }
-    let geom = Conv2dGeometry {
-        in_h: h,
-        in_w: w,
-        kh,
-        kw,
-        stride,
-        pad,
-    };
-    let (oh, ow) = geom.out_dims()?;
-    let cols = im2col(x, kh, kw, stride, pad)?;
-    let wmat = weight.reshape(&[o, c * kh * kw])?;
-    let mut out_mat = crate::ops::matmul(&wmat, &cols)?;
+    let (view, oh, ow) = im2col_view(x, kh, kw, stride, pad)?;
+    // Fused path: the weight matrix (O, C*kh*kw) multiplies the virtual
+    // im2col matrix directly; lowering happens inside B-panel packing.
+    let ckk = c * kh * kw;
+    let row_len = n * oh * ow;
+    let mut out_mat = Tensor::zeros(&[o, row_len]);
+    gemm(
+        o,
+        row_len,
+        ckk,
+        weight.as_slice(),
+        ckk,
+        1,
+        &Operand::Im2col(view),
+        out_mat.as_mut_slice(),
+    );
     if let Some(b) = bias {
         if b.shape() != [o] {
             return Err(TensorError::ShapeMismatch {
@@ -267,7 +316,6 @@ pub fn conv2d(
                 rhs: vec![o],
             });
         }
-        let row_len = n * oh * ow;
         let data = out_mat.as_mut_slice();
         for (oi, &bv) in b.as_slice().iter().enumerate() {
             for v in &mut data[oi * row_len..(oi + 1) * row_len] {
@@ -322,11 +370,31 @@ pub fn conv2d_grad_weight(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    let [_, c, _, _] = expect_rank4("conv2d_grad_weight", x)?;
-    let [_, o, _, _] = expect_rank4("conv2d_grad_weight", grad_out)?;
-    let cols = im2col(x, kh, kw, stride, pad)?;
+    let [n, c, _, _] = expect_rank4("conv2d_grad_weight", x)?;
+    let [gn, o, goh, gow] = expect_rank4("conv2d_grad_weight", grad_out)?;
+    let (view, oh, ow) = im2col_view(x, kh, kw, stride, pad)?;
+    if gn != n || (goh, gow) != (oh, ow) {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_grad_weight",
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, o, oh, ow],
+        });
+    }
     let gmat = nchw_to_c_nm(grad_out)?;
-    let grad_wmat = crate::ops::matmul_bt(&gmat, &cols)?;
+    // dW = dY · im2col(x)ᵀ, with the transposed im2col consumed virtually
+    // by panel packing.
+    let ckk = c * kh * kw;
+    let mut grad_wmat = Tensor::zeros(&[o, ckk]);
+    gemm(
+        o,
+        ckk,
+        n * oh * ow,
+        gmat.as_slice(),
+        n * oh * ow,
+        1,
+        &Operand::Im2colT(view),
+        grad_wmat.as_mut_slice(),
+    );
     grad_wmat.reshape(&[o, c, kh, kw])
 }
 
@@ -413,22 +481,22 @@ pub fn conv_transpose2d_grad_input(
         });
     }
     // Differentiating the scatter: grad wrt x is an ordinary convolution of
-    // grad_out with the same kernel.
-    let grad_cols = im2col(grad_out, kh, kw, stride, pad)?;
-    let wmat = weight.reshape(&[ci, o * kh * kw])?;
-    let gxmat = crate::ops::matmul(&wmat, &grad_cols)?;
-    let l = gxmat.len() / ci.max(1) / n.max(1);
-    // Recover the input grid (H, W) from the column count.
-    let hw = l;
-    let (h, w) = infer_hw(
-        grad_out.shape()[2],
-        grad_out.shape()[3],
-        kh,
-        kw,
-        stride,
-        pad,
-        hw,
-    )?;
+    // grad_out with the same kernel, computed fused (the im2col of
+    // grad_out is consumed virtually by panel packing). The forward-input
+    // grid (H, W) is exactly that convolution's output grid.
+    let (view, h, w) = im2col_view(grad_out, kh, kw, stride, pad)?;
+    let okk = o * kh * kw;
+    let mut gxmat = Tensor::zeros(&[ci, n * h * w]);
+    gemm(
+        ci,
+        n * h * w,
+        okk,
+        weight.as_slice(),
+        okk,
+        1,
+        &Operand::Im2col(view),
+        gxmat.as_mut_slice(),
+    );
     c_nm_to_nchw(&gxmat, n, ci, h, w)
 }
 
@@ -445,40 +513,32 @@ pub fn conv_transpose2d_grad_weight(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    let [_, ci, _, _] = expect_rank4("conv_transpose2d_grad_weight", x)?;
-    let [_, o, _, _] = expect_rank4("conv_transpose2d_grad_weight", grad_out)?;
-    let grad_cols = im2col(grad_out, kh, kw, stride, pad)?;
-    let xmat = nchw_to_c_nm(x)?;
-    let grad_wmat = crate::ops::matmul_bt(&xmat, &grad_cols)?;
-    grad_wmat.reshape(&[ci, o, kh, kw])
-}
-
-/// Solves for the forward-input grid `(h, w)` of a transposed convolution
-/// given the output dims and `h*w`.
-fn infer_hw(
-    oh: usize,
-    ow: usize,
-    kh: usize,
-    kw: usize,
-    stride: usize,
-    pad: usize,
-    hw: usize,
-) -> Result<(usize, usize)> {
-    let geom = Conv2dGeometry {
-        in_h: oh,
-        in_w: ow,
-        kh,
-        kw,
-        stride,
-        pad,
-    };
-    let (h, w) = geom.out_dims()?;
-    if h * w != hw {
-        return Err(TensorError::InvalidGeometry(format!(
-            "inconsistent transposed-conv geometry: {h}x{w} != {hw} elements"
-        )));
+    let [n, ci, h, w] = expect_rank4("conv_transpose2d_grad_weight", x)?;
+    let [gn, o, _, _] = expect_rank4("conv_transpose2d_grad_weight", grad_out)?;
+    // dW = x_mat · im2col(grad_out)ᵀ; the im2col output grid must be the
+    // forward-input grid of x.
+    let (view, vh, vw) = im2col_view(grad_out, kh, kw, stride, pad)?;
+    if gn != n || (vh, vw) != (h, w) {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv_transpose2d_grad_weight",
+            lhs: grad_out.shape().to_vec(),
+            rhs: x.shape().to_vec(),
+        });
     }
-    Ok((h, w))
+    let xmat = nchw_to_c_nm(x)?;
+    let okk = o * kh * kw;
+    let mut grad_wmat = Tensor::zeros(&[ci, okk]);
+    gemm(
+        ci,
+        okk,
+        n * h * w,
+        xmat.as_slice(),
+        n * h * w,
+        1,
+        &Operand::Im2colT(view),
+        grad_wmat.as_mut_slice(),
+    );
+    grad_wmat.reshape(&[ci, o, kh, kw])
 }
 
 #[cfg(test)]

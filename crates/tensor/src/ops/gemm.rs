@@ -1,0 +1,252 @@
+//! Cache-blocked, register-tiled GEMM core.
+//!
+//! Every matmul variant ([`super::matmul`], [`super::matmul_bt`],
+//! [`super::matmul_at`]) and the fused-im2col convolution kernels in
+//! [`super::conv`] lower onto [`gemm`] here. The structure is the classic
+//! packed-panel design:
+//!
+//! * B is packed once into panel-major storage: panels of [`NR`] columns,
+//!   each laid out `bp[p * NR + j]` so the microkernel streams it
+//!   sequentially. Packing is where operand layout is absorbed — a panel
+//!   source can be a strided matrix, a strided transpose, or the *virtual*
+//!   im2col matrix of an NCHW image batch (never materialized).
+//! * A is packed per [`MR`]-row tile as `ap[p * MR + i]`, also sequential
+//!   in the k loop.
+//! * The microkernel keeps an `MR x NR` accumulator block in registers and
+//!   performs one rank-1 update per k step.
+//!
+//! # Reduction order is load-bearing
+//!
+//! Each output element is accumulated in a **single chain over strictly
+//! increasing `k`** — there is no split-k, no per-block partial sums, and
+//! no `mul_add` (FMA rounds differently). Threads only ever divide the
+//! *output* into disjoint row ranges. Consequently results are bit-exact
+//! across `LECA_THREADS` settings and across blocking-parameter changes,
+//! which is what the determinism test suite pins down.
+
+use crate::parallel::par_rows_mut;
+
+/// Microkernel tile height (output rows held in registers).
+pub(crate) const MR: usize = 8;
+/// Microkernel tile width (output columns held in registers).
+pub(crate) const NR: usize = 8;
+/// Minimum output rows handed to one pool worker.
+const MC: usize = 32;
+
+/// Geometry of a virtual im2col matrix `(C*kh*kw, N*oh*ow)` over an NCHW
+/// batch. Element `(r, col)` with `r = (ci*kh + ky)*kw + kx` and
+/// `col = (img*oh + oy)*ow + ox` reads
+/// `data[img, ci, oy*stride + ky - pad, ox*stride + kx - pad]`, or zero
+/// when that lands in the padding.
+#[derive(Clone, Copy)]
+pub(crate) struct Im2colView<'a> {
+    pub data: &'a [f32],
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub stride: usize,
+    pub pad: usize,
+    pub oh: usize,
+    pub ow: usize,
+}
+
+impl Im2colView<'_> {
+    #[inline]
+    fn sample(&self, img: usize, ci: usize, iy: usize, ix: usize) -> f32 {
+        // iy/ix arrive pre-offset by the kernel position but not yet by
+        // padding; anything outside the image reads as zero.
+        match (iy.checked_sub(self.pad), ix.checked_sub(self.pad)) {
+            (Some(y), Some(x)) if y < self.h && x < self.w => {
+                self.data[((img * self.c + ci) * self.h + y) * self.w + x]
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// A read-only `(rows, cols)` matrix operand for the B side of [`gemm`].
+pub(crate) enum Operand<'a> {
+    /// `get(i, j) = data[i * rs + j * cs]`.
+    Strided {
+        data: &'a [f32],
+        rs: usize,
+        cs: usize,
+    },
+    /// The virtual im2col matrix of `view` (shape `C*kh*kw x N*oh*ow`).
+    Im2col(Im2colView<'a>),
+    /// The transpose of [`Operand::Im2col`] (shape `N*oh*ow x C*kh*kw`).
+    Im2colT(Im2colView<'a>),
+}
+
+/// Packs columns `j0 .. j0+jn` of operand `b` (logical shape `k x n`) into
+/// `dst[p * NR + jj]`. Columns beyond `jn` stay zero (caller pre-zeroes).
+fn pack_b_panel(b: &Operand, j0: usize, jn: usize, k: usize, dst: &mut [f32]) {
+    match b {
+        Operand::Strided { data, rs, cs } => {
+            for p in 0..k {
+                let row = p * rs + j0 * cs;
+                let d = &mut dst[p * NR..p * NR + jn];
+                if *cs == 1 {
+                    d.copy_from_slice(&data[row..row + jn]);
+                } else {
+                    for (jj, v) in d.iter_mut().enumerate() {
+                        *v = data[row + jj * cs];
+                    }
+                }
+            }
+        }
+        Operand::Im2col(v) => {
+            // Rows iterate (ci, ky, kx); the panel's columns are fixed
+            // output positions (img, oy, ox), precomputed once.
+            let mut cols = [(0usize, 0usize, 0usize); NR];
+            for (jj, slot) in cols.iter_mut().take(jn).enumerate() {
+                let col = j0 + jj;
+                let img = col / (v.oh * v.ow);
+                let rem = col % (v.oh * v.ow);
+                *slot = (img, (rem / v.ow) * v.stride, (rem % v.ow) * v.stride);
+            }
+            let (mut ci, mut ky, mut kx) = (0usize, 0usize, 0usize);
+            for p in 0..k {
+                let d = &mut dst[p * NR..p * NR + jn];
+                for (jj, v2) in d.iter_mut().enumerate() {
+                    let (img, ybase, xbase) = cols[jj];
+                    *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                }
+                kx += 1;
+                if kx == v.kw {
+                    kx = 0;
+                    ky += 1;
+                    if ky == v.kh {
+                        ky = 0;
+                        ci += 1;
+                    }
+                }
+            }
+        }
+        Operand::Im2colT(v) => {
+            // Rows iterate output positions (img, oy, ox); columns are
+            // fixed kernel taps (ci, ky, kx), precomputed once.
+            let mut taps = [(0usize, 0usize, 0usize); NR];
+            for (jj, slot) in taps.iter_mut().take(jn).enumerate() {
+                let r = j0 + jj;
+                *slot = (r / (v.kh * v.kw), (r / v.kw) % v.kh, r % v.kw);
+            }
+            let (mut img, mut oy, mut ox) = (0usize, 0usize, 0usize);
+            for p in 0..k {
+                let (ybase, xbase) = (oy * v.stride, ox * v.stride);
+                let d = &mut dst[p * NR..p * NR + jn];
+                for (jj, v2) in d.iter_mut().enumerate() {
+                    let (ci, ky, kx) = taps[jj];
+                    *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                }
+                ox += 1;
+                if ox == v.ow {
+                    ox = 0;
+                    oy += 1;
+                    if oy == v.oh {
+                        oy = 0;
+                        img += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs rows `i0 .. i0+im` of the strided A operand into
+/// `ap[p * MR + i]`, zero-filling the `im..MR` padding rows.
+fn pack_a_tile(data: &[f32], rs: usize, cs: usize, i0: usize, im: usize, k: usize, ap: &mut [f32]) {
+    for p in 0..k {
+        let d = &mut ap[p * MR..(p + 1) * MR];
+        let col = p * cs;
+        for (i, v) in d.iter_mut().enumerate() {
+            *v = if i < im {
+                data[(i0 + i) * rs + col]
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// `MR x NR` register-tile update: `acc += A_tile · B_panel`, one rank-1
+/// update per k step, each accumulator fed by a single in-order chain.
+#[inline]
+fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..k {
+        let a: &[f32; MR] = ap[p * MR..(p + 1) * MR].try_into().unwrap();
+        let b: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().unwrap();
+        for i in 0..MR {
+            let ai = a[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// `out = A · B` where `A` is the strided `(m, k)` view
+/// `a_data[i * a_rs + p * a_cs]` and `B` is any [`Operand`] of shape
+/// `(k, n)`. `out` must be a zeroed `m * n` row-major buffer.
+#[allow(clippy::too_many_arguments)] // flat (dims, strides) signature keeps call sites allocation-free
+pub(crate) fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a_data: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &Operand,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), m * n, "gemm output buffer mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let npanels = n.div_ceil(NR);
+
+    // Pack all of B once (k is never blocked — see module docs). Panels
+    // are independent, so packing parallelizes trivially.
+    let mut packed_b = vec![0.0f32; npanels * k * NR];
+    if k > 0 {
+        par_rows_mut(&mut packed_b, npanels, k * NR, 1, |range, chunk| {
+            for (local, jp) in range.enumerate() {
+                let j0 = jp * NR;
+                pack_b_panel(
+                    b,
+                    j0,
+                    NR.min(n - j0),
+                    k,
+                    &mut chunk[local * k * NR..(local + 1) * k * NR],
+                );
+            }
+        });
+    }
+
+    // Compute over disjoint output row ranges; each worker packs its own
+    // A tiles. Tile edges only change *which* worker computes an element,
+    // never its reduction order, so any split is bit-identical.
+    par_rows_mut(out, m, n, MC, |rows, chunk| {
+        let mut ap = vec![0.0f32; k * MR];
+        let (r0, r1) = (rows.start, rows.end);
+        let mut i0 = r0;
+        while i0 < r1 {
+            let im = MR.min(r1 - i0);
+            pack_a_tile(a_data, a_rs, a_cs, i0, im, k, &mut ap);
+            for jp in 0..npanels {
+                let j0 = jp * NR;
+                let jn = NR.min(n - j0);
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(k, &ap, &packed_b[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+                for (i, arow) in acc.iter().enumerate().take(im) {
+                    let crow = &mut chunk[(i0 - r0 + i) * n + j0..(i0 - r0 + i) * n + j0 + jn];
+                    crow.copy_from_slice(&arow[..jn]);
+                }
+            }
+            i0 += im;
+        }
+    });
+}

@@ -6,8 +6,13 @@
 //! * [`matmul`]   — `C = A · B`
 //! * [`matmul_bt`] — `C = A · Bᵀ` (weight-gradient shapes)
 //! * [`matmul_at`] — `C = Aᵀ · B` (input-gradient shapes)
+//!
+//! All three lower onto the packed-panel GEMM in [`super::gemm`]; the
+//! transposed variants are expressed as strided views, so no operand is
+//! ever copied into transposed form. See the `gemm` module docs for the
+//! blocking scheme and the bit-exactness guarantee.
 
-use crate::parallel::par_rows_mut;
+use super::gemm::{gemm, Operand};
 use crate::{Result, Tensor, TensorError};
 
 fn check_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
@@ -21,13 +26,7 @@ fn check_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
     Ok((t.shape()[0], t.shape()[1]))
 }
 
-/// Minimum number of output rows per worker before threading kicks in.
-const MIN_ROWS_PER_WORKER: usize = 16;
-
 /// `C = A · B` for row-major matrices `A: (m, k)`, `B: (k, n)`.
-///
-/// The inner loop is written as an axpy over B's rows, which vectorizes well
-/// and reads both operands sequentially.
 ///
 /// # Errors
 ///
@@ -44,27 +43,19 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(
-        out.as_mut_slice(),
+    gemm(
         m,
         n,
-        MIN_ROWS_PER_WORKER,
-        |rows, chunk| {
-            for (local, i) in rows.enumerate() {
-                let crow = &mut chunk[local * n..(local + 1) * n];
-                let arow = &ad[i * k..(i + 1) * k];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[p * n..(p + 1) * n];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += av * bv;
-                    }
-                }
-            }
+        k,
+        a.as_slice(),
+        k,
+        1,
+        &Operand::Strided {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
         },
+        out.as_mut_slice(),
     );
     Ok(out)
 }
@@ -86,25 +77,20 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(
-        out.as_mut_slice(),
+    // Bᵀ as a view: element (p, j) of the logical operand is B[j][p].
+    gemm(
         m,
         n,
-        MIN_ROWS_PER_WORKER,
-        |rows, chunk| {
-            for (local, i) in rows.enumerate() {
-                let arow = &ad[i * k..(i + 1) * k];
-                for j in 0..n {
-                    let brow = &bd[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    chunk[local * n + j] = acc;
-                }
-            }
+        k,
+        a.as_slice(),
+        k,
+        1,
+        &Operand::Strided {
+            data: b.as_slice(),
+            rs: 1,
+            cs: k,
         },
+        out.as_mut_slice(),
     );
     Ok(out)
 }
@@ -126,28 +112,20 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    par_rows_mut(
-        out.as_mut_slice(),
+    // Aᵀ as a strided view: element (i, p) of the logical A is A[p][i].
+    gemm(
         m,
         n,
-        MIN_ROWS_PER_WORKER,
-        |rows, chunk| {
-            for p in 0..k {
-                let arow = &ad[p * m..(p + 1) * m];
-                let brow = &bd[p * n..(p + 1) * n];
-                for (local, i) in rows.clone().enumerate() {
-                    let av = arow[i];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let crow = &mut chunk[local * n..(local + 1) * n];
-                    for (c, &bv) in crow.iter_mut().zip(brow) {
-                        *c += av * bv;
-                    }
-                }
-            }
+        k,
+        a.as_slice(),
+        1,
+        m,
+        &Operand::Strided {
+            data: b.as_slice(),
+            rs: n,
+            cs: 1,
         },
+        out.as_mut_slice(),
     );
     Ok(out)
 }
@@ -155,24 +133,9 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::reference::matmul_naive;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-
-    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
-        let (m, k) = (a.shape()[0], a.shape()[1]);
-        let n = b.shape()[1];
-        let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += a.at(&[i, p]) * b.at(&[p, j]);
-                }
-                out.set(&[i, j], acc);
-            }
-        }
-        out
-    }
 
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
@@ -202,7 +165,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Tensor::rand_uniform(&[7, 13], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[13, 5], -1.0, 1.0, &mut rng);
-        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-4);
+        assert_close(
+            &matmul(&a, &b).unwrap(),
+            &matmul_naive(&a, &b).unwrap(),
+            1e-4,
+        );
     }
 
     #[test]
@@ -210,7 +177,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let a = Tensor::rand_uniform(&[130, 40], -1.0, 1.0, &mut rng);
         let b = Tensor::rand_uniform(&[40, 33], -1.0, 1.0, &mut rng);
-        assert_close(&matmul(&a, &b).unwrap(), &naive(&a, &b), 1e-3);
+        assert_close(
+            &matmul(&a, &b).unwrap(),
+            &matmul_naive(&a, &b).unwrap(),
+            1e-3,
+        );
     }
 
     #[test]
@@ -229,6 +200,21 @@ mod tests {
         let b = Tensor::rand_uniform(&[6, 11], -1.0, 1.0, &mut rng);
         let expected = matmul(&a.transpose().unwrap(), &b).unwrap();
         assert_close(&matmul_at(&a, &b).unwrap(), &expected, 1e-4);
+    }
+
+    #[test]
+    fn tile_edge_shapes_match_naive() {
+        // Exercise m/n/k straddling the 8x8 microkernel tile boundaries.
+        let mut rng = StdRng::seed_from_u64(5);
+        for (m, n, k) in [(1, 1, 1), (7, 9, 8), (8, 8, 8), (9, 7, 17), (16, 24, 1)] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            assert_close(
+                &matmul(&a, &b).unwrap(),
+                &matmul_naive(&a, &b).unwrap(),
+                1e-4,
+            );
+        }
     }
 
     #[test]

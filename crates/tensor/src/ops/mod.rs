@@ -5,9 +5,11 @@
 //! network layers in `leca-nn` are thin stateful wrappers around them.
 
 mod conv;
+mod gemm;
 mod matmul;
 mod pool;
 mod reduce;
+pub mod reference;
 
 pub use conv::{
     col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, conv_transpose2d,

@@ -1,23 +1,66 @@
-//! Minimal data-parallel helpers built on `crossbeam::scope`.
+//! Data-parallel helpers on a **persistent worker pool**.
 //!
-//! The training stack's hot loops (matmul, im2col) are embarrassingly
-//! parallel over output rows / batch items. Rather than pull in a full
-//! work-stealing runtime, we split index ranges across scoped threads.
+//! The training stack's hot loops (GEMM, im2col packing) are embarrassingly
+//! parallel over disjoint output tiles, but they are also *small*: a single
+//! conv layer's GEMM lasts tens of microseconds, so spawning OS threads per
+//! call (the old `crossbeam::scope` design) paid more for thread creation
+//! than for the math. The pool here is spawned once, lazily, and fed
+//! through a job queue; per-call overhead is one enqueue plus a condvar
+//! wait.
+//!
+//! # Determinism
+//!
+//! Work is split into chunks by **chunk index**, and the chunk → data
+//! mapping depends only on the problem size and [`num_threads`] — never on
+//! which worker happens to run a chunk. Kernels built on these helpers
+//! (see [`crate::ops::matmul`]) additionally keep a fixed per-element
+//! reduction order, so results are bit-identical across thread counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Returns the number of worker threads to use.
 ///
 /// Defaults to the machine's available parallelism, capped at 8 (beyond
 /// which the small matrices in this workspace stop scaling). Honors the
 /// `LECA_THREADS` environment variable when set to a positive integer.
+///
+/// # Semantics
+///
+/// The value is computed **once per process** on first use and cached:
+/// later changes to `LECA_THREADS` are intentionally ignored so that a
+/// long-running training job cannot change parallelism (and perf
+/// characteristics) mid-flight because some library touched the
+/// environment. Tests that need to flip thread counts within one process
+/// must call [`refresh_num_threads`] after changing the variable.
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
     let cached = CACHED.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
-    let n = std::env::var("LECA_THREADS")
+    let n = read_thread_env();
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Re-reads `LECA_THREADS` and replaces the cached thread count.
+///
+/// This is the test hook for the once-per-process caching of
+/// [`num_threads`]: determinism tests set `LECA_THREADS=1`, run a
+/// workload, then set `LECA_THREADS=8` and call this to re-run the same
+/// workload threaded in the same process. Returns the new count.
+pub fn refresh_num_threads() -> usize {
+    let n = read_thread_env();
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+static CACHED: AtomicUsize = AtomicUsize::new(0);
+
+fn read_thread_env() -> usize {
+    std::env::var("LECA_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&v| v > 0)
@@ -26,15 +69,188 @@ pub fn num_threads() -> usize {
                 .map(|p| p.get())
                 .unwrap_or(1)
                 .min(8)
-        });
-    CACHED.store(n, Ordering::Relaxed);
-    n
+        })
+}
+
+// ---------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------
+
+/// A unit of fanned-out work: `f(chunk_index)` for every index in
+/// `0..total`. The raw pointer erases the closure's lifetime; soundness is
+/// argued in [`pool_run`].
+struct Job {
+    f: RawClosure,
+    next: AtomicUsize,
+    total: usize,
+    completed: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// `*const dyn Fn` made Send+Sync so it can cross the queue. The pointee
+/// is `Sync` (bound enforced by [`pool_run`]) and outlives every access
+/// (the dispatcher blocks until all chunks completed).
+struct RawClosure(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for RawClosure {}
+unsafe impl Sync for RawClosure {}
+
+impl Job {
+    /// Claims and runs chunks until the counter is exhausted.
+    fn run_chunks(&self) {
+        loop {
+            let idx = self.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.total {
+                return;
+            }
+            // SAFETY: a successful claim (idx < total) implies the
+            // dispatcher is still blocked waiting for `completed == total`,
+            // so the closure behind the pointer is alive. Stale queue
+            // copies that arrive after completion always see idx >= total
+            // (all `total` claims already happened) and never get here.
+            let f = unsafe { &*self.f.0 };
+            if catch_unwind(AssertUnwindSafe(|| f(idx))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut c = self.completed.lock().unwrap_or_else(|e| e.into_inner());
+            *c += 1;
+            if *c == self.total {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Pool {
+    /// Grows the pool to at least `want` resident workers. Workers are
+    /// detached and live for the rest of the process; they block on the
+    /// queue condvar when idle, so an idle pool costs nothing.
+    fn ensure_workers(&'static self, want: usize) {
+        let mut spawned = self.spawned.lock().unwrap_or_else(|e| e.into_inner());
+        while *spawned < want {
+            *spawned += 1;
+            std::thread::Builder::new()
+                .name(format!("leca-worker-{spawned}"))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            job.run_chunks();
+        }
+    }
+
+    fn submit(&self, job: &Arc<Job>, copies: usize) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..copies {
+            q.push_back(Arc::clone(job));
+        }
+        drop(q);
+        self.available.notify_all();
+    }
+}
+
+/// Runs `f(chunk_index)` for every index in `0..chunks`, fanning out over
+/// the persistent pool. The calling thread participates, so `chunks == 1`
+/// (or a single configured thread) runs entirely inline with no queue
+/// traffic.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn pool_run<F>(chunks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if chunks == 0 {
+        return;
+    }
+    let threads = num_threads();
+    if chunks == 1 || threads <= 1 {
+        for idx in 0..chunks {
+            f(idx);
+        }
+        return;
+    }
+
+    let helpers = threads.min(chunks) - 1;
+    let p = pool();
+    p.ensure_workers(helpers);
+
+    // Erase the closure's lifetime for the queue crossing. Sound because
+    // this frame does not return until `completed == total` below, and
+    // workers touch the closure only while executing claimed chunks (each
+    // of which bumps `completed`).
+    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
+    let job = Arc::new(Job {
+        f: RawClosure(erased as *const (dyn Fn(usize) + Sync)),
+        next: AtomicUsize::new(0),
+        total: chunks,
+        completed: Mutex::new(0),
+        done: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    p.submit(&job, helpers);
+
+    // Help out, then wait for the stragglers.
+    job.run_chunks();
+    let mut c = job.completed.lock().unwrap_or_else(|e| e.into_inner());
+    while *c < job.total {
+        c = job.done.wait(c).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(c);
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("parallel worker panicked");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range / row helpers (same API as the old scoped-thread versions)
+// ---------------------------------------------------------------------
+
+/// Splits `0..len` into at most `num_threads()` contiguous sub-ranges of
+/// at least `min_chunk` elements and returns `(chunk_size, chunk_count)`.
+fn split(len: usize, min_chunk: usize) -> (usize, usize) {
+    let threads = num_threads();
+    if threads <= 1 || len <= min_chunk {
+        return (len.max(1), 1);
+    }
+    let workers = threads.min(len / min_chunk.max(1)).max(1);
+    let chunk = len.div_ceil(workers);
+    (chunk, len.div_ceil(chunk))
 }
 
 /// Runs `f(start, end)` over disjoint sub-ranges of `0..len` in parallel.
 ///
-/// `f` is called once per worker with a contiguous range. When `len` is
-/// small (or only one thread is available) the call runs inline on the
+/// `f` is called once per chunk with a contiguous range. When `len` is
+/// small (or only one thread is configured) the call runs inline on the
 /// current thread, so there is no overhead for tiny problems.
 ///
 /// # Panics
@@ -44,37 +260,25 @@ pub fn par_ranges<F>(len: usize, min_chunk: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    let threads = num_threads();
-    if threads <= 1 || len <= min_chunk {
-        f(0, len);
+    if len == 0 {
+        f(0, 0);
         return;
     }
-    let workers = threads.min(len / min_chunk.max(1)).max(1);
-    if workers == 1 {
-        f(0, len);
-        return;
-    }
-    let chunk = len.div_ceil(workers);
-    crossbeam::scope(|scope| {
-        for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(len);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            scope.spawn(move |_| f(start, end));
+    let (chunk, chunks) = split(len, min_chunk);
+    pool_run(chunks, |w| {
+        let start = w * chunk;
+        let end = ((w + 1) * chunk).min(len);
+        if start < end {
+            f(start, end);
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 /// Splits `out` into disjoint row-chunks of `row_len` floats and runs
 /// `f(row_range, chunk)` on each in parallel.
 ///
-/// This is the mutable-output variant of [`par_ranges`] used by matmul:
-/// each worker owns an exclusive slice of the output buffer, so no locking
-/// is needed.
+/// This is the mutable-output variant of [`par_ranges`]: each chunk owns
+/// an exclusive slice of the output buffer, so no locking is needed.
 ///
 /// # Panics
 ///
@@ -84,42 +288,74 @@ where
     F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
 {
     assert_eq!(out.len(), rows * row_len, "output buffer size mismatch");
-    let threads = num_threads();
-    if threads <= 1 || rows <= min_rows {
-        f(0..rows, out);
+    if rows == 0 {
+        f(0..0, out);
         return;
     }
-    let workers = threads.min(rows / min_rows.max(1)).max(1);
-    if workers == 1 {
-        f(0..rows, out);
-        return;
-    }
-    let chunk = rows.div_ceil(workers);
-    crossbeam::scope(|scope| {
-        let mut rest = out;
-        for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(rows);
-            if start >= end {
-                break;
-            }
-            let (head, tail) = rest.split_at_mut((end - start) * row_len);
-            rest = tail;
-            let f = &f;
-            scope.spawn(move |_| f(start..end, head));
+    let (chunk, chunks) = split(rows, min_rows);
+    let base = SendPtr(out.as_mut_ptr());
+    pool_run(chunks, |w| {
+        let start = w * chunk;
+        let end = ((w + 1) * chunk).min(rows);
+        if start >= end {
+            return;
         }
-    })
-    .expect("parallel worker panicked");
+        // SAFETY: chunk `w` is claimed exactly once and row ranges are
+        // disjoint, so each slice below is exclusively owned.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(start * row_len), (end - start) * row_len)
+        };
+        f(start..end, slice);
+    });
+}
+
+/// A raw `*mut f32` that may cross thread boundaries; exclusivity is the
+/// caller's obligation (disjoint chunk ranges).
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// Sync wrapper, not the raw pointer field (edition-2021 closures
+    /// capture disjoint fields).
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex as StdMutex;
+
+    /// Tests here mutate `LECA_THREADS`, which is process-global: serialize
+    /// the ones that do.
+    static ENV_LOCK: StdMutex<()> = StdMutex::new(());
 
     #[test]
     fn num_threads_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn refresh_rereads_env() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old = std::env::var("LECA_THREADS").ok();
+        std::env::set_var("LECA_THREADS", "3");
+        assert_eq!(refresh_num_threads(), 3);
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("LECA_THREADS", "5");
+        // Cached: plain reads must NOT see the change...
+        assert_eq!(num_threads(), 3);
+        // ...until refreshed.
+        assert_eq!(refresh_num_threads(), 5);
+        match old {
+            Some(v) => std::env::set_var("LECA_THREADS", v),
+            None => std::env::remove_var("LECA_THREADS"),
+        }
+        refresh_num_threads();
     }
 
     #[test]
@@ -161,6 +397,26 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as f32);
         }
+    }
+
+    #[test]
+    fn pool_survives_many_small_jobs() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old = std::env::var("LECA_THREADS").ok();
+        std::env::set_var("LECA_THREADS", "4");
+        refresh_num_threads();
+        for round in 0..200usize {
+            let total = AtomicU64::new(0);
+            pool_run(7, |idx| {
+                total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 28, "round {round}");
+        }
+        match old {
+            Some(v) => std::env::set_var("LECA_THREADS", v),
+            None => std::env::remove_var("LECA_THREADS"),
+        }
+        refresh_num_threads();
     }
 
     #[test]
