@@ -1,0 +1,66 @@
+//! Criterion pair: allocating pipeline forward vs workspace-backed
+//! `InferenceSession` inference on identical batches.
+//!
+//! The session path must never be slower than the allocating one at
+//! steady state — it runs the same blocked-GEMM kernels but skips every
+//! activation malloc/free. CI runs this with `-- --test` as a smoke
+//! check; run it fully to fill the EXPERIMENTS.md imgs/sec table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leca_core::config::LecaConfig;
+use leca_core::encoder::Modality;
+use leca_core::pipeline::LecaPipeline;
+use leca_core::InferenceSession;
+use leca_nn::backbone::tiny_cnn;
+use leca_nn::{Layer, Mode};
+use leca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const BATCH: usize = 8;
+
+fn pipeline() -> LecaPipeline {
+    let cfg = LecaConfig::new(2, 4, 3.0).expect("config");
+    let bb = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
+    LecaPipeline::new(&cfg, Modality::Soft, bb, 7).expect("pipeline")
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::rand_uniform(&[BATCH, 3, 32, 32], 0.05, 0.95, &mut rng);
+    let mut group = c.benchmark_group("leca_inference");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    let mut p = pipeline();
+    group.bench_function("allocating_forward_8x3x32x32", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(Layer::forward(&mut p, &x, Mode::Eval).expect("forward"))
+        });
+    });
+
+    let mut p = pipeline();
+    let mut session = InferenceSession::for_pipeline(&mut p);
+    session.warm_up(x.shape()).expect("warm-up");
+    group.bench_function("workspace_session_8x3x32x32", |bench| {
+        bench.iter(|| std::hint::black_box(session.logits(&x).expect("logits")));
+    });
+
+    let mut p = pipeline();
+    let mut session = InferenceSession::for_pipeline(&mut p);
+    session.warm_up(x.shape()).expect("warm-up");
+    let mut preds = Vec::new();
+    group.bench_function("workspace_classify_batch_8x3x32x32", |bench| {
+        bench.iter(|| {
+            session.classify_batch(&x, &mut preds).expect("classify");
+            std::hint::black_box(preds.len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

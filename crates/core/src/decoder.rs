@@ -17,7 +17,7 @@ use crate::config::LecaConfig;
 use crate::Result as LecaResult;
 use leca_nn::layers::{BatchNorm2d, Conv2d, ConvTranspose2d, Relu, Sequential};
 use leca_nn::{Layer, Mode, Param};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -118,9 +118,33 @@ impl Layer for LecaDecoder {
         self.upsample.backward(&g_up)
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &Workspace,
+    ) -> leca_nn::Result<PooledTensor> {
+        if mode.is_train() {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let up = self.upsample.forward_ws(x, mode, ws)?;
+        let residual = self.dncnn.forward_ws(&up, mode, ws)?;
+        let mut pre = ws.take(up.shape());
+        up.add_into(&residual, &mut pre)?;
+        drop(up);
+        drop(residual);
+        pre.map_inplace(|v| v.clamp(0.0, 1.0));
+        Ok(pre)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.upsample.visit_params(f);
         self.dncnn.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.upsample.visit_params_ref(f);
+        self.dncnn.visit_params_ref(f);
     }
 
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
@@ -179,9 +203,9 @@ mod tests {
     fn depth_follows_config() {
         let mut c = cfg();
         c.decoder_layers = 5;
-        let mut dec5 = LecaDecoder::new(&c, 0).unwrap();
+        let dec5 = LecaDecoder::new(&c, 0).unwrap();
         c.decoder_layers = 1;
-        let mut dec1 = LecaDecoder::new(&c, 0).unwrap();
+        let dec1 = LecaDecoder::new(&c, 0).unwrap();
         assert!(dec5.num_params() > dec1.num_params());
     }
 
@@ -189,9 +213,9 @@ mod tests {
     fn parameter_budget_is_fraction_of_backbone() {
         // The paper stresses the decoder is lightweight relative to the
         // backbone.
-        let mut dec = LecaDecoder::new(&cfg(), 0).unwrap();
+        let dec = LecaDecoder::new(&cfg(), 0).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let mut bb = leca_nn::backbone::resnet_proxy(10, &mut rng);
+        let bb = leca_nn::backbone::resnet_proxy(10, &mut rng);
         assert!(dec.num_params() < bb.num_params() / 3);
     }
 

@@ -10,13 +10,12 @@
 
 use crate::encoder::LecaEncoder;
 use crate::pipeline::LecaPipeline;
+use crate::session::InferenceSession;
 use crate::{LecaError, Result as LecaResult};
 use leca_circuit::adc::AdcResolution;
 use leca_data::bayer::mosaic;
 use leca_data::Dataset;
-use leca_nn::loss::accuracy;
 use leca_nn::quant::signed_magnitude_code;
-use leca_nn::{Layer, Mode};
 use leca_sensor::{LecaSensor, SensorGeometry};
 use leca_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -137,6 +136,10 @@ pub fn hardware_accuracy(
     let (h, w) = (shape[1], shape[2]);
     let sensor = program_sensor(pipeline.encoder(), h, w)?;
 
+    // Decoder + backbone run through a workspace session: after the first
+    // 32-ofmap batch, every further full batch reuses its buffers.
+    let mut session = InferenceSession::for_pipeline(pipeline);
+    let mut preds: Vec<usize> = Vec::new();
     let mut correct = 0.0f32;
     let mut count = 0usize;
     let mut ofmaps: Vec<Tensor> = Vec::new();
@@ -150,9 +153,12 @@ pub fn hardware_accuracy(
         if ofmaps.len() >= 32 || i + 1 == ds.len() {
             let views: Vec<&Tensor> = ofmaps.iter().collect();
             let x = Tensor::concat0(&views)?;
-            let decoded = pipeline.decode(&x, Mode::Eval)?;
-            let logits = pipeline.backbone_mut().forward(&decoded, Mode::Eval)?;
-            correct += accuracy(&logits, &labels)? * labels.len() as f32;
+            session.classify_ofmaps(&x, &mut preds)?;
+            correct += preds
+                .iter()
+                .zip(labels.iter())
+                .filter(|(p, l)| p == l)
+                .count() as f32;
             count += labels.len();
             ofmaps.clear();
             labels.clear();
@@ -171,6 +177,7 @@ mod tests {
     use crate::config::LecaConfig;
     use crate::encoder::Modality;
     use leca_nn::backbone::tiny_cnn;
+    use leca_nn::{Layer, Mode};
 
     fn encoder() -> LecaEncoder {
         let cfg = LecaConfig::new(2, 4, 3.0).unwrap();

@@ -36,7 +36,7 @@ use leca_circuit::scm::ScmModel;
 use leca_circuit::CircuitParams;
 use leca_nn::quant::signed_magnitude_quantize;
 use leca_nn::{Layer, Mode, NnError, Param};
-use leca_tensor::{ops, standard_normal, Tensor};
+use leca_tensor::{ops, standard_normal, PooledTensor, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -671,9 +671,45 @@ impl Layer for LecaEncoder {
         }
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &Workspace,
+    ) -> leca_nn::Result<PooledTensor> {
+        // Only the soft modality has an allocation-free eval path; the
+        // hardware modalities build per-step voltage traces and keep the
+        // allocating forward. Training also stays allocating (its caches
+        // outlive this call).
+        if self.modality != Modality::Soft || mode.is_train() || x.rank() != 4 {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let (oh, ow) = ops::Conv2dGeometry {
+            in_h: x.shape()[2],
+            in_w: x.shape()[3],
+            kh: self.k,
+            kw: self.k,
+            stride: self.k,
+            pad: 0,
+        }
+        .out_dims()
+        .map_err(NnError::Tensor)?;
+        let mut out = ws.take(&[x.shape()[0], self.n_ch, oh, ow]);
+        ops::conv2d_into(x, &self.weight.value, None, self.k, 0, &mut out)?;
+        let inv = 1.0 / self.v_fs();
+        // Same float sequence as `forward_soft`: scale by 1/v_fs, quantize.
+        out.map_inplace(|v| self.quant_norm(v * inv));
+        Ok(out)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.v_fs);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.v_fs);
     }
 
     fn name(&self) -> &'static str {
@@ -931,7 +967,7 @@ mod tests {
     #[test]
     fn encoder_param_count_matches_config() {
         let c = cfg(8, 3.0);
-        let mut enc = LecaEncoder::new(&c, Modality::Hard, 17).unwrap();
+        let enc = LecaEncoder::new(&c, Modality::Hard, 17).unwrap();
         assert_eq!(enc.num_params(), c.encoder_params());
     }
 

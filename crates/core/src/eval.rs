@@ -6,14 +6,13 @@
 //! the traditional task-agnostic metrics (PSNR/SSIM) so the experiments
 //! can contrast the two views (Table 1).
 
+use crate::session::InferenceSession;
 use crate::Result as LecaResult;
 use leca_baselines::Codec;
 use leca_circuit::fault::FaultPlan;
 use leca_data::metrics::{psnr, ssim};
 use leca_data::Dataset;
 use leca_nn::backbone::Backbone;
-use leca_nn::loss::accuracy;
-use leca_nn::{Layer, Mode};
 use leca_tensor::Tensor;
 
 /// Evaluation result for one codec on one dataset.
@@ -49,11 +48,17 @@ pub fn evaluate_codec(
     let mut ssim_sum = 0.0f64;
     let mut psnr_count = 0usize;
 
+    // Scoring runs through an `InferenceSession`: after the first 64-image
+    // batch populates the workspace, every further full batch reuses its
+    // activation buffers.
+    let mut session = InferenceSession::for_backbone(backbone);
+    let mut preds: Vec<usize> = Vec::new();
     let mut batch: Vec<Tensor> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
     let flush = |batch: &mut Vec<Tensor>,
                  labels: &mut Vec<usize>,
-                 backbone: &mut Backbone,
+                 session: &mut InferenceSession,
+                 preds: &mut Vec<usize>,
                  correct: &mut f32,
                  count: &mut usize|
      -> LecaResult<()> {
@@ -70,8 +75,12 @@ pub fn evaluate_codec(
             .collect::<Result<_, _>>()?;
         let views: Vec<&Tensor> = refs.iter().collect();
         let x = Tensor::concat0(&views)?;
-        let logits = backbone.forward(&x, Mode::Eval)?;
-        *correct += accuracy(&logits, labels)? * labels.len() as f32;
+        session.classify_batch(&x, preds)?;
+        *correct += preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count() as f32;
         *count += labels.len();
         batch.clear();
         labels.clear();
@@ -90,10 +99,24 @@ pub fn evaluate_codec(
         batch.push(out.reconstruction);
         labels.push(label);
         if batch.len() >= 64 {
-            flush(&mut batch, &mut labels, backbone, &mut correct, &mut count)?;
+            flush(
+                &mut batch,
+                &mut labels,
+                &mut session,
+                &mut preds,
+                &mut correct,
+                &mut count,
+            )?;
         }
     }
-    flush(&mut batch, &mut labels, backbone, &mut correct, &mut count)?;
+    flush(
+        &mut batch,
+        &mut labels,
+        &mut session,
+        &mut preds,
+        &mut correct,
+        &mut count,
+    )?;
 
     let n = ds.len().max(1) as f64;
     Ok(CodecReport {

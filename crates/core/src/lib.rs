@@ -20,6 +20,9 @@
 //!   (pre-train at Q_bit = 8, fine-tune at the target).
 //! * [`eval`] — the shared evaluation protocol: any codec or pipeline
 //!   against the same frozen backbone.
+//! * [`session`] — the workspace-backed inference driver: one buffer pool
+//!   per pipeline, zero steady-state heap allocations, bit-identical to
+//!   the allocating forward path.
 //! * [`deploy`] — kernel flattening (RGB → Bayer, Fig. 5(a)), programming
 //!   the trained codes into the [`leca_sensor::LecaSensor`], and an
 //!   end-to-end hardware-in-the-loop check.
@@ -32,6 +35,7 @@ pub mod deploy;
 pub mod encoder;
 pub mod eval;
 pub mod pipeline;
+pub mod session;
 pub mod trainer;
 
 mod error;
@@ -41,6 +45,7 @@ pub use decoder::LecaDecoder;
 pub use encoder::{LecaEncoder, Modality};
 pub use error::LecaError;
 pub use pipeline::LecaPipeline;
+pub use session::InferenceSession;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LecaError>;

@@ -8,7 +8,7 @@ use crate::Result as LecaResult;
 use leca_nn::backbone::Backbone;
 use leca_nn::loss::SoftmaxCrossEntropy;
 use leca_nn::{Layer, Mode, Param};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Encoder + decoder + frozen downstream model.
 pub struct LecaPipeline {
@@ -163,10 +163,28 @@ impl Layer for LecaPipeline {
         self.encoder.backward(&g)
     }
 
+    fn forward_ws(
+        &mut self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &Workspace,
+    ) -> leca_nn::Result<PooledTensor> {
+        let ofmap = self.encoder.forward_ws(x, mode, ws)?;
+        let decoded = self.decoder.forward_ws(&ofmap, mode, ws)?;
+        drop(ofmap);
+        self.backbone.forward_ws(&decoded, mode, ws)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.encoder.visit_params(f);
         self.decoder.visit_params(f);
         self.backbone.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.encoder.visit_params_ref(f);
+        self.decoder.visit_params_ref(f);
+        self.backbone.visit_params_ref(f);
     }
 
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {

@@ -1,0 +1,266 @@
+//! Zero-steady-state-allocation inference driver.
+//!
+//! [`InferenceSession`] owns one [`Workspace`] for a pipeline (or bare
+//! backbone) and drives every eval-mode forward through the buffer-reusing
+//! `forward_ws` layer path. After [`InferenceSession::warm_up`] (or the
+//! first batch of a fixed shape), every activation a `classify_batch` call
+//! needs is served from the pool and returned to it when the call ends —
+//! steady-state inference performs **no heap allocations** and produces
+//! outputs bit-identical to the allocating `forward` path.
+//!
+//! The session is the single entry point used by the evaluation protocol
+//! ([`crate::eval`]), the hardware-in-the-loop check ([`crate::deploy`])
+//! and the examples, so the whole inference side of the repo shares one
+//! memory plan.
+
+use crate::pipeline::LecaPipeline;
+use crate::{LecaError, Result as LecaResult};
+use leca_nn::backbone::Backbone;
+use leca_nn::{Layer, Mode};
+use leca_tensor::{PooledTensor, Tensor, Workspace, WorkspaceStats};
+
+/// The model a session drives: a full LeCA pipeline or a bare backbone
+/// (the baseline-codec evaluation path).
+enum ModelRef<'a> {
+    Pipeline(&'a mut LecaPipeline),
+    Backbone(&'a mut Backbone),
+}
+
+/// A reusable inference context: one model, one workspace.
+///
+/// All forwards run in [`Mode::Eval`]; training keeps the allocating path
+/// (its caches outlive individual calls).
+pub struct InferenceSession<'a> {
+    model: ModelRef<'a>,
+    ws: Workspace,
+}
+
+impl<'a> InferenceSession<'a> {
+    /// Wraps a full pipeline (encoder → decoder → frozen backbone).
+    pub fn for_pipeline(pipeline: &'a mut LecaPipeline) -> Self {
+        InferenceSession {
+            model: ModelRef::Pipeline(pipeline),
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Wraps a bare backbone (scores already-reconstructed images).
+    pub fn for_backbone(backbone: &'a mut Backbone) -> Self {
+        InferenceSession {
+            model: ModelRef::Backbone(backbone),
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Eval-mode logits for a batch, computed through the workspace.
+    ///
+    /// The returned [`PooledTensor`] rejoins the pool when dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn logits(&mut self, x: &Tensor) -> LecaResult<PooledTensor> {
+        let out = match &mut self.model {
+            ModelRef::Pipeline(p) => p.forward_ws(x, Mode::Eval, &self.ws)?,
+            ModelRef::Backbone(b) => b.forward_ws(x, Mode::Eval, &self.ws)?,
+        };
+        Ok(out)
+    }
+
+    /// Classifies a batch, writing one predicted class index per sample
+    /// into `preds` (cleared first). Reusing the same `preds` vector across
+    /// calls keeps the steady state allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors.
+    pub fn classify_batch(&mut self, x: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
+        let logits = self.logits(x)?;
+        predict_into(&logits, preds)
+    }
+
+    /// Classifies a batch of *captured ofmaps* (what [`crate::deploy`]'s
+    /// sensor simulator emits): decoder → backbone, skipping the encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] on a backbone-only session and
+    /// propagates layer errors.
+    pub fn classify_ofmaps(&mut self, ofmaps: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
+        let ModelRef::Pipeline(p) = &mut self.model else {
+            return Err(LecaError::InvalidConfig(
+                "classify_ofmaps needs a pipeline session (no decoder on a bare backbone)".into(),
+            ));
+        };
+        let decoded = p.decoder_mut().forward_ws(ofmaps, Mode::Eval, &self.ws)?;
+        let logits = p
+            .backbone_mut()
+            .forward_ws(&decoded, Mode::Eval, &self.ws)?;
+        drop(decoded);
+        predict_into(&logits, preds)
+    }
+
+    /// Pre-warms the pool for inputs of `input_shape`: runs two throwaway
+    /// batches so every buffer shape the forward needs is resident and
+    /// subsequent same-shape batches hit the free list exclusively.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (e.g. a shape the model rejects).
+    pub fn warm_up(&mut self, input_shape: &[usize]) -> LecaResult<()> {
+        let x = Tensor::zeros(input_shape);
+        let mut preds = Vec::new();
+        for _ in 0..2 {
+            self.classify_batch(&x, &mut preds)?;
+        }
+        Ok(())
+    }
+
+    /// Workspace occupancy and hit-rate counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        self.ws.stats()
+    }
+
+    /// The session's workspace (e.g. to adopt auxiliary tensors).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
+    }
+}
+
+/// Row-wise argmax into a reused vector; ties resolve to the first index,
+/// matching [`Tensor::argmax_rows`] (and therefore `loss::accuracy`).
+fn predict_into(logits: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
+    if logits.rank() != 2 || logits.shape()[1] == 0 {
+        return Err(LecaError::InvalidConfig(format!(
+            "classify expects (N, classes) logits, got {:?}",
+            logits.shape()
+        )));
+    }
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    preds.clear();
+    preds.reserve(n);
+    for row in logits.as_slice().chunks_exact(k) {
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        preds.push(best);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LecaConfig;
+    use crate::encoder::Modality;
+    use leca_nn::backbone::tiny_cnn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pipeline(modality: Modality) -> LecaPipeline {
+        let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bb = tiny_cnn(4, &mut rng);
+        LecaPipeline::new(&cfg, modality, bb, 7).unwrap()
+    }
+
+    #[test]
+    fn session_logits_match_allocating_forward_bitwise() {
+        let mut p = pipeline(Modality::Soft);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[3, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let expect = p.forward(&x, Mode::Eval).unwrap();
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        for _ in 0..3 {
+            let got = session.logits(&x).unwrap();
+            assert_eq!(got.as_slice(), expect.as_slice());
+            assert_eq!(got.shape(), expect.shape());
+        }
+        let stats = session.stats();
+        assert_eq!(stats.live, 0, "all pooled buffers must have been returned");
+        assert!(stats.hit_rate() > 0.0, "later passes must reuse buffers");
+    }
+
+    #[test]
+    fn classify_batch_matches_argmax_of_forward() {
+        let mut p = pipeline(Modality::Soft);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let expect = p.forward(&x, Mode::Eval).unwrap().argmax_rows().unwrap();
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let mut preds = Vec::new();
+        session.classify_batch(&x, &mut preds).unwrap();
+        assert_eq!(preds, expect);
+    }
+
+    #[test]
+    fn backbone_session_classifies_images() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bb = tiny_cnn(5, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let expect = bb.forward(&x, Mode::Eval).unwrap().argmax_rows().unwrap();
+        let mut session = InferenceSession::for_backbone(&mut bb);
+        let mut preds = Vec::new();
+        session.classify_batch(&x, &mut preds).unwrap();
+        assert_eq!(preds, expect);
+        assert!(session.classify_ofmaps(&x, &mut preds).is_err());
+    }
+
+    #[test]
+    fn classify_ofmaps_matches_decode_plus_backbone() {
+        let mut p = pipeline(Modality::Soft);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ofmap = Tensor::rand_uniform(&[2, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let decoded = p.decode(&ofmap, Mode::Eval).unwrap();
+        let expect = p
+            .backbone_mut()
+            .forward(&decoded, Mode::Eval)
+            .unwrap()
+            .argmax_rows()
+            .unwrap();
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let mut preds = Vec::new();
+        session.classify_ofmaps(&ofmap, &mut preds).unwrap();
+        assert_eq!(preds, expect);
+    }
+
+    #[test]
+    fn warm_up_populates_the_pool() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        session.warm_up(&[2, 3, 16, 16]).unwrap();
+        let warm = session.stats();
+        assert!(warm.free > 0, "warm-up must leave buffers in the pool");
+        assert!(warm.bytes_resident > 0);
+        // A post-warm-up batch of the same shape is served entirely from
+        // the free list: misses do not grow.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let mut preds = Vec::new();
+        session.classify_batch(&x, &mut preds).unwrap();
+        assert_eq!(session.stats().misses, warm.misses);
+    }
+
+    #[test]
+    fn hard_modality_still_works_through_the_session() {
+        // The hardware encoder falls back to its allocating forward but the
+        // decoder/backbone still run through the pool.
+        let mut p = pipeline(Modality::Hard);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let expect = p.forward(&x, Mode::Eval).unwrap();
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let got = session.logits(&x).unwrap();
+        assert_eq!(got.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn predict_into_rejects_bad_shapes() {
+        let mut preds = Vec::new();
+        assert!(predict_into(&Tensor::zeros(&[4]), &mut preds).is_err());
+        assert!(predict_into(&Tensor::zeros(&[4, 0]), &mut preds).is_err());
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock, Sequential};
 use crate::{Layer, Mode, Param, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 use rand::Rng;
 
 /// A classification backbone: a CNN ending in `(N, num_classes)` logits.
@@ -50,8 +50,16 @@ impl Layer for Backbone {
         self.net.backward(grad_out)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        self.net.forward_ws(x, mode, ws)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.net.visit_params(f);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.net.visit_params_ref(f);
     }
 
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
@@ -197,8 +205,8 @@ mod tests {
     #[test]
     fn param_counts_are_plausible() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut proxy = resnet_proxy(10, &mut rng);
-        let mut full = resnet_full(10, &mut rng);
+        let proxy = resnet_proxy(10, &mut rng);
+        let full = resnet_full(10, &mut rng);
         let np = proxy.num_params();
         let nf = full.num_params();
         assert!(np > 50_000, "proxy has {np}");

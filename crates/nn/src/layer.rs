@@ -1,5 +1,5 @@
 use crate::{Param, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Whether a forward pass updates training-time statistics (batch norm) and
 /// samples stochastic effects (noise injection in the LeCA encoder).
@@ -46,10 +46,45 @@ pub trait Layer {
     /// the cached output shape.
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
 
+    /// [`Layer::forward`] drawing the output (and any intermediates) from a
+    /// [`Workspace`] buffer pool. Results are **bit-identical** to
+    /// `forward`; only the allocation strategy differs.
+    ///
+    /// The default delegates to the allocating `forward` and adopts the
+    /// result into the pool, so external layers keep compiling unchanged.
+    /// Buffer-reusing overrides typically serve only [`Mode::Eval`] and
+    /// fall back to this path for [`Mode::Train`], where the backward cache
+    /// must own its tensors anyway.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::forward`].
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        Ok(ws.adopt(self.forward(x, mode)?))
+    }
+
+    /// [`Layer::backward`] drawing the returned gradient from a
+    /// [`Workspace`] buffer pool, bit-identical to `backward`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Layer::backward`].
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &Workspace) -> Result<PooledTensor> {
+        Ok(ws.adopt(self.backward(grad_out)?))
+    }
+
     /// Visits every parameter in a deterministic order.
     ///
     /// The default implementation visits nothing (stateless layers).
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Read-only counterpart of [`Layer::visit_params`], visiting the same
+    /// parameters in the same order. Introspection (parameter counts,
+    /// norms, checkpoint dumps) goes through this so it never needs
+    /// `&mut`.
+    ///
+    /// The default implementation visits nothing (stateless layers).
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&Param)) {}
 
     /// Visits non-trainable persistent state (e.g. batch-norm running
     /// statistics) in a deterministic order, for checkpointing.
@@ -74,10 +109,10 @@ pub trait Layer {
         self.visit_params(&mut |p| p.frozen = frozen);
     }
 
-    /// Total number of scalar parameters.
-    fn num_params(&mut self) -> usize {
+    /// Total number of scalar parameters, via the read-only visitor.
+    fn num_params(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |p| n += p.len());
+        self.visit_params_ref(&mut |p| n += p.len());
         n
     }
 
@@ -113,6 +148,10 @@ mod tests {
 
         fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
             f(&mut self.factor);
+        }
+
+        fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+            f(&self.factor);
         }
 
         fn name(&self) -> &'static str {
@@ -161,5 +200,31 @@ mod tests {
         let mut s = make();
         s.forward(&Tensor::ones(&[2]), Mode::Eval).unwrap();
         assert!(s.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn num_params_is_read_only() {
+        let s = make();
+        assert_eq!(s.num_params(), 1);
+    }
+
+    #[test]
+    fn default_ws_paths_match_allocating() {
+        let ws = Workspace::new();
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let mut a = make();
+        let mut b = make();
+        let ya = a.forward(&x, Mode::Train).unwrap();
+        let yb = b.forward_ws(&x, Mode::Train, &ws).unwrap();
+        assert_eq!(&ya, &*yb);
+        let g = Tensor::ones(&[3]);
+        let ga = a.backward(&g).unwrap();
+        let gb = b.backward_ws(&g, &ws).unwrap();
+        assert_eq!(&ga, &*gb);
+        // Adopted buffers joined the pool on drop.
+        drop(yb);
+        drop(gb);
+        assert_eq!(ws.stats().live, 0);
+        assert_eq!(ws.stats().free, 2);
     }
 }

@@ -1,5 +1,30 @@
 use crate::{Layer, Mode, NnError, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
+
+/// Shared single-pass backward for masked activations: positions where the
+/// forward input was positive pass `grad_out` through, the rest map through
+/// `f`. Builds the output directly — no `grad_out` clone + second pass.
+fn mask_backward(
+    what: &'static str,
+    mask: &[bool],
+    grad_out: &Tensor,
+    f: impl Fn(f32) -> f32,
+) -> Result<Tensor> {
+    if mask.len() != grad_out.len() {
+        return Err(NnError::BatchMismatch {
+            what,
+            expected: mask.len(),
+            actual: grad_out.len(),
+        });
+    }
+    let data: Vec<f32> = grad_out
+        .as_slice()
+        .iter()
+        .zip(mask)
+        .map(|(&g, &m)| if m { g } else { f(g) })
+        .collect();
+    Ok(Tensor::from_vec(data, grad_out.shape())?)
+}
 
 /// Rectified linear unit: `y = max(x, 0)`.
 #[derive(Debug, Default)]
@@ -27,20 +52,16 @@ impl Layer for Relu {
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.take().ok_or(NnError::NoForwardCache("relu"))?;
-        if mask.len() != grad_out.len() {
-            return Err(NnError::BatchMismatch {
-                what: "relu backward",
-                expected: mask.len(),
-                actual: grad_out.len(),
-            });
+        mask_backward("relu backward", &mask, grad_out, |_| 0.0)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() {
+            return Ok(ws.adopt(self.forward(x, mode)?));
         }
-        let mut g = grad_out.clone();
-        for (v, m) in g.as_mut_slice().iter_mut().zip(mask) {
-            if !m {
-                *v = 0.0;
-            }
-        }
-        Ok(g)
+        let mut out = ws.take_from(x);
+        out.map_inplace(|v| if v > 0.0 || v.is_nan() { v } else { 0.0 });
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -76,20 +97,18 @@ impl Layer for LeakyRelu {
             .mask
             .take()
             .ok_or(NnError::NoForwardCache("leaky_relu"))?;
-        if mask.len() != grad_out.len() {
-            return Err(NnError::BatchMismatch {
-                what: "leaky_relu backward",
-                expected: mask.len(),
-                actual: grad_out.len(),
-            });
+        let a = self.alpha;
+        mask_backward("leaky_relu backward", &mask, grad_out, |g| g * a)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() {
+            return Ok(ws.adopt(self.forward(x, mode)?));
         }
-        let mut g = grad_out.clone();
-        for (v, m) in g.as_mut_slice().iter_mut().zip(mask) {
-            if !m {
-                *v *= self.alpha;
-            }
-        }
-        Ok(g)
+        let a = self.alpha;
+        let mut out = ws.take_from(x);
+        out.map_inplace(|v| if v > 0.0 { v } else { a * v });
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -170,5 +189,31 @@ mod tests {
     fn activations_are_stateless_params() {
         assert_eq!(Relu::new().num_params(), 0);
         assert_eq!(LeakyRelu::new(0.1).num_params(), 0);
+    }
+
+    #[test]
+    fn forward_ws_matches_forward() {
+        let ws = leca_tensor::Workspace::new();
+        let x = Tensor::from_slice(&[-2.0, -0.0, 0.0, 1.5, f32::NAN]);
+        let mut r = Relu::new();
+        let expected = r.forward(&x, Mode::Eval).unwrap();
+        let got = r.forward_ws(&x, Mode::Eval, &ws).unwrap();
+        assert_eq!(expected.as_slice()[..4], got.as_slice()[..4]);
+        assert!(got.as_slice()[4].is_nan());
+        let mut l = LeakyRelu::new(0.3);
+        let expected = l.forward(&x, Mode::Eval).unwrap();
+        let got = l.forward_ws(&x, Mode::Eval, &ws).unwrap();
+        assert_eq!(expected.as_slice()[..4], got.as_slice()[..4]);
+    }
+
+    #[test]
+    fn train_mode_ws_still_caches_for_backward() {
+        let ws = leca_tensor::Workspace::new();
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0]);
+        let y = r.forward_ws(&x, Mode::Train, &ws).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 3.0]);
+        let g = r.backward(&Tensor::from_slice(&[5.0, 5.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
     }
 }

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Batch normalization over the channel dimension of NCHW activations.
 ///
@@ -230,9 +230,45 @@ impl Layer for BatchNorm2d {
         Ok(gx)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let (n, c, h, w) = self.check_input(x)?;
+        let hw = h * w;
+        // Pure inference: normalize with running statistics without
+        // building the x̂ backward cache. Any stale cache is dropped so a
+        // later backward fails loudly instead of using old activations.
+        self.cache = None;
+        let mut out = ws.take(x.shape());
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for ci in 0..c {
+            let mean = self.running_mean.as_slice()[ci];
+            let inv_std = 1.0 / (self.running_var.as_slice()[ci] + self.eps).sqrt();
+            let (g, b) = (
+                self.gamma.value.as_slice()[ci],
+                self.beta.value.as_slice()[ci],
+            );
+            for ni in 0..n {
+                for p in 0..hw {
+                    let idx = (ni * c + ci) * hw + p;
+                    let xh = (src[idx] - mean) * inv_std;
+                    dst[idx] = g * xh + b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
     }
 
     fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {

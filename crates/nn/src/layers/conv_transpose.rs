@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::{kaiming_uniform, ops, Tensor};
+use leca_tensor::{kaiming_uniform, ops, PooledTensor, Tensor, Workspace};
 use rand::Rng;
 
 /// 2-D transposed convolution (fractionally-strided convolution).
@@ -91,9 +91,39 @@ impl Layer for ConvTranspose2d {
         )?)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || x.rank() != 4 || self.stride == 0 {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let (h, w) = (x.shape()[2], x.shape()[3]);
+        let (Some(oh), Some(ow)) = (
+            ((h - 1) * self.stride + self.kernel).checked_sub(2 * self.pad),
+            ((w - 1) * self.stride + self.kernel).checked_sub(2 * self.pad),
+        ) else {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        };
+        let mut out = ws.take(&[x.shape()[0], self.weight.value.shape()[1], oh, ow]);
+        ops::conv_transpose2d_into(
+            x,
+            &self.weight.value,
+            self.bias.as_ref().map(|p| &p.value),
+            self.stride,
+            self.pad,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        if let Some(b) = &self.bias {
             f(b);
         }
     }
@@ -146,7 +176,7 @@ mod tests {
     #[test]
     fn param_count() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut ct = ConvTranspose2d::new(4, 3, 2, 2, 0, true, &mut rng);
+        let ct = ConvTranspose2d::new(4, 3, 2, 2, 0, true, &mut rng);
         assert_eq!(ct.num_params(), 4 * 3 * 4 + 3);
     }
 }

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::{ops, xavier_uniform, Tensor};
+use leca_tensor::{ops, xavier_uniform, PooledTensor, Tensor, Workspace};
 use rand::Rng;
 
 /// Fully-connected layer: `y = x · Wᵀ + b` for `x: (N, in)`, `W: (out, in)`.
@@ -61,9 +61,30 @@ impl Layer for Linear {
         Ok(ops::matmul(grad_out, &self.weight.value)?)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || x.rank() != 2 {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let (n, o) = (x.shape()[0], self.out_features());
+        let mut y = ws.take(&[n, o]);
+        ops::matmul_bt_into(x, &self.weight.value, &mut y)?;
+        let data = y.as_mut_slice();
+        for r in 0..n {
+            for (c, &b) in self.bias.value.as_slice().iter().enumerate().take(o) {
+                data[r * o + c] += b;
+            }
+        }
+        Ok(y)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
     }
 
     fn name(&self) -> &'static str {
@@ -121,7 +142,7 @@ mod tests {
     #[test]
     fn param_count() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut l = Linear::new(10, 7, &mut rng);
+        let l = Linear::new(10, 7, &mut rng);
         assert_eq!(l.num_params(), 10 * 7 + 7);
     }
 }

@@ -1,6 +1,6 @@
 use crate::{Layer, Mode, NnError, Result};
 use leca_tensor::ops::{self, MaxPoolIndices};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Non-overlapping average pooling (`k x k` window, stride `k`).
 #[derive(Debug)]
@@ -35,9 +35,26 @@ impl Layer for AvgPool2d {
         Ok(ops::avg_pool2d_backward(grad_out, self.k)?)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || !pool_geometry_ok(x, self.k) {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let d = x.shape();
+        let mut out = ws.take(&[d[0], d[1], d[2] / self.k, d[3] / self.k]);
+        ops::avg_pool2d_into(x, self.k, &mut out)?;
+        Ok(out)
+    }
+
     fn name(&self) -> &'static str {
         "avg_pool2d"
     }
+}
+
+/// True when `x` is rank 4 with spatial dims divisible by window `k` — the
+/// only geometry the `_into` pooling kernels accept. Anything else falls
+/// back to the allocating path so error reporting stays shared.
+fn pool_geometry_ok(x: &Tensor, k: usize) -> bool {
+    x.rank() == 4 && k != 0 && x.shape()[2].is_multiple_of(k) && x.shape()[3].is_multiple_of(k)
 }
 
 /// Non-overlapping max pooling (`k x k` window, stride `k`).
@@ -69,6 +86,18 @@ impl Layer for MaxPool2d {
             .take()
             .ok_or(NnError::NoForwardCache("max_pool2d"))?;
         Ok(ops::max_pool2d_backward(grad_out, &idx)?)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || !pool_geometry_ok(x, self.k) {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let d = x.shape();
+        let mut out = ws.take(&[d[0], d[1], d[2] / self.k, d[3] / self.k]);
+        // Inference never runs backward: the index-free kernel avoids the
+        // argmax vector allocation entirely.
+        ops::max_pool2d_into(x, self.k, &mut out)?;
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {

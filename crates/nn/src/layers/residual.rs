@@ -1,6 +1,6 @@
 use crate::layers::{BatchNorm2d, Conv2d, Relu, Sequential};
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 use rand::Rng;
 
 /// A ResNet basic block: two 3x3 conv+BN stages with an additive skip
@@ -82,10 +82,35 @@ impl Layer for ResidualBlock {
         Ok(g_main.add(&g_skip)?)
     }
 
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let main_out = self.main.forward_ws(x, mode, ws)?;
+        let mut sum = ws.take(main_out.shape());
+        match &mut self.shortcut {
+            Some(s) => {
+                let skip_out = s.forward_ws(x, mode, ws)?;
+                main_out.add_into(&skip_out, &mut sum)?;
+            }
+            // Identity skip adds `x` directly — no clone of the input.
+            None => main_out.add_into(x, &mut sum)?,
+        }
+        drop(main_out);
+        self.final_relu.forward_ws(&sum, mode, ws)
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.main.visit_params(f);
         if let Some(s) = &mut self.shortcut {
             s.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.main.visit_params_ref(f);
+        if let Some(s) = &self.shortcut {
+            s.visit_params_ref(f);
         }
     }
 

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, Param, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// A chain of layers executed in order.
 ///
@@ -59,17 +59,53 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
+        // The first layer consumes `x` by reference — no head-of-chain
+        // copy. Only the empty chain (identity) clones.
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return Ok(x.clone());
+        };
+        let mut cur = first.forward(x, mode)?;
+        for layer in layers {
             cur = layer.forward(&cur, mode)?;
         }
         Ok(cur)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return Ok(grad_out.clone());
+        };
+        let mut g = last.backward(grad_out)?;
+        for layer in layers {
             g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            return Ok(ws.take_from(x));
+        };
+        let mut cur = first.forward_ws(x, mode, ws)?;
+        for layer in layers {
+            // The previous stage's buffer returns to the pool as soon as
+            // `cur` is reassigned, so at most two activations are live.
+            cur = layer.forward_ws(&cur, mode, ws)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &Workspace) -> Result<PooledTensor> {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(last) = layers.next() else {
+            return Ok(ws.take_from(grad_out));
+        };
+        let mut g = last.backward_ws(grad_out, ws)?;
+        for layer in layers {
+            g = layer.backward_ws(&g, ws)?;
         }
         Ok(g)
     }
@@ -77,6 +113,12 @@ impl Layer for Sequential {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {
             layer.visit_params(f);
+        }
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
         }
     }
 
@@ -134,7 +176,7 @@ mod tests {
     #[test]
     fn visits_all_params() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net = mlp(&mut rng);
+        let net = mlp(&mut rng);
         assert_eq!(net.num_params(), (4 * 6 + 6) + (6 * 3 + 3));
     }
 
@@ -173,5 +215,45 @@ mod tests {
         assert_eq!(y, x);
         let g = net.backward(&Tensor::from_slice(&[3.0, 4.0])).unwrap();
         assert_eq!(g.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_sequential_ws_is_identity() {
+        let ws = leca_tensor::Workspace::new();
+        let mut net = Sequential::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = net.forward_ws(&x, Mode::Eval, &ws).unwrap();
+        assert_eq!(&*y, &x);
+        let g = net
+            .backward_ws(&Tensor::from_slice(&[3.0, 4.0]), &ws)
+            .unwrap();
+        assert_eq!(g.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_ws_matches_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let expected = net.forward(&x, Mode::Eval).unwrap();
+        let ws = leca_tensor::Workspace::new();
+        for _ in 0..3 {
+            let got = net.forward_ws(&x, Mode::Eval, &ws).unwrap();
+            assert_eq!(&*got, &expected);
+        }
+        // Chain of 3 layers, two passes after warm-up: no live leaks.
+        assert_eq!(ws.stats().live, 0);
+    }
+
+    #[test]
+    fn read_only_param_visits_match_mut() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = mlp(&mut rng);
+        let mut ro = 0usize;
+        net.visit_params_ref(&mut |p| ro += p.len());
+        let mut rw = 0usize;
+        net.visit_params(&mut |p| rw += p.len());
+        assert_eq!(ro, rw);
+        assert_eq!(net.num_params(), ro);
     }
 }

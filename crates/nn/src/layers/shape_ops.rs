@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Result};
-use leca_tensor::Tensor;
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Flattens `(N, C, H, W)` (or any rank ≥ 2) to `(N, rest)`.
 #[derive(Debug, Default)]
@@ -33,6 +33,17 @@ impl Layer for Flatten {
             .take()
             .ok_or(NnError::NoForwardCache("flatten"))?;
         Ok(grad_out.reshape(&shape)?)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || x.rank() < 1 {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let n = x.shape()[0];
+        let rest = x.len() / n.max(1);
+        let mut out = ws.take_from(x);
+        out.reshape_in_place(&[n, rest])?;
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {
@@ -104,6 +115,23 @@ impl Layer for GlobalAvgPool {
             }
         }
         Ok(gx)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
+        if mode.is_train() || x.rank() != 4 {
+            return Ok(ws.adopt(self.forward(x, mode)?));
+        }
+        let d = x.shape();
+        let (n, c, hw) = (d[0], d[1], d[2] * d[3]);
+        let mut out = ws.take(&[n, c]);
+        let inv = 1.0 / hw.max(1) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &x.as_slice()[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
+                out.as_mut_slice()[ni * c + ci] = plane.iter().sum::<f32>() * inv;
+            }
+        }
+        Ok(out)
     }
 
     fn name(&self) -> &'static str {

@@ -122,7 +122,7 @@ fn cases() -> Vec<Case> {
         let mut idx = 0usize;
         block.visit_params(&mut |p| {
             if p.value.rank() == 1 {
-                let v = if idx % 2 == 0 { 0.25 } else { 1.0 };
+                let v = if idx.is_multiple_of(2) { 0.25 } else { 1.0 };
                 p.value = Tensor::full(p.value.shape(), v);
                 idx += 1;
             }
@@ -203,7 +203,10 @@ fn cases() -> Vec<Case> {
     let mut idx = 0usize;
     seq.visit_params(&mut |p| {
         if p.value.rank() == 1 {
-            p.value = Tensor::full(p.value.shape(), if idx % 2 == 0 { 0.25 } else { 1.0 });
+            p.value = Tensor::full(
+                p.value.shape(),
+                if idx.is_multiple_of(2) { 0.25 } else { 1.0 },
+            );
             idx += 1;
         }
     });

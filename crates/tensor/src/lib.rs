@@ -30,11 +30,13 @@ mod tensor;
 
 pub mod ops;
 pub mod parallel;
+pub mod workspace;
 
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, standard_normal, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{PooledTensor, Workspace, WorkspaceStats};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

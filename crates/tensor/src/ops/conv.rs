@@ -21,6 +21,18 @@
 use super::gemm::{gemm, Im2colView, Operand};
 use crate::parallel::par_rows_mut;
 use crate::{Result, Tensor, TensorError};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Scratch for the `(O, N*oh*ow)` / `(Ci, N*H*W)` channel-major
+    /// matrices the `_into` convolution kernels stage their GEMM through,
+    /// reused across calls so the steady state allocates nothing.
+    static MAT_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Scratch for the `(O*kh*kw, N*H*W)` column matrix of
+    /// [`conv_transpose2d_into`]; distinct from [`MAT_SCRATCH`] because
+    /// both are live at once.
+    static COLS_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Spatial geometry shared by the convolution kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,19 +91,31 @@ fn expect_rank4(op: &'static str, t: &Tensor) -> Result<[usize; 4]> {
     Ok([d[0], d[1], d[2], d[3]])
 }
 
-/// Permutes `(N, C, H, W)` into a `(C, N*H*W)` matrix (channel-major).
-fn nchw_to_c_nm(x: &Tensor) -> Result<Tensor> {
-    let [n, c, h, w] = expect_rank4("nchw_to_c_nm", x)?;
-    let hw = h * w;
-    let mut out = Tensor::zeros(&[c, n * hw]);
-    let src = x.as_slice();
-    let dst = out.as_mut_slice();
+/// Copies NCHW data into a `(C, N*H*W)` channel-major matrix slice.
+fn nchw_to_c_nm_slice(src: &[f32], n: usize, c: usize, hw: usize, dst: &mut [f32]) {
     for ci in 0..c {
         for ni in 0..n {
             let s = &src[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
             dst[ci * n * hw + ni * hw..ci * n * hw + (ni + 1) * hw].copy_from_slice(s);
         }
     }
+}
+
+/// Inverse of [`nchw_to_c_nm_slice`]: scatters `(C, N*H*W)` back to NCHW.
+fn c_nm_to_nchw_slice(src: &[f32], n: usize, c: usize, hw: usize, dst: &mut [f32]) {
+    for ci in 0..c {
+        for ni in 0..n {
+            let s = &src[ci * n * hw + ni * hw..ci * n * hw + (ni + 1) * hw];
+            dst[(ni * c + ci) * hw..(ni * c + ci + 1) * hw].copy_from_slice(s);
+        }
+    }
+}
+
+/// Permutes `(N, C, H, W)` into a `(C, N*H*W)` matrix (channel-major).
+fn nchw_to_c_nm(x: &Tensor) -> Result<Tensor> {
+    let [n, c, h, w] = expect_rank4("nchw_to_c_nm", x)?;
+    let mut out = Tensor::zeros(&[c, n * h * w]);
+    nchw_to_c_nm_slice(x.as_slice(), n, c, h * w, out.as_mut_slice());
     Ok(out)
 }
 
@@ -104,16 +128,8 @@ fn c_nm_to_nchw(m: &Tensor, n: usize, c: usize, h: usize, w: usize) -> Result<Te
             rhs: vec![c, n * h * w],
         });
     }
-    let hw = h * w;
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    let src = m.as_slice();
-    let dst = out.as_mut_slice();
-    for ci in 0..c {
-        for ni in 0..n {
-            let s = &src[ci * n * hw + ni * hw..ci * n * hw + (ni + 1) * hw];
-            dst[(ni * c + ci) * hw..(ni * c + ci + 1) * hw].copy_from_slice(s);
-        }
-    }
+    c_nm_to_nchw_slice(m.as_slice(), n, c, h * w, out.as_mut_slice());
     Ok(out)
 }
 
@@ -239,10 +255,44 @@ pub fn col2im(
         });
     }
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    let src = cols.as_slice();
+    col2im_scatter(
+        cols.as_slice(),
+        out.as_mut_slice(),
+        n,
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        grid_h,
+        grid_w,
+    );
+    Ok(out)
+}
+
+/// Scatter-add core of [`col2im`]; `dst` must be pre-zeroed NCHW storage.
+#[allow(clippy::too_many_arguments)]
+fn col2im_scatter(
+    src: &[f32],
+    dst: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    grid_h: usize,
+    grid_w: usize,
+) {
+    let rows = c * kh * kw;
+    let row_len = n * grid_h * grid_w;
     let chw = c * h * w;
     // Parallel over samples: each worker owns a disjoint set of images.
-    par_rows_mut(out.as_mut_slice(), n, chw, 1, |range, chunk| {
+    par_rows_mut(dst, n, chw, 1, |range, chunk| {
         for (local, ni) in range.enumerate() {
             let img = &mut chunk[local * chw..(local + 1) * chw];
             for r in 0..rows {
@@ -268,7 +318,6 @@ pub fn col2im(
             }
         }
     });
-    Ok(out)
 }
 
 /// Forward 2-D convolution: `x (N,C,H,W) * w (O,C,kh,kw) [+ bias (O)]`.
@@ -283,6 +332,30 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
+    let [n, _, _, _] = expect_rank4("conv2d", x)?;
+    let [o, _, kh, kw] = expect_rank4("conv2d", weight)?;
+    let (_, oh, ow) = im2col_view(x, kh, kw, stride, pad)?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    conv2d_into(x, weight, bias, stride, pad, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d`] writing into the caller-provided `(N, O, oh, ow)` tensor
+/// `out`, bit-identical to the allocating variant. The intermediate GEMM
+/// matrix lives in thread-local scratch, so a warm call allocates nothing.
+///
+/// # Errors
+///
+/// As [`conv2d`], plus [`TensorError::ShapeMismatch`] when `out` has the
+/// wrong shape.
+pub fn conv2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+) -> Result<()> {
     let [n, c, _, _] = expect_rank4("conv2d", x)?;
     let [o, wc, kh, kw] = expect_rank4("conv2d", weight)?;
     if wc != c {
@@ -293,21 +366,13 @@ pub fn conv2d(
         });
     }
     let (view, oh, ow) = im2col_view(x, kh, kw, stride, pad)?;
-    // Fused path: the weight matrix (O, C*kh*kw) multiplies the virtual
-    // im2col matrix directly; lowering happens inside B-panel packing.
-    let ckk = c * kh * kw;
-    let row_len = n * oh * ow;
-    let mut out_mat = Tensor::zeros(&[o, row_len]);
-    gemm(
-        o,
-        row_len,
-        ckk,
-        weight.as_slice(),
-        ckk,
-        1,
-        &Operand::Im2col(view),
-        out_mat.as_mut_slice(),
-    );
+    if out.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_into",
+            lhs: out.shape().to_vec(),
+            rhs: vec![n, o, oh, ow],
+        });
+    }
     if let Some(b) = bias {
         if b.shape() != [o] {
             return Err(TensorError::ShapeMismatch {
@@ -316,14 +381,35 @@ pub fn conv2d(
                 rhs: vec![o],
             });
         }
-        let data = out_mat.as_mut_slice();
-        for (oi, &bv) in b.as_slice().iter().enumerate() {
-            for v in &mut data[oi * row_len..(oi + 1) * row_len] {
-                *v += bv;
+    }
+    // Fused path: the weight matrix (O, C*kh*kw) multiplies the virtual
+    // im2col matrix directly; lowering happens inside B-panel packing.
+    let ckk = c * kh * kw;
+    let row_len = n * oh * ow;
+    MAT_SCRATCH.with(|cell| {
+        let mut out_mat = cell.borrow_mut();
+        out_mat.clear();
+        out_mat.resize(o * row_len, 0.0);
+        gemm(
+            o,
+            row_len,
+            ckk,
+            weight.as_slice(),
+            ckk,
+            1,
+            &Operand::Im2col(view),
+            &mut out_mat,
+        );
+        if let Some(b) = bias {
+            for (oi, &bv) in b.as_slice().iter().enumerate() {
+                for v in &mut out_mat[oi * row_len..(oi + 1) * row_len] {
+                    *v += bv;
+                }
             }
         }
-    }
-    c_nm_to_nchw(&out_mat, n, o, oh, ow)
+        c_nm_to_nchw_slice(&out_mat, n, o, oh * ow, out.as_mut_slice());
+    });
+    Ok(())
 }
 
 /// Gradient of [`conv2d`] with respect to its input.
@@ -413,6 +499,55 @@ pub fn conv_transpose2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
+    let [n, _, h, w] = expect_rank4("conv_transpose2d", x)?;
+    let [_, o, kh, kw] = expect_rank4("conv_transpose2d", weight)?;
+    let (oh, ow) = conv_transpose_out_dims(h, w, kh, kw, stride, pad)?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    conv_transpose2d_into(x, weight, bias, stride, pad, &mut out)?;
+    Ok(out)
+}
+
+/// Output spatial dims of a transposed convolution: `(H-1)*s + k - 2*pad`.
+fn conv_transpose_out_dims(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<(usize, usize)> {
+    if stride == 0 {
+        return Err(TensorError::InvalidGeometry(
+            "stride must be non-zero".into(),
+        ));
+    }
+    let oh = (h - 1) * stride + kh;
+    let ow = (w - 1) * stride + kw;
+    Ok((
+        oh.checked_sub(2 * pad)
+            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
+        ow.checked_sub(2 * pad)
+            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
+    ))
+}
+
+/// [`conv_transpose2d`] writing into the caller-provided `(N, O, oh, ow)`
+/// tensor `out`, bit-identical to the allocating variant. The channel-major
+/// input matrix and the scatter columns live in thread-local scratch, so a
+/// warm call allocates nothing.
+///
+/// # Errors
+///
+/// As [`conv_transpose2d`], plus [`TensorError::ShapeMismatch`] when `out`
+/// has the wrong shape.
+pub fn conv_transpose2d_into(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+) -> Result<()> {
     let [n, ci, h, w] = expect_rank4("conv_transpose2d", x)?;
     let [wci, o, kh, kw] = expect_rank4("conv_transpose2d", weight)?;
     if wci != ci {
@@ -422,23 +557,14 @@ pub fn conv_transpose2d(
             rhs: weight.shape().to_vec(),
         });
     }
-    if stride == 0 {
-        return Err(TensorError::InvalidGeometry(
-            "stride must be non-zero".into(),
-        ));
+    let (oh, ow) = conv_transpose_out_dims(h, w, kh, kw, stride, pad)?;
+    if out.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv_transpose2d_into",
+            lhs: out.shape().to_vec(),
+            rhs: vec![n, o, oh, ow],
+        });
     }
-    let oh = (h - 1) * stride + kh;
-    let ow = (w - 1) * stride + kw;
-    let (oh, ow) = (
-        oh.checked_sub(2 * pad)
-            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
-        ow.checked_sub(2 * pad)
-            .ok_or_else(|| TensorError::InvalidGeometry("padding too large".into()))?,
-    );
-    let xmat = nchw_to_c_nm(x)?;
-    let wmat = weight.reshape(&[ci, o * kh * kw])?;
-    let cols = crate::ops::matmul_at(&wmat, &xmat)?;
-    let mut out = col2im(&cols, n, o, oh, ow, kh, kw, stride, pad, h, w)?;
     if let Some(b) = bias {
         if b.shape() != [o] {
             return Err(TensorError::ShapeMismatch {
@@ -447,6 +573,40 @@ pub fn conv_transpose2d(
                 rhs: vec![o],
             });
         }
+    }
+    let nhw = n * h * w;
+    let okk = o * kh * kw;
+    MAT_SCRATCH.with(|xc| {
+        let mut xmat = xc.borrow_mut();
+        xmat.clear();
+        xmat.resize(ci * nhw, 0.0);
+        nchw_to_c_nm_slice(x.as_slice(), n, ci, h * w, &mut xmat);
+        COLS_SCRATCH.with(|cc| {
+            let mut cols = cc.borrow_mut();
+            cols.clear();
+            cols.resize(okk * nhw, 0.0);
+            // cols = Wᵀ · xmat with W the (Ci, O*kh*kw) weight matrix,
+            // expressed as a strided view exactly like `matmul_at`.
+            gemm(
+                okk,
+                nhw,
+                ci,
+                weight.as_slice(),
+                1,
+                okk,
+                &Operand::Strided {
+                    data: &xmat,
+                    rs: nhw,
+                    cs: 1,
+                },
+                &mut cols,
+            );
+            let dst = out.as_mut_slice();
+            dst.fill(0.0);
+            col2im_scatter(&cols, dst, n, o, oh, ow, kh, kw, stride, pad, h, w);
+        });
+    });
+    if let Some(b) = bias {
         let hw = oh * ow;
         let data = out.as_mut_slice();
         for ni in 0..n {
@@ -457,7 +617,7 @@ pub fn conv_transpose2d(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Gradient of [`conv_transpose2d`] with respect to its input.

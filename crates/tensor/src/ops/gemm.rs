@@ -25,6 +25,7 @@
 //! which is what the determinism test suite pins down.
 
 use crate::parallel::par_rows_mut;
+use std::cell::RefCell;
 
 /// Microkernel tile height (output rows held in registers).
 pub(crate) const MR: usize = 8;
@@ -32,6 +33,17 @@ pub(crate) const MR: usize = 8;
 pub(crate) const NR: usize = 8;
 /// Minimum output rows handed to one pool worker.
 const MC: usize = 32;
+
+thread_local! {
+    /// Per-thread packed-B scratch, reused across [`gemm`] calls so the
+    /// steady state allocates nothing. Distinct from [`A_SCRATCH`] because
+    /// the calling thread holds this borrow across the compute stage while
+    /// also participating in the worker pool.
+    static B_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-A tile scratch (one per pool worker and one for
+    /// the calling thread).
+    static A_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Geometry of a virtual im2col matrix `(C*kh*kw, N*oh*ow)` over an NCHW
 /// batch. Element `(r, col)` with `r = (ci*kh + ky)*kw + kx` and
@@ -208,45 +220,60 @@ pub(crate) fn gemm(
     }
     let npanels = n.div_ceil(NR);
 
-    // Pack all of B once (k is never blocked — see module docs). Panels
-    // are independent, so packing parallelizes trivially.
-    let mut packed_b = vec![0.0f32; npanels * k * NR];
-    if k > 0 {
-        par_rows_mut(&mut packed_b, npanels, k * NR, 1, |range, chunk| {
-            for (local, jp) in range.enumerate() {
-                let j0 = jp * NR;
-                pack_b_panel(
-                    b,
-                    j0,
-                    NR.min(n - j0),
-                    k,
-                    &mut chunk[local * k * NR..(local + 1) * k * NR],
-                );
-            }
-        });
-    }
-
-    // Compute over disjoint output row ranges; each worker packs its own
-    // A tiles. Tile edges only change *which* worker computes an element,
-    // never its reduction order, so any split is bit-identical.
-    par_rows_mut(out, m, n, MC, |rows, chunk| {
-        let mut ap = vec![0.0f32; k * MR];
-        let (r0, r1) = (rows.start, rows.end);
-        let mut i0 = r0;
-        while i0 < r1 {
-            let im = MR.min(r1 - i0);
-            pack_a_tile(a_data, a_rs, a_cs, i0, im, k, &mut ap);
-            for jp in 0..npanels {
-                let j0 = jp * NR;
-                let jn = NR.min(n - j0);
-                let mut acc = [[0.0f32; NR]; MR];
-                microkernel(k, &ap, &packed_b[jp * k * NR..(jp + 1) * k * NR], &mut acc);
-                for (i, arow) in acc.iter().enumerate().take(im) {
-                    let crow = &mut chunk[(i0 - r0 + i) * n + j0..(i0 - r0 + i) * n + j0 + jn];
-                    crow.copy_from_slice(&arow[..jn]);
+    B_SCRATCH.with(|cell| {
+        // Pack all of B once (k is never blocked — see module docs) into
+        // the thread-local scratch: clear + resize-zero reproduces a fresh
+        // `vec![0.0; ..]` bit for bit (pack_b_panel relies on zeroed
+        // padding beyond edge panels) without reallocating once warm.
+        let mut packed_b = cell.borrow_mut();
+        packed_b.clear();
+        packed_b.resize(npanels * k * NR, 0.0);
+        if k > 0 {
+            par_rows_mut(&mut packed_b, npanels, k * NR, 1, |range, chunk| {
+                for (local, jp) in range.enumerate() {
+                    let j0 = jp * NR;
+                    pack_b_panel(
+                        b,
+                        j0,
+                        NR.min(n - j0),
+                        k,
+                        &mut chunk[local * k * NR..(local + 1) * k * NR],
+                    );
                 }
-            }
-            i0 += im;
+            });
         }
+
+        // Compute over disjoint output row ranges; each worker packs its
+        // own A tiles (per-thread scratch; pack_a_tile overwrites every
+        // element including the zero padding, so no re-zeroing is needed).
+        // Tile edges only change *which* worker computes an element, never
+        // its reduction order, so any split is bit-identical.
+        let packed_b = &*packed_b;
+        par_rows_mut(out, m, n, MC, |rows, chunk| {
+            A_SCRATCH.with(|apc| {
+                let mut ap = apc.borrow_mut();
+                if ap.len() < k * MR {
+                    ap.resize(k * MR, 0.0);
+                }
+                let (r0, r1) = (rows.start, rows.end);
+                let mut i0 = r0;
+                while i0 < r1 {
+                    let im = MR.min(r1 - i0);
+                    pack_a_tile(a_data, a_rs, a_cs, i0, im, k, &mut ap);
+                    for jp in 0..npanels {
+                        let j0 = jp * NR;
+                        let jn = NR.min(n - j0);
+                        let mut acc = [[0.0f32; NR]; MR];
+                        microkernel(k, &ap, &packed_b[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+                        for (i, arow) in acc.iter().enumerate().take(im) {
+                            let crow =
+                                &mut chunk[(i0 - r0 + i) * n + j0..(i0 - r0 + i) * n + j0 + jn];
+                            crow.copy_from_slice(&arow[..jn]);
+                        }
+                    }
+                    i0 += im;
+                }
+            });
+        });
     });
 }

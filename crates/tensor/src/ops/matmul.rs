@@ -26,6 +26,17 @@ fn check_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
     Ok((t.shape()[0], t.shape()[1]))
 }
 
+fn check_out(op: &'static str, out: &Tensor, m: usize, n: usize) -> Result<()> {
+    if out.shape() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: out.shape().to_vec(),
+            rhs: vec![m, n],
+        });
+    }
+    Ok(())
+}
+
 /// `C = A · B` for row-major matrices `A: (m, k)`, `B: (k, n)`.
 ///
 /// # Errors
@@ -33,6 +44,21 @@ fn check_rank2(op: &'static str, t: &Tensor) -> Result<(usize, usize)> {
 /// Returns [`TensorError::RankMismatch`] for non-matrix operands and
 /// [`TensorError::ShapeMismatch`] when `A.cols != B.rows`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = check_rank2("matmul", a)?;
+    let (_, n) = check_rank2("matmul", b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul`] writing into the caller-provided `(m, n)` tensor `out`,
+/// bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// As [`matmul`], plus [`TensorError::ShapeMismatch`] when `out` has the
+/// wrong shape.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, k) = check_rank2("matmul", a)?;
     let (k2, n) = check_rank2("matmul", b)?;
     if k != k2 {
@@ -42,7 +68,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    check_out("matmul_into", out, m, n)?;
     gemm(
         m,
         n,
@@ -57,7 +83,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         },
         out.as_mut_slice(),
     );
-    Ok(out)
+    Ok(())
 }
 
 /// `C = A · Bᵀ` for `A: (m, k)`, `B: (n, k)` producing `(m, n)`.
@@ -67,6 +93,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
 /// for [`matmul`].
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, _) = check_rank2("matmul_bt", a)?;
+    let (n, _) = check_rank2("matmul_bt", b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_bt_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_bt`] writing into the caller-provided `(m, n)` tensor `out`.
+///
+/// # Errors
+///
+/// As [`matmul_bt`], plus [`TensorError::ShapeMismatch`] when `out` has the
+/// wrong shape.
+pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, k) = check_rank2("matmul_bt", a)?;
     let (n, k2) = check_rank2("matmul_bt", b)?;
     if k != k2 {
@@ -76,7 +116,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    check_out("matmul_bt_into", out, m, n)?;
     // Bᵀ as a view: element (p, j) of the logical operand is B[j][p].
     gemm(
         m,
@@ -92,7 +132,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         },
         out.as_mut_slice(),
     );
-    Ok(out)
+    Ok(())
 }
 
 /// `C = Aᵀ · B` for `A: (k, m)`, `B: (k, n)` producing `(m, n)`.
@@ -102,6 +142,20 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::RankMismatch`] / [`TensorError::ShapeMismatch`] as
 /// for [`matmul`].
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (_, m) = check_rank2("matmul_at", a)?;
+    let (_, n) = check_rank2("matmul_at", b)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_at_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`matmul_at`] writing into the caller-provided `(m, n)` tensor `out`.
+///
+/// # Errors
+///
+/// As [`matmul_at`], plus [`TensorError::ShapeMismatch`] when `out` has the
+/// wrong shape.
+pub fn matmul_at_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (k, m) = check_rank2("matmul_at", a)?;
     let (k2, n) = check_rank2("matmul_at", b)?;
     if k != k2 {
@@ -111,7 +165,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = Tensor::zeros(&[m, n]);
+    check_out("matmul_at_into", out, m, n)?;
     // Aᵀ as a strided view: element (i, p) of the logical A is A[p][i].
     gemm(
         m,
@@ -127,7 +181,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         },
         out.as_mut_slice(),
     );
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -12,9 +12,15 @@ mod reduce;
 pub mod reference;
 
 pub use conv::{
-    col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, conv_transpose2d,
-    conv_transpose2d_grad_input, conv_transpose2d_grad_weight, im2col, Conv2dGeometry,
+    col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, conv2d_into, conv_transpose2d,
+    conv_transpose2d_grad_input, conv_transpose2d_grad_weight, conv_transpose2d_into, im2col,
+    Conv2dGeometry,
 };
-pub use matmul::{matmul, matmul_at, matmul_bt};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, MaxPoolIndices};
-pub use reduce::{mean_axes_keep_channel, softmax_rows, sum_axis0, sum_spatial_per_channel};
+pub use matmul::{matmul, matmul_at, matmul_at_into, matmul_bt, matmul_bt_into, matmul_into};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
+    max_pool2d_into, MaxPoolIndices,
+};
+pub use reduce::{
+    mean_axes_keep_channel, softmax_rows, softmax_rows_into, sum_axis0, sum_spatial_per_channel,
+};

@@ -33,8 +33,33 @@ pub fn avg_pool2d(x: &Tensor, k: usize) -> Result<Tensor> {
             "avg_pool2d: {h}x{w} not divisible by window {k}"
         )));
     }
+    let mut out = Tensor::zeros(&[n, c, h / k, w / k]);
+    avg_pool2d_into(x, k, &mut out)?;
+    Ok(out)
+}
+
+/// [`avg_pool2d`] writing into the caller-provided `(N, C, H/k, W/k)`
+/// tensor `out`, bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// As [`avg_pool2d`], plus [`TensorError::ShapeMismatch`] when `out` has
+/// the wrong shape.
+pub fn avg_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
+    let [n, c, h, w] = expect_rank4("avg_pool2d", x)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "avg_pool2d: {h}x{w} not divisible by window {k}"
+        )));
+    }
     let (oh, ow) = (h / k, w / k);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    if out.shape() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "avg_pool2d_into",
+            lhs: out.shape().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
     let inv = 1.0 / (k * k) as f32;
     for ni in 0..n {
         for ci in 0..c {
@@ -51,7 +76,7 @@ pub fn avg_pool2d(x: &Tensor, k: usize) -> Result<Tensor> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Backward of [`avg_pool2d`]: spreads each output gradient uniformly over
@@ -148,6 +173,51 @@ pub fn max_pool2d(x: &Tensor, k: usize) -> Result<(Tensor, MaxPoolIndices)> {
             input_shape: [n, c, h, w],
         },
     ))
+}
+
+/// Inference-only [`max_pool2d`] writing into the caller-provided
+/// `(N, C, H/k, W/k)` tensor `out`; skips recording argmax indices
+/// entirely, so a warm call allocates nothing. Pooled values are
+/// bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// As [`max_pool2d`], plus [`TensorError::ShapeMismatch`] when `out` has
+/// the wrong shape.
+pub fn max_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
+    let [n, c, h, w] = expect_rank4("max_pool2d", x)?;
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(TensorError::InvalidGeometry(format!(
+            "max_pool2d: {h}x{w} not divisible by window {k}"
+        )));
+    }
+    let (oh, ow) = (h / k, w / k);
+    if out.shape() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "max_pool2d_into",
+            lhs: out.shape().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
+    for ni in 0..n {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let v = x.at4(ni, ci, oy * k + dy, ox * k + dx);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out.set4(ni, ci, oy, ox, best);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Backward of [`max_pool2d`]: routes each output gradient to the recorded

@@ -73,6 +73,19 @@ pub fn mean_axes_keep_channel(x: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::RankMismatch`] for non-matrix input.
 pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    let mut out = x.clone();
+    softmax_rows_into(x, &mut out)?;
+    Ok(out)
+}
+
+/// [`softmax_rows`] writing into the caller-provided tensor `out` (same
+/// shape as `x`), bit-identical to the allocating variant.
+///
+/// # Errors
+///
+/// As [`softmax_rows`], plus [`TensorError::ShapeMismatch`] when `out` has
+/// the wrong shape.
+pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
     if x.rank() != 2 {
         return Err(TensorError::RankMismatch {
             op: "softmax_rows",
@@ -81,8 +94,15 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
         });
     }
     let (rows, cols) = (x.shape()[0], x.shape()[1]);
-    let mut out = x.clone();
+    if out.shape() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_rows_into",
+            lhs: out.shape().to_vec(),
+            rhs: vec![rows, cols],
+        });
+    }
     let data = out.as_mut_slice();
+    data.copy_from_slice(x.as_slice());
     for r in 0..rows {
         let row = &mut data[r * cols..(r + 1) * cols];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -96,7 +116,7 @@ pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
             *v *= inv;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -64,6 +64,19 @@ impl Shape {
         off
     }
 
+    /// Consumes the shape, returning its dimension vector (used by the
+    /// workspace pool to recycle shape allocations).
+    pub(crate) fn into_dims(self) -> Vec<usize> {
+        self.0
+    }
+
+    /// Replaces the dimensions in place, reusing the existing vector's
+    /// capacity (allocation-free when it suffices).
+    pub(crate) fn set_dims(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
     /// Validates that `axis` is a legal dimension index.
     ///
     /// # Errors

@@ -110,6 +110,20 @@ impl Tensor {
         Tensor { data, shape: s }
     }
 
+    /// Assembles a tensor from a buffer and an already-built [`Shape`]
+    /// without any validation beyond a debug assertion. Used by the
+    /// workspace pool, which guarantees the invariant by construction.
+    pub(crate) fn from_raw_parts(data: Vec<f32>, shape: Shape) -> Self {
+        debug_assert_eq!(data.len(), shape.len(), "raw-parts length mismatch");
+        Tensor { data, shape }
+    }
+
+    /// Consumes the tensor, returning its buffer and shape (the inverse of
+    /// [`Tensor::from_raw_parts`]).
+    pub(crate) fn into_parts(self) -> (Vec<f32>, Shape) {
+        (self.data, self.shape)
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -223,14 +237,14 @@ impl Tensor {
     /// Returns [`TensorError::ShapeDataMismatch`] when the element counts
     /// differ.
     pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
-        let s = Shape::new(shape);
-        if s.len() != self.len() {
+        let len: usize = shape.iter().product();
+        if len != self.len() {
             return Err(TensorError::ShapeDataMismatch {
-                expected: s.len(),
+                expected: len,
                 actual: self.len(),
             });
         }
-        self.shape = s;
+        self.shape.set_dims(shape);
         Ok(())
     }
 
@@ -440,6 +454,104 @@ impl Tensor {
     /// Fills the tensor with a constant.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise `_into` variants (write into a caller-provided buffer)
+    // ------------------------------------------------------------------
+
+    fn check_out(&self, op: &'static str, out: &Tensor) -> Result<()> {
+        if self.shape != out.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().to_vec(),
+                rhs: out.shape().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::map`] writing into `out` (same shape required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Tensor) -> Result<()> {
+        self.check_out("map_into", out)?;
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::zip_map`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
+    pub fn zip_map_into(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map_into",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        self.check_out("zip_map_into", out)?;
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
+        Ok(())
+    }
+
+    /// [`Tensor::add`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
+    pub fn add_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.zip_map_into(other, |a, b| a + b, out)
+    }
+
+    /// [`Tensor::sub`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
+    pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.zip_map_into(other, |a, b| a - b, out)
+    }
+
+    /// [`Tensor::mul`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
+    pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.zip_map_into(other, |a, b| a * b, out)
+    }
+
+    /// [`Tensor::scale`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
+    pub fn scale_into(&self, s: f32, out: &mut Tensor) -> Result<()> {
+        self.map_into(|x| x * s, out)
+    }
+
+    /// [`Tensor::clamp`] writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
+    pub fn clamp_into(&self, lo: f32, hi: f32, out: &mut Tensor) -> Result<()> {
+        self.map_into(|x| x.clamp(lo, hi), out)
     }
 
     // ------------------------------------------------------------------

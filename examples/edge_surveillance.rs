@@ -14,10 +14,9 @@ use leca::core::config::LecaConfig;
 use leca::core::deploy::{program_sensor, sensor_encode};
 use leca::core::encoder::Modality;
 use leca::core::trainer::{self, TrainConfig};
-use leca::core::LecaPipeline;
+use leca::core::{InferenceSession, LecaPipeline};
 use leca::data::synth::class_name;
 use leca::data::{SynthConfig, SynthVision};
-use leca::nn::{Layer, Mode};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -53,7 +52,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         sensor.qbit()
     );
 
-    // Always-on loop: capture frames through the *hardware* path.
+    // Always-on loop: capture frames through the *hardware* path. The
+    // host-side decode + classify runs in an `InferenceSession`, so after
+    // the first frame every activation buffer is reused — no steady-state
+    // heap allocations while the camera is live.
+    let mut session = InferenceSession::for_pipeline(&mut pipeline);
+    let mut preds = Vec::new();
     let mut correct = 0usize;
     let frames = 10.min(data.val().len());
     let mut stats = None;
@@ -64,9 +68,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         let ofmap = sensor_encode(&sensor, img, true, i as u64)?;
         let mut s = vec![1];
         s.extend_from_slice(ofmap.shape());
-        let decoded = pipeline.decode(&ofmap.reshape(&s)?, Mode::Eval)?;
-        let logits = pipeline.backbone_mut().forward(&decoded, Mode::Eval)?;
-        let pred = logits.argmax_rows()?[0];
+        session.classify_ofmaps(&ofmap.reshape(&s)?, &mut preds)?;
+        let pred = preds[0];
         correct += usize::from(pred == label);
         println!(
             "frame {i}: truth={} predicted={} {}",
@@ -83,6 +86,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\nhardware-in-the-loop accuracy over {frames} frames: {:.0}%",
         correct as f32 / frames as f32 * 100.0
     );
+    println!("host-side workspace: {}", session.stats());
     if let Some(st) = stats {
         println!(
             "per-frame: {:.2} uJ total ({:.2} pixel / {:.2} ADC / {:.2} comm), {:.2} ms, {:.0} fps",

@@ -12,7 +12,7 @@
 use leca::core::config::LecaConfig;
 use leca::core::encoder::Modality;
 use leca::core::trainer::{self, TrainConfig};
-use leca::core::LecaPipeline;
+use leca::core::{InferenceSession, LecaPipeline};
 use leca::data::{SynthConfig, SynthVision};
 use std::error::Error;
 
@@ -67,6 +67,31 @@ fn main() -> Result<(), Box<dyn Error>> {
         "accuracy cost of compressing 8x before digitization: {:.1} pp",
         (trainer::backbone_accuracy(pipeline.backbone_mut(), data.val())? - report.val_accuracy)
             * 100.0
+    );
+
+    // 3. Deployment-style inference: an `InferenceSession` reuses one
+    //    workspace across batches, so steady-state classification makes no
+    //    heap allocations.
+    let image_shape = data.val().image_shape().expect("non-empty dataset");
+    let batch = 8.min(data.val().len());
+    let mut session = InferenceSession::for_pipeline(&mut pipeline);
+    session.warm_up(&[batch, image_shape[0], image_shape[1], image_shape[2]])?;
+    let mut preds = Vec::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut start = 0;
+    while start < data.val().len() {
+        let n = batch.min(data.val().len() - start);
+        let (x, labels) = data.val().batch(start, n)?;
+        session.classify_batch(&x, &mut preds)?;
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        total += n;
+        start += n;
+    }
+    println!(
+        "session inference over val: {:.1}% ({correct}/{total}); workspace: {}",
+        correct as f32 / total.max(1) as f32 * 100.0,
+        session.stats()
     );
     Ok(())
 }
