@@ -7,10 +7,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leca_tensor::ops::reference::{conv2d_naive, matmul_naive};
+use leca_tensor::ops::simd::{self, MR, NR};
 use leca_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
+
+/// Pins `LECA_SIMD` to `path` and refreshes the cached dispatch — bench
+/// bodies run entirely on the requested kernel path.
+fn pin_simd(path: &str) {
+    std::env::set_var("LECA_SIMD", path);
+    simd::refresh_kernel_path();
+}
 
 fn bench_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -56,5 +64,54 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Scalar vs AVX2 at identical shapes, single-threaded: the dispatch is
+/// pinned per bench via `LECA_SIMD`, so the group reads out the SIMD
+/// speedup of the microkernel, the full GEMM, conv2d and softmax
+/// directly. (On hosts without AVX2 the `avx2` legs silently rerun the
+/// scalar path and the ratio reads 1.0.)
+fn bench_simd_paths(c: &mut Criterion) {
+    std::env::set_var("LECA_THREADS", "1");
+    leca_tensor::parallel::refresh_num_threads();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("simd");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    // Raw register-tile microkernel: one packed K=256 panel pair.
+    let k = 256;
+    let ap: Vec<f32> = (0..k * MR).map(|i| (i % 97) as f32 * 0.013 - 0.5).collect();
+    let bp: Vec<f32> = (0..k * NR).map(|i| (i % 89) as f32 * 0.011 - 0.4).collect();
+    let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
+    let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+    let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
+
+    for (label, path) in [("scalar", "off"), ("avx2", "avx2")] {
+        pin_simd(path);
+        group.bench_function(format!("microkernel_k256_{label}"), |bench| {
+            bench.iter(|| {
+                let mut acc = [[0.0f32; NR]; MR];
+                simd::microkernel(k, &ap, &bp, &mut acc);
+                std::hint::black_box(acc)
+            });
+        });
+        group.bench_function(format!("matmul_64x144x4096_{label}"), |bench| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b).expect("matmul")));
+        });
+        group.bench_function(format!("conv2d_8x16x32x32_3x3_{label}"), |bench| {
+            bench.iter(|| std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv")));
+        });
+        group.bench_function(format!("softmax_rows_256x1000_{label}"), |bench| {
+            bench.iter(|| std::hint::black_box(ops::softmax_rows(&logits).expect("softmax")));
+        });
+    }
+    std::env::remove_var("LECA_SIMD");
+    simd::refresh_kernel_path();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_simd_paths);
 criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Scalar-vs-SIMD kernel speed table, emitted as `BENCH_kernels.json` at
+//! the repo root (machine-readable companion to the criterion `simd`
+//! group in `benches/kernels.rs`).
+//!
+//! Every kernel is timed single-threaded on both dispatch paths by
+//! pinning `LECA_SIMD` and refreshing the cached decision between runs;
+//! the two paths are bit-identical (see `tests/simd_parity.rs`), so this
+//! is purely a latency comparison. Also times the end-to-end
+//! `InferenceSession::classify_batch` to report an images/sec delta.
+
+use leca_core::config::LecaConfig;
+use leca_core::encoder::Modality;
+use leca_core::pipeline::LecaPipeline;
+use leca_core::session::InferenceSession;
+use leca_nn::backbone::tiny_cnn;
+use leca_tensor::ops::simd::{self, MR, NR};
+use leca_tensor::{ops, parallel, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Median-of-`SAMPLES` wall time of `body`, in nanoseconds per call.
+fn time_ns(iters: u32, mut body: impl FnMut()) -> f64 {
+    const SAMPLES: usize = 7;
+    // Warm-up: fault in buffers, thread-locals and branch predictors.
+    for _ in 0..iters.div_ceil(4).max(1) {
+        body();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                body();
+            }
+            t0.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+fn pin_simd(path: &str) {
+    std::env::set_var("LECA_SIMD", path);
+    simd::refresh_kernel_path();
+}
+
+/// Times `body` once per dispatch path, returning `(scalar_ns, avx2_ns)`.
+fn on_both_paths(iters: u32, mut body: impl FnMut()) -> (f64, f64) {
+    pin_simd("off");
+    let scalar = time_ns(iters, &mut body);
+    pin_simd("avx2");
+    let vector = time_ns(iters, &mut body);
+    (scalar, vector)
+}
+
+fn json_row(name: &str, scalar_ns: f64, avx2_ns: f64) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"scalar_ns\": {scalar_ns:.1}, \
+         \"avx2_ns\": {avx2_ns:.1}, \"speedup\": {:.3}}}",
+        scalar_ns / avx2_ns
+    )
+}
+
+fn main() {
+    std::env::set_var("LECA_THREADS", "1");
+    parallel::refresh_num_threads();
+    let avx2_available = {
+        pin_simd("avx2");
+        simd::kernel_path() == simd::KernelPath::Avx2
+    };
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows = Vec::new();
+
+    // Raw register-tile microkernel, one packed K=256 panel pair.
+    let k = 256;
+    let ap: Vec<f32> = (0..k * MR).map(|i| (i % 97) as f32 * 0.013 - 0.5).collect();
+    let bp: Vec<f32> = (0..k * NR).map(|i| (i % 89) as f32 * 0.011 - 0.4).collect();
+    let (s, v) = on_both_paths(20_000, || {
+        let mut acc = [[0.0f32; NR]; MR];
+        simd::microkernel(k, &ap, &bp, &mut acc);
+        std::hint::black_box(acc);
+    });
+    println!(
+        "microkernel_k256:      scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
+        s / v
+    );
+    rows.push(json_row("microkernel_k256", s, v));
+
+    let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
+    let (s, v) = on_both_paths(20, || {
+        std::hint::black_box(a.matmul(&b).expect("matmul"));
+    });
+    println!(
+        "matmul_64x144x4096:    scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
+        s / v
+    );
+    rows.push(json_row("matmul_64x144x4096", s, v));
+
+    let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+    let (s, v) = on_both_paths(20, || {
+        std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv"));
+    });
+    println!(
+        "conv2d_8x16x32x32_3x3: scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
+        s / v
+    );
+    rows.push(json_row("conv2d_8x16x32x32_3x3", s, v));
+
+    let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
+    let (s, v) = on_both_paths(50, || {
+        std::hint::black_box(ops::softmax_rows(&logits).expect("softmax"));
+    });
+    println!(
+        "softmax_rows_256x1000: scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
+        s / v
+    );
+    rows.push(json_row("softmax_rows_256x1000", s, v));
+
+    // End-to-end pooled inference: images/sec through the Soft pipeline.
+    let cfg = LecaConfig::new(2, 4, 3.0).expect("config");
+    let bb = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
+    let mut p = LecaPipeline::new(&cfg, Modality::Soft, bb, 7).expect("pipeline");
+    let mut session = InferenceSession::for_pipeline(&mut p);
+    let batch = Tensor::rand_uniform(&[8, 3, 16, 16], 0.1, 0.9, &mut rng);
+    let n_imgs = batch.shape()[0] as f64;
+    let mut preds = Vec::new();
+    session.warm_up(&[8, 3, 16, 16]).expect("warm-up");
+    let (s, v) = on_both_paths(30, || {
+        session
+            .classify_batch(&batch, &mut preds)
+            .expect("classify");
+    });
+    let (scalar_ips, avx2_ips) = (n_imgs * 1e9 / s, n_imgs * 1e9 / v);
+    println!(
+        "classify_batch 8x3x16x16: scalar {scalar_ips:>9.0} imgs/s  avx2 {avx2_ips:>9.0} imgs/s  x{:.2}",
+        avx2_ips / scalar_ips
+    );
+
+    std::env::remove_var("LECA_SIMD");
+    simd::refresh_kernel_path();
+
+    let json = format!
+    (
+        "{{\n  \"avx2_available\": {avx2_available},\n  \"threads\": 1,\n  \"kernels\": [\n{}\n  ],\n  \
+         \"classify_batch\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar_ips:.0}, \
+         \"avx2_imgs_per_sec\": {avx2_ips:.0}, \"speedup\": {:.3}}}\n}}\n",
+        rows.join(",\n"),
+        avx2_ips / scalar_ips
+    );
+    // crates/bench/ -> repo root.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernels.json");
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("\nwrote {}", out.display());
+}

@@ -108,6 +108,12 @@ impl<'a> InferenceSession<'a> {
     ///
     /// Propagates layer errors (e.g. a shape the model rejects).
     pub fn warm_up(&mut self, input_shape: &[usize]) -> LecaResult<()> {
+        eprintln!(
+            "leca: warm-up {:?} on `{}` kernels, {} thread(s)",
+            input_shape,
+            leca_tensor::ops::simd::kernel_path().name(),
+            leca_tensor::parallel::num_threads(),
+        );
         let x = Tensor::zeros(input_shape);
         let mut preds = Vec::new();
         for _ in 0..2 {

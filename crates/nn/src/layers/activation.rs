@@ -1,15 +1,10 @@
 use crate::{Layer, Mode, NnError, Result};
+use leca_tensor::ops::simd;
 use leca_tensor::{PooledTensor, Tensor, Workspace};
 
-/// Shared single-pass backward for masked activations: positions where the
-/// forward input was positive pass `grad_out` through, the rest map through
-/// `f`. Builds the output directly — no `grad_out` clone + second pass.
-fn mask_backward(
-    what: &'static str,
-    mask: &[bool],
-    grad_out: &Tensor,
-    f: impl Fn(f32) -> f32,
-) -> Result<Tensor> {
+/// Length check shared by the masked backward passes, returning the
+/// zeroed gradient-input tensor on success.
+fn checked_grad_buf(what: &'static str, mask: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
     if mask.len() != grad_out.len() {
         return Err(NnError::BatchMismatch {
             what,
@@ -17,50 +12,64 @@ fn mask_backward(
             actual: grad_out.len(),
         });
     }
-    let data: Vec<f32> = grad_out
-        .as_slice()
-        .iter()
-        .zip(mask)
-        .map(|(&g, &m)| if m { g } else { f(g) })
-        .collect();
-    Ok(Tensor::from_vec(data, grad_out.shape())?)
+    Ok(Tensor::zeros(grad_out.shape()))
 }
 
 /// Rectified linear unit: `y = max(x, 0)`.
+///
+/// The forward mask is a pooled `1.0 / 0.0` tensor rather than a
+/// `Vec<bool>`: checked out of the caller's [`Workspace`] on the `_ws`
+/// path (or this layer's private fallback pool otherwise) and returned on
+/// [`Layer::backward`], so steady-state training allocates nothing here.
 #[derive(Debug, Default)]
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    mask: Option<PooledTensor>,
+    /// Mask pool for the allocating [`Layer::forward`] entry point, so
+    /// both entry points cache the same [`PooledTensor`] mask type.
+    pool: Workspace,
 }
 
 impl Relu {
     /// Creates a ReLU activation.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu::default()
+    }
+
+    fn cache_mask(&mut self, x: &Tensor, ws: &Workspace) {
+        let mut mask = ws.take(x.shape());
+        simd::relu_mask(x.as_slice(), mask.as_mut_slice());
+        self.mask = Some(mask);
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         if mode.is_train() {
-            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+            let pool = self.pool.clone();
+            self.cache_mask(x, &pool);
         }
         // Not `v.max(0.0)`: f32::max drops NaN operands, which would
         // silently launder a poisoned activation into a healthy zero and
         // hide divergence from the trainer's non-finite-loss detector.
-        Ok(x.map(|v| if v > 0.0 || v.is_nan() { v } else { 0.0 }))
+        // `simd::relu` keeps the NaN-passing branch on both paths.
+        let mut out = Tensor::zeros(x.shape());
+        simd::relu(x.as_slice(), out.as_mut_slice());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.take().ok_or(NnError::NoForwardCache("relu"))?;
-        mask_backward("relu backward", &mask, grad_out, |_| 0.0)
+        let mut out = checked_grad_buf("relu backward", &mask, grad_out)?;
+        simd::relu_backward(mask.as_slice(), grad_out.as_slice(), out.as_mut_slice());
+        Ok(out)
     }
 
     fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
         if mode.is_train() {
-            return Ok(ws.adopt(self.forward(x, mode)?));
+            self.cache_mask(x, ws);
         }
         let mut out = ws.take_from(x);
-        out.map_inplace(|v| if v > 0.0 || v.is_nan() { v } else { 0.0 });
+        simd::relu_inplace(out.as_mut_slice());
         Ok(out)
     }
 
@@ -73,23 +82,37 @@ impl Layer for Relu {
 #[derive(Debug)]
 pub struct LeakyRelu {
     alpha: f32,
-    mask: Option<Vec<bool>>,
+    mask: Option<PooledTensor>,
+    /// See [`Relu::pool`].
+    pool: Workspace,
 }
 
 impl LeakyRelu {
     /// Creates a leaky ReLU with negative-slope `alpha`.
     pub fn new(alpha: f32) -> Self {
-        LeakyRelu { alpha, mask: None }
+        LeakyRelu {
+            alpha,
+            mask: None,
+            pool: Workspace::new(),
+        }
+    }
+
+    fn cache_mask(&mut self, x: &Tensor, ws: &Workspace) {
+        let mut mask = ws.take(x.shape());
+        simd::relu_mask(x.as_slice(), mask.as_mut_slice());
+        self.mask = Some(mask);
     }
 }
 
 impl Layer for LeakyRelu {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor> {
         if mode.is_train() {
-            self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+            let pool = self.pool.clone();
+            self.cache_mask(x, &pool);
         }
-        let a = self.alpha;
-        Ok(x.map(|v| if v > 0.0 { v } else { a * v }))
+        let mut out = Tensor::zeros(x.shape());
+        simd::leaky_relu(x.as_slice(), self.alpha, out.as_mut_slice());
+        Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -97,17 +120,22 @@ impl Layer for LeakyRelu {
             .mask
             .take()
             .ok_or(NnError::NoForwardCache("leaky_relu"))?;
-        let a = self.alpha;
-        mask_backward("leaky_relu backward", &mask, grad_out, |g| g * a)
+        let mut out = checked_grad_buf("leaky_relu backward", &mask, grad_out)?;
+        simd::leaky_relu_backward(
+            mask.as_slice(),
+            grad_out.as_slice(),
+            self.alpha,
+            out.as_mut_slice(),
+        );
+        Ok(out)
     }
 
     fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &Workspace) -> Result<PooledTensor> {
         if mode.is_train() {
-            return Ok(ws.adopt(self.forward(x, mode)?));
+            self.cache_mask(x, ws);
         }
-        let a = self.alpha;
         let mut out = ws.take_from(x);
-        out.map_inplace(|v| if v > 0.0 { v } else { a * v });
+        simd::leaky_relu_inplace(out.as_mut_slice(), self.alpha);
         Ok(out)
     }
 

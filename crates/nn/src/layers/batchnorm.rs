@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::{PooledTensor, Tensor, Workspace};
+use leca_tensor::{ops, PooledTensor, Tensor, Workspace};
 
 /// Batch normalization over the channel dimension of NCHW activations.
 ///
@@ -251,11 +251,8 @@ impl Layer for BatchNorm2d {
                 self.beta.value.as_slice()[ci],
             );
             for ni in 0..n {
-                for p in 0..hw {
-                    let idx = (ni * c + ci) * hw + p;
-                    let xh = (src[idx] - mean) * inv_std;
-                    dst[idx] = g * xh + b;
-                }
+                let plane = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
+                ops::simd::bn_affine(&src[plane.clone()], &mut dst[plane], mean, inv_std, g, b);
             }
         }
         Ok(out)

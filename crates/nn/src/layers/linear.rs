@@ -44,10 +44,9 @@ impl Layer for Linear {
         let mut y = ops::matmul_bt(x, &self.weight.value)?;
         let (n, o) = (y.shape()[0], y.shape()[1]);
         let data = y.as_mut_slice();
+        let bias = &self.bias.value.as_slice()[..o];
         for r in 0..n {
-            for (c, &b) in self.bias.value.as_slice().iter().enumerate().take(o) {
-                data[r * o + c] += b;
-            }
+            ops::simd::add_assign(&mut data[r * o..(r + 1) * o], bias);
         }
         Ok(y)
     }
@@ -69,10 +68,9 @@ impl Layer for Linear {
         let mut y = ws.take(&[n, o]);
         ops::matmul_bt_into(x, &self.weight.value, &mut y)?;
         let data = y.as_mut_slice();
+        let bias = &self.bias.value.as_slice()[..o];
         for r in 0..n {
-            for (c, &b) in self.bias.value.as_slice().iter().enumerate().take(o) {
-                data[r * o + c] += b;
-            }
+            ops::simd::add_assign(&mut data[r * o..(r + 1) * o], bias);
         }
         Ok(y)
     }

@@ -24,13 +24,10 @@
 //! across `LECA_THREADS` settings and across blocking-parameter changes,
 //! which is what the determinism test suite pins down.
 
+use super::simd::{self, MR, NR};
 use crate::parallel::par_rows_mut;
 use std::cell::RefCell;
 
-/// Microkernel tile height (output rows held in registers).
-pub(crate) const MR: usize = 8;
-/// Microkernel tile width (output columns held in registers).
-pub(crate) const NR: usize = 8;
 /// Minimum output rows handed to one pool worker.
 const MC: usize = 32;
 
@@ -75,6 +72,17 @@ impl Im2colView<'_> {
             }
             _ => 0.0,
         }
+    }
+
+    /// [`Im2colView::sample`] with the padding branch hoisted out: valid
+    /// only when `pad == 0`, where the output geometry proves every sample
+    /// in-bounds (`(oh-1)*stride + kh - 1 <= h - 1` and likewise for
+    /// width), so the bounds check per element disappears.
+    #[inline]
+    fn sample_unpadded(&self, img: usize, ci: usize, iy: usize, ix: usize) -> f32 {
+        debug_assert_eq!(self.pad, 0);
+        debug_assert!(iy < self.h && ix < self.w);
+        self.data[((img * self.c + ci) * self.h + iy) * self.w + ix]
     }
 }
 
@@ -122,9 +130,18 @@ fn pack_b_panel(b: &Operand, j0: usize, jn: usize, k: usize, dst: &mut [f32]) {
             let (mut ci, mut ky, mut kx) = (0usize, 0usize, 0usize);
             for p in 0..k {
                 let d = &mut dst[p * NR..p * NR + jn];
-                for (jj, v2) in d.iter_mut().enumerate() {
-                    let (img, ybase, xbase) = cols[jj];
-                    *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                if v.pad == 0 {
+                    // Padding branch hoisted: zero-pad geometry can never
+                    // sample outside the image (see `sample_unpadded`).
+                    for (jj, v2) in d.iter_mut().enumerate() {
+                        let (img, ybase, xbase) = cols[jj];
+                        *v2 = v.sample_unpadded(img, ci, ybase + ky, xbase + kx);
+                    }
+                } else {
+                    for (jj, v2) in d.iter_mut().enumerate() {
+                        let (img, ybase, xbase) = cols[jj];
+                        *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                    }
                 }
                 kx += 1;
                 if kx == v.kw {
@@ -149,9 +166,16 @@ fn pack_b_panel(b: &Operand, j0: usize, jn: usize, k: usize, dst: &mut [f32]) {
             for p in 0..k {
                 let (ybase, xbase) = (oy * v.stride, ox * v.stride);
                 let d = &mut dst[p * NR..p * NR + jn];
-                for (jj, v2) in d.iter_mut().enumerate() {
-                    let (ci, ky, kx) = taps[jj];
-                    *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                if v.pad == 0 {
+                    for (jj, v2) in d.iter_mut().enumerate() {
+                        let (ci, ky, kx) = taps[jj];
+                        *v2 = v.sample_unpadded(img, ci, ybase + ky, xbase + kx);
+                    }
+                } else {
+                    for (jj, v2) in d.iter_mut().enumerate() {
+                        let (ci, ky, kx) = taps[jj];
+                        *v2 = v.sample(img, ci, ybase + ky, xbase + kx);
+                    }
                 }
                 ox += 1;
                 if ox == v.ow {
@@ -169,33 +193,29 @@ fn pack_b_panel(b: &Operand, j0: usize, jn: usize, k: usize, dst: &mut [f32]) {
 
 /// Packs rows `i0 .. i0+im` of the strided A operand into
 /// `ap[p * MR + i]`, zero-filling the `im..MR` padding rows.
+///
+/// The edge-tile padding branch is hoisted out of the per-element loop:
+/// each column is a `0..im` copy body plus an explicit `im..MR` zero-fill
+/// tail. With `rs == 1` (a transposed-A view, where rows are contiguous)
+/// the body collapses to a `copy_from_slice`.
 fn pack_a_tile(data: &[f32], rs: usize, cs: usize, i0: usize, im: usize, k: usize, ap: &mut [f32]) {
-    for p in 0..k {
-        let d = &mut ap[p * MR..(p + 1) * MR];
-        let col = p * cs;
-        for (i, v) in d.iter_mut().enumerate() {
-            *v = if i < im {
-                data[(i0 + i) * rs + col]
-            } else {
-                0.0
-            };
+    if rs == 1 {
+        for p in 0..k {
+            let src = i0 + p * cs;
+            let d = &mut ap[p * MR..(p + 1) * MR];
+            let (body, tail) = d.split_at_mut(im);
+            body.copy_from_slice(&data[src..src + im]);
+            tail.fill(0.0);
         }
-    }
-}
-
-/// `MR x NR` register-tile update: `acc += A_tile · B_panel`, one rank-1
-/// update per k step, each accumulator fed by a single in-order chain.
-#[inline]
-fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for p in 0..k {
-        let a: &[f32; MR] = ap[p * MR..(p + 1) * MR].try_into().unwrap();
-        let b: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().unwrap();
-        for i in 0..MR {
-            let ai = a[i];
-            let row = &mut acc[i];
-            for j in 0..NR {
-                row[j] += ai * b[j];
+    } else {
+        for p in 0..k {
+            let col = p * cs;
+            let d = &mut ap[p * MR..(p + 1) * MR];
+            let (body, tail) = d.split_at_mut(im);
+            for (i, v) in body.iter_mut().enumerate() {
+                *v = data[(i0 + i) * rs + col];
             }
+            tail.fill(0.0);
         }
     }
 }
@@ -248,6 +268,11 @@ pub(crate) fn gemm(
         // element including the zero padding, so no re-zeroing is needed).
         // Tile edges only change *which* worker computes an element, never
         // its reduction order, so any split is bit-identical.
+        //
+        // The SIMD dispatch decision is hoisted here, once per gemm call,
+        // and threaded into the microkernel loop (the scalar and AVX2
+        // bodies are bit-identical — see `ops::simd`).
+        let path = simd::kernel_path();
         let packed_b = &*packed_b;
         par_rows_mut(out, m, n, MC, |rows, chunk| {
             A_SCRATCH.with(|apc| {
@@ -264,7 +289,13 @@ pub(crate) fn gemm(
                         let j0 = jp * NR;
                         let jn = NR.min(n - j0);
                         let mut acc = [[0.0f32; NR]; MR];
-                        microkernel(k, &ap, &packed_b[jp * k * NR..(jp + 1) * k * NR], &mut acc);
+                        simd::microkernel_with(
+                            path,
+                            k,
+                            &ap,
+                            &packed_b[jp * k * NR..(jp + 1) * k * NR],
+                            &mut acc,
+                        );
                         for (i, arow) in acc.iter().enumerate().take(im) {
                             let crow =
                                 &mut chunk[(i0 - r0 + i) * n + j0..(i0 - r0 + i) * n + j0 + jn];

@@ -10,6 +10,7 @@ mod matmul;
 mod pool;
 mod reduce;
 pub mod reference;
+pub mod simd;
 
 pub use conv::{
     col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, conv2d_into, conv_transpose2d,

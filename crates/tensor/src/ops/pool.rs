@@ -61,6 +61,22 @@ pub fn avg_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
         });
     }
     let inv = 1.0 / (k * k) as f32;
+    if k == 2 {
+        // The ubiquitous 2x2 case gets a row-sliced pass through the SIMD
+        // layer. Window summation order matches the generic loop below
+        // (dy-outer, dx-inner), so the two paths are bit-identical.
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for plane in 0..n * c {
+            for oy in 0..oh {
+                let r0 = &src[(plane * h + 2 * oy) * w..(plane * h + 2 * oy) * w + w];
+                let r1 = &src[(plane * h + 2 * oy + 1) * w..(plane * h + 2 * oy + 1) * w + w];
+                let o = &mut dst[(plane * oh + oy) * ow..(plane * oh + oy + 1) * ow];
+                super::simd::avg_pool_k2(r0, r1, o, inv);
+            }
+        }
+        return Ok(());
+    }
     for ni in 0..n {
         for ci in 0..c {
             for oy in 0..oh {
@@ -198,6 +214,22 @@ pub fn max_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
             lhs: out.shape().to_vec(),
             rhs: vec![n, c, oh, ow],
         });
+    }
+    if k == 2 {
+        // Row-sliced 2x2 fast path; the running `v > best` update visits
+        // the window in the same order as the generic loop, so winners
+        // (and NaN behaviour) are identical.
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for plane in 0..n * c {
+            for oy in 0..oh {
+                let r0 = &src[(plane * h + 2 * oy) * w..(plane * h + 2 * oy) * w + w];
+                let r1 = &src[(plane * h + 2 * oy + 1) * w..(plane * h + 2 * oy + 1) * w + w];
+                let o = &mut dst[(plane * oh + oy) * ow..(plane * oh + oy + 1) * ow];
+                super::simd::max_pool_k2(r0, r1, o);
+            }
+        }
+        return Ok(());
     }
     for ni in 0..n {
         for ci in 0..c {

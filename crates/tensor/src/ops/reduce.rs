@@ -105,16 +105,17 @@ pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
     data.copy_from_slice(x.as_slice());
     for r in 0..rows {
         let row = &mut data[r * cols..(r + 1) * cols];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let m = super::simd::row_max(row);
+        // The exp + running-sum pass is a single sequential dependency
+        // chain; vectorizing it would reassociate the sum and break the
+        // bit-exactness contract, so it stays scalar on every path.
         let mut z = 0.0;
         for v in row.iter_mut() {
             *v = (*v - m).exp();
             z += *v;
         }
         let inv = 1.0 / z;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
+        super::simd::scale_inplace(row, inv);
     }
     Ok(())
 }

@@ -1,0 +1,494 @@
+//! Runtime-dispatched SIMD kernels, bit-exact with their scalar twins.
+//!
+//! Every function here comes in two bodies: the always-compiled scalar
+//! reference in [`scalar`] and (on `x86_64`) an AVX2 variant selected at
+//! runtime via `is_x86_feature_detected!`. The dispatch decision is made
+//! **once per process** and cached, mirroring `LECA_THREADS` /
+//! [`crate::parallel::num_threads`]; the `LECA_SIMD` environment variable
+//! (`off` or `avx2`) pins either path for CI and debugging, and
+//! [`refresh_kernel_path`] is the in-process test hook.
+//!
+//! # Why the SIMD path is bit-identical
+//!
+//! The vector kernels only ever parallelize across **independent
+//! outputs** — the [`NR`] columns of the GEMM register tile, or disjoint
+//! elements of an elementwise map. Each output element still sees exactly
+//! the scalar sequence of IEEE-754 operations (same order, same
+//! intermediates, no FMA contraction: `_mm256_mul_ps` + `_mm256_add_ps`
+//! round identically to `a * b` then `+`), so every lane reproduces the
+//! scalar result bit for bit. Loops with a *sequential* dependence chain
+//! (the softmax `exp`/sum pass, f64 plane reductions) deliberately stay
+//! scalar — vectorizing them would reassociate the reduction and break the
+//! determinism goldens.
+//!
+//! The one documented wobble: an all-`±0.0` maximum tie in [`row_max`] may
+//! differ from `f32::max` in the *sign* of the returned zero (IEEE leaves
+//! it unspecified). Its only in-tree consumer, `softmax_rows`, erases the
+//! sign via `exp(x - m)`, so softmax outputs remain bit-identical.
+
+pub mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Microkernel tile height (output rows held in registers).
+pub const MR: usize = 8;
+/// Microkernel tile width (output columns held in registers; one AVX2
+/// `f32x8` vector).
+pub const NR: usize = 8;
+
+/// Which kernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable scalar kernels (always compiled, every target).
+    Scalar,
+    /// AVX2 vector kernels (`x86_64` with runtime-detected AVX2 only).
+    Avx2,
+}
+
+impl KernelPath {
+    /// Short lowercase name (`"scalar"` / `"avx2"`), e.g. for logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+        }
+    }
+}
+
+const PATH_UNSET: u8 = 0;
+const PATH_SCALAR: u8 = 1;
+const PATH_AVX2: u8 = 2;
+
+static CACHED: AtomicU8 = AtomicU8::new(PATH_UNSET);
+
+/// Returns the kernel path the process dispatches to.
+///
+/// Honors `LECA_SIMD=off` (or `scalar`/`0`) to force the scalar path and
+/// `LECA_SIMD=avx2` to request AVX2; a request for an unavailable feature
+/// falls back to scalar rather than erroring, so the same invocation works
+/// on any host. Unset (or unrecognized) means auto-detect.
+///
+/// # Semantics
+///
+/// Computed **once per process** on first use and cached — later env
+/// changes are ignored (same contract as [`crate::parallel::num_threads`]).
+/// Tests that flip paths within one process must call
+/// [`refresh_kernel_path`] after changing the variable.
+pub fn kernel_path() -> KernelPath {
+    match CACHED.load(Ordering::Relaxed) {
+        PATH_SCALAR => KernelPath::Scalar,
+        PATH_AVX2 => KernelPath::Avx2,
+        _ => refresh_kernel_path(),
+    }
+}
+
+/// Re-reads `LECA_SIMD`, replaces the cached dispatch decision and returns
+/// the new path — the test hook for the once-per-process caching of
+/// [`kernel_path`] (the parity and determinism suites flip `off`/`avx2`
+/// inside one process).
+pub fn refresh_kernel_path() -> KernelPath {
+    let p = read_simd_env();
+    let code = match p {
+        KernelPath::Scalar => PATH_SCALAR,
+        KernelPath::Avx2 => PATH_AVX2,
+    };
+    CACHED.store(code, Ordering::Relaxed);
+    p
+}
+
+fn read_simd_env() -> KernelPath {
+    match std::env::var("LECA_SIMD").ok().as_deref() {
+        Some("off") | Some("scalar") | Some("0") => KernelPath::Scalar,
+        // Requesting a feature the host lacks degrades to scalar (the
+        // fallback is bit-identical, so this is a perf choice, not an
+        // error).
+        _ => {
+            if avx2_available() {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Scalar
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Dispatches `$name($($arg),*)` to the AVX2 or scalar body for `$path`.
+///
+/// On non-x86 targets the `Avx2` arm is compiled out and every call lands
+/// on the scalar body ([`kernel_path`] never returns `Avx2` there, but the
+/// arm must still typecheck), so there are no `cfg` holes.
+macro_rules! dispatch {
+    ($path:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
+        match $path {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2` is only ever cached after
+            // `is_x86_feature_detected!("avx2")` succeeded on this host.
+            KernelPath::Avx2 => unsafe { avx2::$name($($arg),*) },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelPath::Avx2 => scalar::$name($($arg),*),
+            KernelPath::Scalar => scalar::$name($($arg),*),
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// GEMM microkernel
+// ---------------------------------------------------------------------
+
+/// `MR x NR` register-tile update `acc += A_tile · B_panel` on an explicit
+/// path — the GEMM driver hoists [`kernel_path`] out of its tile loops and
+/// passes it here.
+///
+/// `ap`/`bp` are the packed operands (`ap[p * MR + i]`, `bp[p * NR + j]`
+/// for `p < k`).
+///
+/// # Panics
+///
+/// Panics when a packed operand is shorter than `k` tiles.
+#[inline]
+pub fn microkernel_with(
+    path: KernelPath,
+    k: usize,
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    assert!(ap.len() >= k * MR, "packed A shorter than k tiles");
+    assert!(bp.len() >= k * NR, "packed B shorter than k panels");
+    dispatch!(path, microkernel(k, ap, bp, acc))
+}
+
+/// [`microkernel_with`] on the process-wide [`kernel_path`].
+#[inline]
+pub fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    microkernel_with(kernel_path(), k, ap, bp, acc)
+}
+
+// ---------------------------------------------------------------------
+// Elementwise passes (lane-parallel over independent elements)
+// ---------------------------------------------------------------------
+
+fn check_pair(op: &'static str, a: usize, b: usize) {
+    assert_eq!(a, b, "{op}: slice length mismatch");
+}
+
+/// `out[i] = a[i] + b[i]`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_pair("simd::add", a.len(), b.len());
+    check_pair("simd::add", a.len(), out.len());
+    dispatch!(kernel_path(), add(a, b, out))
+}
+
+/// `out[i] = a[i] - b[i]`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_pair("simd::sub", a.len(), b.len());
+    check_pair("simd::sub", a.len(), out.len());
+    dispatch!(kernel_path(), sub(a, b, out))
+}
+
+/// `out[i] = a[i] * b[i]`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    check_pair("simd::mul", a.len(), b.len());
+    check_pair("simd::mul", a.len(), out.len());
+    dispatch!(kernel_path(), mul(a, b, out))
+}
+
+/// `dst[i] += src[i]`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    check_pair("simd::add_assign", dst.len(), src.len());
+    dispatch!(kernel_path(), add_assign(dst, src))
+}
+
+/// `dst[i] += s * src[i]` (axpy; `s * src` first, matching the scalar
+/// `add_scaled`).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
+    check_pair("simd::axpy", dst.len(), src.len());
+    dispatch!(kernel_path(), axpy(dst, src, s))
+}
+
+/// `out[i] = src[i] * s`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn scale(src: &[f32], s: f32, out: &mut [f32]) {
+    check_pair("simd::scale", src.len(), out.len());
+    dispatch!(kernel_path(), scale(src, s, out))
+}
+
+/// `dst[i] *= s` in place (the softmax normalize pass).
+pub fn scale_inplace(dst: &mut [f32], s: f32) {
+    dispatch!(kernel_path(), scale_inplace(dst, s))
+}
+
+/// `out[i] = src[i] + s`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn add_scalar(src: &[f32], s: f32, out: &mut [f32]) {
+    check_pair("simd::add_scalar", src.len(), out.len());
+    dispatch!(kernel_path(), add_scalar(src, s, out))
+}
+
+/// `dst[i] += s` in place (the convolution bias pass).
+pub fn add_scalar_inplace(dst: &mut [f32], s: f32) {
+    dispatch!(kernel_path(), add_scalar_inplace(dst, s))
+}
+
+/// `out[i] = src[i].clamp(lo, hi)` with `f32::clamp` semantics (NaN
+/// propagates; equal-zero ties keep the input's sign).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ or `lo > hi` / either bound is NaN
+/// (matching `f32::clamp`).
+pub fn clamp(src: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
+    check_pair("simd::clamp", src.len(), out.len());
+    assert!(lo <= hi, "simd::clamp: lo > hi (or NaN bound)");
+    dispatch!(kernel_path(), clamp(src, lo, hi, out))
+}
+
+/// NaN-preserving ReLU: `out[i] = src[i]` when `src[i] > 0` **or is NaN**,
+/// else `0.0` — a poisoned activation must stay poisoned (the trainer's
+/// divergence detector relies on it).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn relu(src: &[f32], out: &mut [f32]) {
+    check_pair("simd::relu", src.len(), out.len());
+    dispatch!(kernel_path(), relu(src, out))
+}
+
+/// In-place [`relu`].
+pub fn relu_inplace(dst: &mut [f32]) {
+    dispatch!(kernel_path(), relu_inplace(dst))
+}
+
+/// Leaky ReLU: `out[i] = src[i]` when `src[i] > 0`, else `a * src[i]`
+/// (NaN falls through to `a * NaN = NaN`).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn leaky_relu(src: &[f32], a: f32, out: &mut [f32]) {
+    check_pair("simd::leaky_relu", src.len(), out.len());
+    dispatch!(kernel_path(), leaky_relu(src, a, out))
+}
+
+/// In-place [`leaky_relu`].
+pub fn leaky_relu_inplace(dst: &mut [f32], a: f32) {
+    dispatch!(kernel_path(), leaky_relu_inplace(dst, a))
+}
+
+/// Writes the activation mask: `mask[i] = 1.0` when `src[i] > 0.0`, else
+/// `0.0` (NaN counts as not-positive, matching the `v > 0.0` bool mask the
+/// activations historically collected).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn relu_mask(src: &[f32], mask: &mut [f32]) {
+    check_pair("simd::relu_mask", src.len(), mask.len());
+    dispatch!(kernel_path(), relu_mask(src, mask))
+}
+
+/// Masked ReLU backward: `out[i] = g[i]` where `mask[i] != 0.0`, else
+/// `0.0`. A **select**, not `g * mask` — a NaN gradient at a masked-off
+/// position must become exactly `0.0`, not NaN.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn relu_backward(mask: &[f32], g: &[f32], out: &mut [f32]) {
+    check_pair("simd::relu_backward", mask.len(), g.len());
+    check_pair("simd::relu_backward", mask.len(), out.len());
+    dispatch!(kernel_path(), relu_backward(mask, g, out))
+}
+
+/// Masked leaky-ReLU backward: `out[i] = g[i]` where `mask[i] != 0.0`,
+/// else `g[i] * a` (select + scaled pass-through, same NaN discipline as
+/// [`relu_backward`]).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn leaky_relu_backward(mask: &[f32], g: &[f32], a: f32, out: &mut [f32]) {
+    check_pair("simd::leaky_relu_backward", mask.len(), g.len());
+    check_pair("simd::leaky_relu_backward", mask.len(), out.len());
+    dispatch!(kernel_path(), leaky_relu_backward(mask, g, a, out))
+}
+
+/// BatchNorm affine pass: `out[i] = g * ((src[i] - mean) * inv_std) + b`,
+/// exactly that operation sequence (sub, mul, mul, add — no fusing, no
+/// precomputed `g * inv_std`, which would round differently).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    check_pair("simd::bn_affine", src.len(), out.len());
+    dispatch!(kernel_path(), bn_affine(src, out, mean, inv_std, g, b))
+}
+
+/// NaN-skipping maximum (`f32::max` fold semantics): NaN elements are
+/// ignored; an empty or all-NaN slice yields `f32::NEG_INFINITY`. The
+/// softmax row-max pass.
+///
+/// An all-`±0.0` tie may return either zero sign (see module docs).
+pub fn row_max(xs: &[f32]) -> f32 {
+    dispatch!(kernel_path(), row_max(xs))
+}
+
+/// Fused 2x2 average-pool row pass over two input rows: `out[j]` is the
+/// in-order window sum `((r0[2j] + r0[2j+1]) + r1[2j]) + r1[2j+1]` times
+/// `inv`.
+///
+/// # Panics
+///
+/// Panics unless `r0.len() == r1.len() == 2 * out.len()`.
+pub fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
+    check_pair("simd::avg_pool_k2", r0.len(), r1.len());
+    check_pair("simd::avg_pool_k2", r0.len(), out.len() * 2);
+    dispatch!(kernel_path(), avg_pool_k2(r0, r1, out, inv))
+}
+
+/// Fused 2x2 max-pool row pass: `out[j]` is the running `if v > best`
+/// maximum over `r0[2j], r0[2j+1], r1[2j], r1[2j+1]` starting from
+/// `NEG_INFINITY` (NaN never wins, matching the scalar comparison).
+///
+/// # Panics
+///
+/// Panics unless `r0.len() == r1.len() == 2 * out.len()`.
+pub fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {
+    check_pair("simd::max_pool_k2", r0.len(), r1.len());
+    check_pair("simd::max_pool_k2", r0.len(), out.len() * 2);
+    dispatch!(kernel_path(), max_pool_k2(r0, r1, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `LECA_SIMD` is process-global state; serialize the tests that flip it.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_simd_env<T>(value: Option<&str>, body: impl FnOnce() -> T) -> T {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old = std::env::var("LECA_SIMD").ok();
+        match value {
+            Some(v) => std::env::set_var("LECA_SIMD", v),
+            None => std::env::remove_var("LECA_SIMD"),
+        }
+        refresh_kernel_path();
+        let out = body();
+        match old {
+            Some(v) => std::env::set_var("LECA_SIMD", v),
+            None => std::env::remove_var("LECA_SIMD"),
+        }
+        refresh_kernel_path();
+        out
+    }
+
+    #[test]
+    fn off_forces_scalar() {
+        with_simd_env(Some("off"), || {
+            assert_eq!(kernel_path(), KernelPath::Scalar);
+            assert_eq!(kernel_path().name(), "scalar");
+        });
+        with_simd_env(Some("scalar"), || {
+            assert_eq!(kernel_path(), KernelPath::Scalar);
+        });
+        with_simd_env(Some("0"), || {
+            assert_eq!(kernel_path(), KernelPath::Scalar);
+        });
+    }
+
+    #[test]
+    fn avx2_honored_only_when_available() {
+        with_simd_env(Some("avx2"), || {
+            let expect = if avx2_available() {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Scalar
+            };
+            assert_eq!(kernel_path(), expect);
+        });
+    }
+
+    #[test]
+    fn unset_auto_detects() {
+        with_simd_env(None, || {
+            let expect = if avx2_available() {
+                KernelPath::Avx2
+            } else {
+                KernelPath::Scalar
+            };
+            assert_eq!(kernel_path(), expect);
+        });
+    }
+
+    #[test]
+    fn cached_until_refreshed() {
+        with_simd_env(Some("off"), || {
+            assert_eq!(kernel_path(), KernelPath::Scalar);
+            // A bare env change must NOT be visible...
+            std::env::set_var("LECA_SIMD", "avx2");
+            assert_eq!(kernel_path(), KernelPath::Scalar);
+            // ...until refreshed.
+            let refreshed = refresh_kernel_path();
+            assert_eq!(kernel_path(), refreshed);
+            std::env::set_var("LECA_SIMD", "off");
+            refresh_kernel_path();
+        });
+    }
+
+    #[test]
+    fn wrappers_check_lengths() {
+        let a = [1.0f32; 4];
+        let b = [2.0f32; 4];
+        let mut out = [0.0f32; 4];
+        add(&a, &b, &mut out);
+        assert_eq!(out, [3.0; 4]);
+        let r = std::panic::catch_unwind(|| {
+            let mut short = [0.0f32; 3];
+            add(&a, &b, &mut short);
+        });
+        assert!(r.is_err(), "length mismatch must panic");
+    }
+}

@@ -1,0 +1,210 @@
+//! Scalar reference bodies for every SIMD kernel.
+//!
+//! These are the *semantic definitions*: the AVX2 bodies in the sibling
+//! module must reproduce them bit for bit (the parity proptests in
+//! `crates/tensor/tests/simd_parity.rs` enforce it), and non-x86 targets
+//! run them exclusively. They also serve as the tail handlers for the
+//! vector bodies' sub-lane remainders, so keep them branch-for-branch
+//! identical to the documented semantics in the parent module.
+
+use super::{MR, NR};
+
+/// Scalar `MR x NR` register-tile update: one rank-1 update per k step,
+/// each accumulator fed by a single in-order chain (no `mul_add`).
+#[inline]
+pub fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for p in 0..k {
+        let a: &[f32; MR] = ap[p * MR..(p + 1) * MR].try_into().unwrap();
+        let b: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().unwrap();
+        for i in 0..MR {
+            let ai = a[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += ai * b[j];
+            }
+        }
+    }
+}
+
+/// `out[i] = a[i] + b[i]`.
+#[inline]
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] = a[i] - b[i]`.
+#[inline]
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `out[i] = a[i] * b[i]`.
+#[inline]
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// `dst[i] += src[i]`.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `dst[i] += s * src[i]` (`s * src` first, the historical `add_scaled`
+/// order).
+#[inline]
+pub fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d += s * x;
+    }
+}
+
+/// `out[i] = src[i] * s`.
+#[inline]
+pub fn scale(src: &[f32], s: f32, out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = x * s;
+    }
+}
+
+/// `dst[i] *= s`.
+#[inline]
+pub fn scale_inplace(dst: &mut [f32], s: f32) {
+    for d in dst.iter_mut() {
+        *d *= s;
+    }
+}
+
+/// `out[i] = src[i] + s`.
+#[inline]
+pub fn add_scalar(src: &[f32], s: f32, out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = x + s;
+    }
+}
+
+/// `dst[i] += s`.
+#[inline]
+pub fn add_scalar_inplace(dst: &mut [f32], s: f32) {
+    for d in dst.iter_mut() {
+        *d += s;
+    }
+}
+
+/// `out[i] = src[i].clamp(lo, hi)`.
+#[inline]
+pub fn clamp(src: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = x.clamp(lo, hi);
+    }
+}
+
+/// NaN-preserving ReLU (see the parent module's semantics note).
+#[inline]
+pub fn relu(src: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = if v > 0.0 || v.is_nan() { v } else { 0.0 };
+    }
+}
+
+/// In-place [`relu`].
+#[inline]
+pub fn relu_inplace(dst: &mut [f32]) {
+    for v in dst.iter_mut() {
+        if !(*v > 0.0 || v.is_nan()) {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Leaky ReLU: `v > 0 ? v : a * v`.
+#[inline]
+pub fn leaky_relu(src: &[f32], a: f32, out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = if v > 0.0 { v } else { a * v };
+    }
+}
+
+/// In-place [`leaky_relu`].
+#[inline]
+pub fn leaky_relu_inplace(dst: &mut [f32], a: f32) {
+    for v in dst.iter_mut() {
+        let x = *v;
+        // `x <= 0.0 || x.is_nan()` is exactly `!(x > 0.0)`: NaN takes the
+        // scaled branch and propagates, matching [`leaky_relu`].
+        if x <= 0.0 || x.is_nan() {
+            *v = a * x;
+        }
+    }
+}
+
+/// `mask[i] = 1.0` where `src[i] > 0.0`, else `0.0`.
+#[inline]
+pub fn relu_mask(src: &[f32], mask: &mut [f32]) {
+    for (m, &v) in mask.iter_mut().zip(src) {
+        *m = if v > 0.0 { 1.0 } else { 0.0 };
+    }
+}
+
+/// `out[i] = mask[i] != 0 ? g[i] : 0.0` (select, never `g * mask`).
+#[inline]
+pub fn relu_backward(mask: &[f32], g: &[f32], out: &mut [f32]) {
+    for ((o, &m), &gv) in out.iter_mut().zip(mask).zip(g) {
+        *o = if m != 0.0 { gv } else { 0.0 };
+    }
+}
+
+/// `out[i] = mask[i] != 0 ? g[i] : g[i] * a`.
+#[inline]
+pub fn leaky_relu_backward(mask: &[f32], g: &[f32], a: f32, out: &mut [f32]) {
+    for ((o, &m), &gv) in out.iter_mut().zip(mask).zip(g) {
+        *o = if m != 0.0 { gv } else { gv * a };
+    }
+}
+
+/// `out[i] = g * ((src[i] - mean) * inv_std) + b`, exactly that sequence.
+#[inline]
+pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        let xh = (x - mean) * inv_std;
+        *o = g * xh + b;
+    }
+}
+
+/// `f32::max` fold from `NEG_INFINITY` (NaN operands are skipped).
+#[inline]
+pub fn row_max(xs: &[f32]) -> f32 {
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// 2x2 average-pool row pass; see the parent module for the summation
+/// order contract.
+#[inline]
+pub fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let acc = ((r0[2 * j] + r0[2 * j + 1]) + r1[2 * j]) + r1[2 * j + 1];
+        *o = acc * inv;
+    }
+}
+
+/// 2x2 max-pool row pass: running `if v > best` in window order.
+#[inline]
+pub fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut best = f32::NEG_INFINITY;
+        for &v in &[r0[2 * j], r0[2 * j + 1], r1[2 * j], r1[2 * j + 1]] {
+            if v > best {
+                best = v;
+            }
+        }
+        *o = best;
+    }
+}

@@ -371,13 +371,36 @@ impl Tensor {
         })
     }
 
+    /// Checks shape equality and hands both buffers plus a fresh output
+    /// buffer to a (SIMD-dispatched) slice kernel.
+    fn binary_kernel(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: fn(&[f32], &[f32], &mut [f32]),
+    ) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let mut data = vec![0.0f32; self.data.len()];
+        f(&self.data, &other.data, &mut data);
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
     /// Elementwise sum. See [`Tensor::zip_map`] for error behaviour.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a + b)
+        self.binary_kernel(other, "zip_map", crate::ops::simd::add)
     }
 
     /// Elementwise difference.
@@ -386,7 +409,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a - b)
+        self.binary_kernel(other, "zip_map", crate::ops::simd::sub)
     }
 
     /// Elementwise product (Hadamard).
@@ -395,7 +418,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a * b)
+        self.binary_kernel(other, "zip_map", crate::ops::simd::mul)
     }
 
     /// Accumulates `other` into `self` (`self += other`), in place.
@@ -411,9 +434,7 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::ops::simd::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
@@ -430,25 +451,29 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        crate::ops::simd::axpy(&mut self.data, &other.data, scale);
         Ok(())
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|x| x + s)
+        let mut out = self.clone();
+        crate::ops::simd::add_scalar_inplace(&mut out.data, s);
+        out
     }
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        let mut out = self.clone();
+        crate::ops::simd::scale_inplace(&mut out.data, s);
+        out
     }
 
     /// Clamps every element to `[lo, hi]`.
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
-        self.map(|x| x.clamp(lo, hi))
+        let mut out = Tensor::zeros(self.shape());
+        crate::ops::simd::clamp(&self.data, lo, hi, &mut out.data);
+        out
     }
 
     /// Fills the tensor with a constant.
@@ -515,7 +540,27 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn add_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.zip_map_into(other, |a, b| a + b, out)
+        self.binary_kernel_into(other, out, crate::ops::simd::add)
+    }
+
+    /// Shape checks shared by the `_into` binary twins, then a
+    /// (SIMD-dispatched) slice kernel into `out`'s buffer.
+    fn binary_kernel_into(
+        &self,
+        other: &Tensor,
+        out: &mut Tensor,
+        f: fn(&[f32], &[f32], &mut [f32]),
+    ) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map_into",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        self.check_out("zip_map_into", out)?;
+        f(&self.data, &other.data, &mut out.data);
+        Ok(())
     }
 
     /// [`Tensor::sub`] writing into `out`.
@@ -524,7 +569,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.zip_map_into(other, |a, b| a - b, out)
+        self.binary_kernel_into(other, out, crate::ops::simd::sub)
     }
 
     /// [`Tensor::mul`] writing into `out`.
@@ -533,7 +578,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.zip_map_into(other, |a, b| a * b, out)
+        self.binary_kernel_into(other, out, crate::ops::simd::mul)
     }
 
     /// [`Tensor::scale`] writing into `out`.
@@ -542,7 +587,9 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
     pub fn scale_into(&self, s: f32, out: &mut Tensor) -> Result<()> {
-        self.map_into(|x| x * s, out)
+        self.check_out("map_into", out)?;
+        crate::ops::simd::scale(&self.data, s, &mut out.data);
+        Ok(())
     }
 
     /// [`Tensor::clamp`] writing into `out`.
@@ -551,7 +598,9 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
     pub fn clamp_into(&self, lo: f32, hi: f32, out: &mut Tensor) -> Result<()> {
-        self.map_into(|x| x.clamp(lo, hi), out)
+        self.check_out("map_into", out)?;
+        crate::ops::simd::clamp(&self.data, lo, hi, &mut out.data);
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,353 @@
+//! Bit-exactness parity suite: every dispatched SIMD kernel vs its scalar
+//! twin.
+//!
+//! Each case computes the scalar reference via `ops::simd::scalar::*`
+//! directly, then the dispatched wrapper under `LECA_SIMD=avx2`, and
+//! asserts **bitwise** equality (`f32::to_bits`, so NaN payloads count
+//! too). Inputs are NaN-poisoned and lengths deliberately straddle the
+//! 8-lane AVX2 width so both the vector body and the scalar tail are
+//! exercised. On hosts without AVX2 the forced path degrades to scalar
+//! and every assertion holds trivially — the suite stays portable.
+
+use leca_tensor::ops::simd::{self, scalar, MR, NR};
+use leca_tensor::ops::{avg_pool2d_into, matmul, max_pool2d_into, softmax_rows};
+use leca_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `LECA_SIMD` is process-global; serialize every test that flips it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` with the AVX2 path requested (auto-degrading to scalar on
+/// hosts without it), restoring the previous dispatch state afterwards.
+fn with_avx2<T>(body: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = std::env::var("LECA_SIMD").ok();
+    std::env::set_var("LECA_SIMD", "avx2");
+    simd::refresh_kernel_path();
+    let out = body();
+    match old {
+        Some(v) => std::env::set_var("LECA_SIMD", v),
+        None => std::env::remove_var("LECA_SIMD"),
+    }
+    simd::refresh_kernel_path();
+    out
+}
+
+/// Lengths below, at and straddling the 8-lane width, plus empty and a
+/// multi-vector ragged tail.
+const EDGE_LENS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 33];
+
+fn pick_len(sel: usize) -> usize {
+    if sel < EDGE_LENS.len() {
+        EDGE_LENS[sel]
+    } else {
+        sel - EDGE_LENS.len() + 1
+    }
+}
+
+const LEN_SEL: std::ops::Range<usize> = 0..(10 + 64);
+
+/// Poisons roughly half the elements with NaN, keyed off `seed` bits.
+fn nanify(v: &mut [f32], seed: u64) {
+    for (i, x) in v.iter_mut().enumerate() {
+        if (seed >> (i % 64)) & 1 == 1 {
+            *x = f32::NAN;
+        }
+    }
+}
+
+fn gen_vec(len: usize, seed: u64, nan_seed: u64) -> Vec<f32> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = Tensor::rand_uniform(&[len.max(1)], -3.0, 3.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    v.truncate(len);
+    nanify(&mut v, nan_seed);
+    v
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits(),
+            "lane {}: dispatched {} vs scalar {}",
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_ops_match_scalar(
+        lsel in LEN_SEL,
+        seed in 0u64..u64::MAX,
+        nan_a in 0u64..u64::MAX,
+        nan_b in 0u64..u64::MAX,
+    ) {
+        let len = pick_len(lsel);
+        let a = gen_vec(len, seed, nan_a);
+        let b = gen_vec(len, seed ^ 0x5eed, nan_b);
+        let mut want = vec![0.0f32; len];
+        let mut got = vec![0.0f32; len];
+        with_avx2(|| -> Result<(), TestCaseError> {
+            scalar::add(&a, &b, &mut want);
+            simd::add(&a, &b, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::sub(&a, &b, &mut want);
+            simd::sub(&a, &b, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::mul(&a, &b, &mut want);
+            simd::mul(&a, &b, &mut got);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::add_assign(&mut want, &b);
+            simd::add_assign(&mut got, &b);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::axpy(&mut want, &b, 0.37);
+            simd::axpy(&mut got, &b, 0.37);
+            assert_bits_eq(&got, &want)?;
+
+            scalar::relu_backward(&a, &b, &mut want);
+            simd::relu_backward(&a, &b, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::leaky_relu_backward(&a, &b, 0.1, &mut want);
+            simd::leaky_relu_backward(&a, &b, 0.1, &mut got);
+            assert_bits_eq(&got, &want)
+        })?;
+    }
+
+    #[test]
+    fn unary_ops_match_scalar(
+        lsel in LEN_SEL,
+        seed in 0u64..u64::MAX,
+        nan_seed in 0u64..u64::MAX,
+        s in -4.0f32..4.0,
+    ) {
+        let len = pick_len(lsel);
+        let a = gen_vec(len, seed, nan_seed);
+        let mut want = vec![0.0f32; len];
+        let mut got = vec![0.0f32; len];
+        with_avx2(|| -> Result<(), TestCaseError> {
+            scalar::scale(&a, s, &mut want);
+            simd::scale(&a, s, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::add_scalar(&a, s, &mut want);
+            simd::add_scalar(&a, s, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::clamp(&a, -1.25, 2.5, &mut want);
+            simd::clamp(&a, -1.25, 2.5, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::relu(&a, &mut want);
+            simd::relu(&a, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::leaky_relu(&a, 0.2, &mut want);
+            simd::leaky_relu(&a, 0.2, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::relu_mask(&a, &mut want);
+            simd::relu_mask(&a, &mut got);
+            assert_bits_eq(&got, &want)?;
+            scalar::bn_affine(&a, &mut want, 0.3, 1.7, 0.9, -0.2);
+            simd::bn_affine(&a, &mut got, 0.3, 1.7, 0.9, -0.2);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::scale_inplace(&mut want, s);
+            simd::scale_inplace(&mut got, s);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::add_scalar_inplace(&mut want, s);
+            simd::add_scalar_inplace(&mut got, s);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::relu_inplace(&mut want);
+            simd::relu_inplace(&mut got);
+            assert_bits_eq(&got, &want)?;
+
+            want.copy_from_slice(&a);
+            got.copy_from_slice(&a);
+            scalar::leaky_relu_inplace(&mut want, 0.2);
+            simd::leaky_relu_inplace(&mut got, 0.2);
+            assert_bits_eq(&got, &want)
+        })?;
+    }
+
+    #[test]
+    fn row_max_matches_scalar(
+        lsel in LEN_SEL,
+        seed in 0u64..u64::MAX,
+        nan_seed in 0u64..u64::MAX,
+    ) {
+        // Uniform sampling never produces -0.0, so the documented
+        // sign-of-zero tie wobble cannot fire here; softmax parity below
+        // covers the consumer end-to-end regardless.
+        let a = gen_vec(pick_len(lsel), seed, nan_seed);
+        let (want, got) = with_avx2(|| (scalar::row_max(&a), simd::row_max(&a)));
+        prop_assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn pool_rows_match_scalar(
+        osel in 0usize..24,
+        seed in 0u64..u64::MAX,
+        nan_seed in 0u64..u64::MAX,
+    ) {
+        let out_len = pick_len(osel % EDGE_LENS.len()).min(16) + osel / EDGE_LENS.len();
+        let r0 = gen_vec(2 * out_len, seed, nan_seed);
+        let r1 = gen_vec(2 * out_len, seed ^ 0xabcd, nan_seed.rotate_left(13));
+        let mut want = vec![0.0f32; out_len];
+        let mut got = vec![0.0f32; out_len];
+        with_avx2(|| -> Result<(), TestCaseError> {
+            scalar::avg_pool_k2(&r0, &r1, &mut want, 0.25);
+            simd::avg_pool_k2(&r0, &r1, &mut got, 0.25);
+            assert_bits_eq(&got, &want)?;
+            scalar::max_pool_k2(&r0, &r1, &mut want);
+            simd::max_pool_k2(&r0, &r1, &mut got);
+            assert_bits_eq(&got, &want)
+        })?;
+    }
+
+    #[test]
+    fn microkernel_matches_scalar(
+        k in 0usize..40,
+        seed in 0u64..u64::MAX,
+        nan_seed in 0u64..u64::MAX,
+    ) {
+        let ap = gen_vec(k * MR, seed, nan_seed);
+        let bp = gen_vec(k * NR, seed ^ 0x0b, nan_seed.rotate_left(29));
+        let mut want = [[0.1f32; NR]; MR];
+        let mut got = [[0.1f32; NR]; MR];
+        with_avx2(|| {
+            scalar::microkernel(k, &ap, &bp, &mut want);
+            simd::microkernel(k, &ap, &bp, &mut got);
+        });
+        for (gr, wr) in got.iter().zip(&want) {
+            assert_bits_eq(gr, wr)?;
+        }
+    }
+
+    #[test]
+    fn gemm_bitwise_identical_across_paths(
+        msel in 0usize..14,
+        nsel in 0usize..14,
+        ksel in 0usize..14,
+        seed in 0u64..u64::MAX,
+    ) {
+        // End-to-end: the full blocked GEMM must produce byte-identical
+        // outputs whichever kernel path is live.
+        use rand::SeedableRng;
+        let (m, n, k) = (pick_len(msel) + 1, pick_len(nsel) + 1, pick_len(ksel) + 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+        let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+        let on_avx2 = with_avx2(|| matmul(&a, &b).unwrap());
+        let on_scalar = {
+            let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let old = std::env::var("LECA_SIMD").ok();
+            std::env::set_var("LECA_SIMD", "off");
+            simd::refresh_kernel_path();
+            let y = matmul(&a, &b).unwrap();
+            match old {
+                Some(v) => std::env::set_var("LECA_SIMD", v),
+                None => std::env::remove_var("LECA_SIMD"),
+            }
+            simd::refresh_kernel_path();
+            y
+        };
+        assert_bits_eq(on_avx2.as_slice(), on_scalar.as_slice())?;
+    }
+
+    #[test]
+    fn softmax_and_pools_bitwise_identical_across_paths(
+        rows in 1usize..6,
+        csel in 0usize..14,
+        seed in 0u64..u64::MAX,
+    ) {
+        use rand::SeedableRng;
+        let cols = pick_len(csel) + 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&[rows, cols], -6.0, 6.0, &mut rng);
+        let img = Tensor::rand_uniform(&[2, 3, 8, 10], -2.0, 2.0, &mut rng);
+        let run = || {
+            let s = softmax_rows(&x).unwrap();
+            let mut avg = Tensor::zeros(&[2, 3, 4, 5]);
+            avg_pool2d_into(&img, 2, &mut avg).unwrap();
+            let mut mx = Tensor::zeros(&[2, 3, 4, 5]);
+            max_pool2d_into(&img, 2, &mut mx).unwrap();
+            (s, avg, mx)
+        };
+        let on_avx2 = with_avx2(run);
+        let on_scalar = {
+            let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let old = std::env::var("LECA_SIMD").ok();
+            std::env::set_var("LECA_SIMD", "off");
+            simd::refresh_kernel_path();
+            let y = run();
+            match old {
+                Some(v) => std::env::set_var("LECA_SIMD", v),
+                None => std::env::remove_var("LECA_SIMD"),
+            }
+            simd::refresh_kernel_path();
+            y
+        };
+        assert_bits_eq(on_avx2.0.as_slice(), on_scalar.0.as_slice())?;
+        assert_bits_eq(on_avx2.1.as_slice(), on_scalar.1.as_slice())?;
+        assert_bits_eq(on_avx2.2.as_slice(), on_scalar.2.as_slice())?;
+    }
+}
+
+/// Deterministic spot checks at the exact lane boundary, including the
+/// poisoned-gradient select semantics the trainer depends on.
+#[test]
+fn lane_boundary_and_nan_semantics() {
+    with_avx2(|| {
+        for len in [7usize, 8, 9] {
+            let mut src = vec![0.0f32; len];
+            for (i, v) in src.iter_mut().enumerate() {
+                *v = (i as f32 - 3.5) * 0.5;
+            }
+            src[len / 2] = f32::NAN;
+            let mut out = vec![0.0f32; len];
+            simd::relu(&src, &mut out);
+            let mut want = vec![0.0f32; len];
+            scalar::relu(&src, &mut want);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            // NaN survives the forward pass (never laundered to zero).
+            assert!(out[len / 2].is_nan());
+        }
+
+        // A NaN gradient at a masked-off position becomes exactly 0.0:
+        // the backward is a select, not `g * mask`.
+        let mask = [0.0f32, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let g = [f32::NAN; 9];
+        let mut out = [7.0f32; 9];
+        simd::relu_backward(&mask, &g, &mut out);
+        for (i, v) in out.iter().enumerate() {
+            if mask[i] == 0.0 {
+                assert_eq!(v.to_bits(), 0.0f32.to_bits());
+            } else {
+                assert!(v.is_nan());
+            }
+        }
+    });
+}

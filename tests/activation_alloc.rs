@@ -1,0 +1,100 @@
+//! Allocation lockdown for **training-mode** activations.
+//!
+//! The ReLU family historically collected a fresh `Vec<bool>` mask on
+//! every training forward; the masks are now pooled `1.0/0.0` tensors
+//! checked out of the workspace, so a warm `forward_ws(Train)` must not
+//! touch the heap at all. Same counting-allocator setup as
+//! `alloc_regression.rs`, and the same rule: exactly one `#[test]` in
+//! this file so no concurrent test pollutes the counters.
+
+use leca::nn::layers::{LeakyRelu, Relu};
+use leca::nn::{Layer, Mode};
+use leca::tensor::parallel::refresh_num_threads;
+use leca::tensor::{Tensor, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn train_mode_activation_forward_makes_no_steady_state_allocations() {
+    std::env::set_var("LECA_THREADS", "1");
+    refresh_num_threads();
+
+    let ws = Workspace::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::rand_uniform(&[4, 64], -1.0, 1.0, &mut rng);
+    let g = Tensor::rand_uniform(&[4, 64], -1.0, 1.0, &mut rng);
+
+    let mut relu = Relu::new();
+    let mut leaky = LeakyRelu::new(0.1);
+
+    // Warm-up with the exact steady-state checkout pattern (both layers'
+    // masks and outputs live at once, so the pool grows to the true peak),
+    // pinning the reference gradients for the correctness check below.
+    let mut expect = None;
+    for _ in 0..3 {
+        let y = relu.forward_ws(&x, Mode::Train, &ws).unwrap();
+        let z = leaky.forward_ws(&x, Mode::Train, &ws).unwrap();
+        drop((y, z));
+        let gr = relu.backward(&g).unwrap();
+        let gl = leaky.backward(&g).unwrap();
+        expect = Some((gr, gl));
+    }
+    let (expect_relu, expect_leaky) = expect.unwrap();
+
+    // Steady state: count heap traffic of the training forwards only (the
+    // backward still returns a freshly allocated gradient tensor by API).
+    const ITERS: usize = 10;
+    let mut forward_allocs = 0;
+    for _ in 0..ITERS {
+        let before = alloc_count();
+        let y = relu.forward_ws(&x, Mode::Train, &ws).unwrap();
+        let z = leaky.forward_ws(&x, Mode::Train, &ws).unwrap();
+        forward_allocs += alloc_count() - before;
+        drop((y, z));
+        let gr = relu.backward(&g).unwrap();
+        let gl = leaky.backward(&g).unwrap();
+        assert_eq!(gr.as_slice(), expect_relu.as_slice());
+        assert_eq!(gl.as_slice(), expect_leaky.as_slice());
+    }
+    assert_eq!(
+        forward_allocs, 0,
+        "warm train-mode activation forwards must not allocate \
+         ({forward_allocs} allocations across {ITERS} iterations)"
+    );
+}

@@ -22,6 +22,7 @@ use leca::core::pipeline::LecaPipeline;
 use leca::nn::backbone::tiny_cnn;
 use leca::nn::optim::Adam;
 use leca::nn::{Layer, Mode};
+use leca::tensor::ops::simd::refresh_kernel_path;
 use leca::tensor::parallel::refresh_num_threads;
 use leca::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -49,6 +50,21 @@ fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
         None => std::env::remove_var("LECA_THREADS"),
     }
     refresh_num_threads();
+    out
+}
+
+/// Runs `body` with `LECA_SIMD` set to `path`, restoring the previous
+/// value (and cached dispatch) afterwards.
+fn with_simd<T>(path: &str, body: impl FnOnce() -> T) -> T {
+    let old = std::env::var("LECA_SIMD").ok();
+    std::env::set_var("LECA_SIMD", path);
+    refresh_kernel_path();
+    let out = body();
+    match old {
+        Some(v) => std::env::set_var("LECA_SIMD", v),
+        None => std::env::remove_var("LECA_SIMD"),
+    }
+    refresh_kernel_path();
     out
 }
 
@@ -108,28 +124,34 @@ fn losses_bit_identical_across_thread_counts() {
 
 #[test]
 fn noisy_training_matches_pre_rewrite_goldens() {
+    // Crossed with LECA_SIMD: the vector kernels must reproduce the
+    // pre-rewrite scalar goldens bit for bit on both dispatch paths.
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for threads in [1, 8] {
-        let (l1, l2) = with_threads(threads, noisy_train_losses);
-        assert_eq!(
-            (l1, l2),
-            (GOLDEN_NOISY_LOSS1, GOLDEN_NOISY_LOSS2),
-            "Noisy-modality losses drifted from pre-rewrite goldens at LECA_THREADS={threads} \
-             (got 0x{l1:08x} / 0x{l2:08x})"
-        );
+    for simd in ["off", "avx2"] {
+        for threads in [1, 8] {
+            let (l1, l2) = with_simd(simd, || with_threads(threads, noisy_train_losses));
+            assert_eq!(
+                (l1, l2),
+                (GOLDEN_NOISY_LOSS1, GOLDEN_NOISY_LOSS2),
+                "Noisy-modality losses drifted from pre-rewrite goldens at \
+                 LECA_SIMD={simd} LECA_THREADS={threads} (got 0x{l1:08x} / 0x{l2:08x})"
+            );
+        }
     }
 }
 
 #[test]
 fn fault_plan_results_match_pre_rewrite_goldens() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for threads in [1, 8] {
-        let (ck, loss) = with_threads(threads, faulty_results);
-        assert_eq!(
-            (ck, loss),
-            (GOLDEN_FAULTY_LOGITS_CHECKSUM, GOLDEN_FAULTY_LOSS),
-            "Faulty-modality results drifted from pre-rewrite goldens at LECA_THREADS={threads} \
-             (got 0x{ck:016x} / 0x{loss:08x})"
-        );
+    for simd in ["off", "avx2"] {
+        for threads in [1, 8] {
+            let (ck, loss) = with_simd(simd, || with_threads(threads, faulty_results));
+            assert_eq!(
+                (ck, loss),
+                (GOLDEN_FAULTY_LOGITS_CHECKSUM, GOLDEN_FAULTY_LOSS),
+                "Faulty-modality results drifted from pre-rewrite goldens at \
+                 LECA_SIMD={simd} LECA_THREADS={threads} (got 0x{ck:016x} / 0x{loss:08x})"
+            );
+        }
     }
 }

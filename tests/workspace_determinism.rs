@@ -18,6 +18,7 @@ use leca::core::pipeline::LecaPipeline;
 use leca::core::session::InferenceSession;
 use leca::nn::backbone::tiny_cnn;
 use leca::nn::{Layer, Mode};
+use leca::tensor::ops::simd::refresh_kernel_path;
 use leca::tensor::parallel::refresh_num_threads;
 use leca::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -38,6 +39,21 @@ fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
         None => std::env::remove_var("LECA_THREADS"),
     }
     refresh_num_threads();
+    out
+}
+
+/// Runs `body` with `LECA_SIMD` set to `path` (`"off"` / `"avx2"`),
+/// restoring the previous value (and cached dispatch) afterwards.
+fn with_simd<T>(path: &str, body: impl FnOnce() -> T) -> T {
+    let old = std::env::var("LECA_SIMD").ok();
+    std::env::set_var("LECA_SIMD", path);
+    refresh_kernel_path();
+    let out = body();
+    match old {
+        Some(v) => std::env::set_var("LECA_SIMD", v),
+        None => std::env::remove_var("LECA_SIMD"),
+    }
+    refresh_kernel_path();
     out
 }
 
@@ -98,6 +114,33 @@ fn workspace_path_is_thread_count_invariant() {
             single, eight,
             "{modality:?} workspace inference must not depend on LECA_THREADS"
         );
+    }
+}
+
+#[test]
+fn workspace_path_is_kernel_path_invariant() {
+    // The full LECA_SIMD x LECA_THREADS matrix: every leg must produce
+    // byte-identical logits (checksums are order-sensitive and bit-level).
+    // On hosts without AVX2 the `avx2` leg degrades to scalar and the
+    // assertion holds trivially.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for modality in [Modality::Soft, Modality::Hard] {
+        let mut legs = Vec::new();
+        for simd in ["off", "avx2"] {
+            for threads in [1, 8] {
+                let got = with_simd(simd, || {
+                    with_threads(threads, || forward_vs_session(modality))
+                });
+                legs.push((simd, threads, got));
+            }
+        }
+        let (_, _, reference) = &legs[0];
+        for (simd, threads, got) in &legs {
+            assert_eq!(
+                got, reference,
+                "{modality:?} diverged at LECA_SIMD={simd} LECA_THREADS={threads}"
+            );
+        }
     }
 }
 
