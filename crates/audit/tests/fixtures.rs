@@ -1,0 +1,128 @@
+//! Acceptance tests for the audit gate, per the issue:
+//!
+//! 1. the binary must FAIL (exit != 0) with `file:line` diagnostics on a
+//!    fixture tree seeded with violations (undocumented `unsafe`,
+//!    `Vec::new` inside an `_into` kernel, a stray `thread::spawn`);
+//! 2. the real workspace must pass clean — this test IS the gate, so
+//!    `cargo test` alone already enforces every invariant.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use leca_audit::{audit_workspace, rules};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn real_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn binary_fails_on_seeded_violations_with_file_line_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_leca-audit"))
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("audit binary runs");
+    assert!(
+        !out.status.success(),
+        "audit must exit non-zero on the violation fixtures"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    // Undocumented unsafe, outside the allowlist: both rules, exact line.
+    assert!(
+        stdout.contains(&format!(
+            "crates/tensor/src/bad_unsafe.rs:6: [{}]",
+            rules::UNSAFE_COMMENT
+        )),
+        "missing unsafe-comment diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!(
+            "crates/tensor/src/bad_unsafe.rs:6: [{}]",
+            rules::UNSAFE_ALLOWLIST
+        )),
+        "missing allowlist diagnostic in:\n{stdout}"
+    );
+
+    // Hot-path allocation in an `_into` kernel: the Vec::new line, not the
+    // Err(format!) cold path.
+    assert!(
+        stdout.contains(&format!(
+            "crates/tensor/src/bad_kernel.rs:9: [{}]",
+            rules::HOT_PATH_ALLOC
+        )),
+        "missing hot-path-alloc diagnostic in:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("bad_kernel.rs:7"),
+        "Err(format!) cold path must be exempt:\n{stdout}"
+    );
+
+    // Library-code spawn + wall-clock read.
+    assert!(
+        stdout.contains(&format!(
+            "crates/nn/src/bad_spawn.rs:6: [{}]",
+            rules::THREAD_SPAWN
+        )),
+        "missing thread-spawn diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!(
+            "crates/nn/src/bad_spawn.rs:5: [{}]",
+            rules::NONDETERMINISM
+        )),
+        "missing nondeterminism diagnostic in:\n{stdout}"
+    );
+
+    // The clean control crate contributes nothing.
+    assert!(
+        !stdout.contains("clean/src/good.rs"),
+        "control fixture must stay clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn binary_succeeds_on_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_leca-audit"))
+        .arg("--root")
+        .arg(real_root())
+        .output()
+        .expect("audit binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "workspace must audit clean\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn workspace_is_clean_via_library_api() {
+    let (diags, stats) = audit_workspace(&real_root()).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "audit violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the workspace (all crates + tests),
+    // saw the allowlisted unsafe, and found the `_into` kernel family.
+    assert!(stats.files > 40, "only scanned {} files", stats.files);
+    assert!(
+        stats.unsafe_sites > 10,
+        "only {} unsafe sites",
+        stats.unsafe_sites
+    );
+    assert!(
+        stats.into_kernels > 5,
+        "only {} _into kernels",
+        stats.into_kernels
+    );
+}

@@ -1,0 +1,25 @@
+// Control fixture: clean code the audit must produce zero diagnostics for.
+// Exercises the constructs most likely to false-positive: "unsafe" inside
+// strings and comments, allocation outside `_into` bodies, spawn mentions
+// in test-style paths, and a documented cold-path allocation.
+
+pub fn describe() -> &'static str {
+    // The word unsafe here is commentary, as is vec! and thread::spawn.
+    "this crate contains no unsafe code"
+}
+
+pub fn build(n: usize) -> Vec<f32> {
+    let mut v = Vec::with_capacity(n);
+    v.resize(n, 0.0);
+    v
+}
+
+pub fn sum_into(out: &mut [f32], x: &[f32]) -> Result<(), String> {
+    if out.len() != x.len() {
+        return Err(format!("length mismatch: {} vs {}", out.len(), x.len()));
+    }
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += v;
+    }
+    Ok(())
+}

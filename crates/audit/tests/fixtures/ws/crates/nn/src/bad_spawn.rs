@@ -1,0 +1,9 @@
+// Seeded violation fixture: library code spawning threads directly instead
+// of going through the worker pool, plus wall-clock nondeterminism.
+
+pub fn launch() {
+    let t = std::time::SystemTime::now();
+    std::thread::spawn(move || {
+        let _ = t;
+    });
+}

@@ -1,0 +1,15 @@
+// Seeded violation fixture: a `_into` kernel that allocates on its hot
+// path. The audit must flag the `Vec::new` line; the allocation inside the
+// `Err(..)` arm is a cold path and must NOT be flagged.
+
+pub fn scale_into(out: &mut [f32], x: &[f32], k: f32) -> Result<(), String> {
+    if out.len() != x.len() {
+        return Err(format!("shape mismatch: {} vs {}", out.len(), x.len()));
+    }
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(x);
+    for (o, v) in out.iter_mut().zip(scratch) {
+        *o = v * k;
+    }
+    Ok(())
+}

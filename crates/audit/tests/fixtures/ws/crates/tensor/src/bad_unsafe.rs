@@ -1,0 +1,7 @@
+// Seeded violation fixture: an `unsafe` block with no SAFETY comment, in a
+// file that is not on the unsafe allowlist. The audit must flag BOTH rules
+// with this file and line number.
+
+pub fn read_first(p: *const f32) -> f32 {
+    unsafe { *p }
+}

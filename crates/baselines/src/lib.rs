@@ -21,6 +21,10 @@
 //! the frozen backbone and measure end-to-end task accuracy — the paper's
 //! evaluation protocol.
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub mod agt;
 pub mod cnv;
 pub mod cs;

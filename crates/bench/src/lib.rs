@@ -11,6 +11,10 @@
 //! * `LECA_EPOCHS=N` — override the LeCA training epoch count.
 //! * `LECA_CACHE_DIR` — checkpoint directory (default `.leca-cache/`).
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 use leca_core::cache;
 use leca_core::config::LecaConfig;
 use leca_core::encoder::Modality;

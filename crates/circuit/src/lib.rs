@@ -27,6 +27,10 @@
 //! training-time LUT + sigma models, and [`validate`] reruns the Fig. 8
 //! sweep.
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub mod adc;
 pub mod fault;
 pub mod fvf;

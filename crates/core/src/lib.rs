@@ -28,6 +28,10 @@
 //!   end-to-end hardware-in-the-loop check.
 //! * [`cache`] — on-disk checkpoint caching for pre-trained backbones.
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod config;
 pub mod decoder;

@@ -30,6 +30,10 @@
 //! assert_eq!(labels.len(), 4);
 //! ```
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod bayer;
 pub mod dataset;

@@ -40,6 +40,10 @@
 //! # Ok::<(), leca_nn::NnError>(())
 //! ```
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 mod error;
 mod layer;
 mod param;

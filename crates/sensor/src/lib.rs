@@ -23,6 +23,10 @@
 //!   (LeCA encoding mode and conventional 8-bit bypass mode).
 //! * [`survey`] — the Fig. 2(c) CIS survey aggregates.
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub mod controller;
 pub mod energy;
 pub mod geometry;

@@ -1,6 +1,6 @@
 //! Dense `f32` tensor kernels for the LeCA reproduction.
 //!
-//! This crate is the numerical substrate underneath [`leca-nn`]: a small,
+//! This crate is the numerical substrate underneath `leca-nn`: a small,
 //! dependency-light n-dimensional array with exactly the operations a
 //! convolutional training stack needs — threaded matrix multiplication,
 //! im2col/col2im convolution kernels, pooling, reductions, and random
@@ -22,6 +22,12 @@
 //! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
 //! # Ok::<(), leca_tensor::TensorError>(())
 //! ```
+
+// The only crate in the workspace allowed to contain `unsafe` (the SIMD
+// kernels, the worker pool, nothing else — `leca-audit` enforces the
+// allowlist); every unsafe operation must sit in an explicit block with
+// its own safety argument, even inside `unsafe fn`s.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod error;
 mod init;

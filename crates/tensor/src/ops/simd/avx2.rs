@@ -11,13 +11,14 @@
 //!
 //! # Safety
 //!
-//! All functions are `#[target_feature(enable = "avx2")]` and must only be
-//! called after runtime detection — the dispatcher in the parent module is
-//! the sole caller and checks `is_x86_feature_detected!("avx2")` once per
-//! process. Raw-pointer arithmetic stays within slice bounds: the main
-//! loops stop at `len - len % LANES` and tails re-enter safe scalar code.
-
-#![allow(clippy::missing_safety_doc)] // crate-private; safety contract documented at module level
+//! All functions are safe `#[target_feature(enable = "avx2")]` functions:
+//! calling one from a context that does not enable AVX2 is `unsafe`, and
+//! the dispatcher in the parent module is the sole such caller — it checks
+//! `is_x86_feature_detected!("avx2")` once per process. Within the bodies,
+//! `unsafe` is confined to the raw-pointer load/store intrinsics; each
+//! site carries a `// SAFETY:` bound argument (main loops stop at
+//! `len - len % LANES` and tails re-enter safe scalar code), backed by
+//! `debug_assert!` contracts at function entry.
 
 use super::scalar;
 use super::{MR, NR};
@@ -38,7 +39,7 @@ macro_rules! fixup_idx {
 /// even-indexed and odd-indexed halves, each in linear order.
 #[inline]
 #[target_feature(enable = "avx2")]
-unsafe fn deinterleave(lo: __m256, hi: __m256) -> (__m256, __m256) {
+fn deinterleave(lo: __m256, hi: __m256) -> (__m256, __m256) {
     // shuffle picks within 128-bit lanes: evens = [x0,x2,x8,x10 | x4,x6,x12,x14]
     let evens = _mm256_shuffle_ps(lo, hi, 0x88);
     let odds = _mm256_shuffle_ps(lo, hi, 0xDD);
@@ -49,55 +50,80 @@ unsafe fn deinterleave(lo: __m256, hi: __m256) -> (__m256, __m256) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    debug_assert!(ap.len() >= k * MR && bp.len() >= k * NR);
-    let mut r0 = _mm256_loadu_ps(acc[0].as_ptr());
-    let mut r1 = _mm256_loadu_ps(acc[1].as_ptr());
-    let mut r2 = _mm256_loadu_ps(acc[2].as_ptr());
-    let mut r3 = _mm256_loadu_ps(acc[3].as_ptr());
-    let mut r4 = _mm256_loadu_ps(acc[4].as_ptr());
-    let mut r5 = _mm256_loadu_ps(acc[5].as_ptr());
-    let mut r6 = _mm256_loadu_ps(acc[6].as_ptr());
-    let mut r7 = _mm256_loadu_ps(acc[7].as_ptr());
+pub fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(ap.len() >= k * MR, "packed A shorter than k tiles");
+    debug_assert!(bp.len() >= k * NR, "packed B shorter than k panels");
+    // SAFETY: each `acc[i]` is a live `[f32; NR]` with NR == LANES == 8,
+    // so an unaligned 8-lane load from its base pointer stays in bounds.
+    let (mut r0, mut r1, mut r2, mut r3, mut r4, mut r5, mut r6, mut r7) = unsafe {
+        (
+            _mm256_loadu_ps(acc[0].as_ptr()),
+            _mm256_loadu_ps(acc[1].as_ptr()),
+            _mm256_loadu_ps(acc[2].as_ptr()),
+            _mm256_loadu_ps(acc[3].as_ptr()),
+            _mm256_loadu_ps(acc[4].as_ptr()),
+            _mm256_loadu_ps(acc[5].as_ptr()),
+            _mm256_loadu_ps(acc[6].as_ptr()),
+            _mm256_loadu_ps(acc[7].as_ptr()),
+        )
+    };
     let a = ap.as_ptr();
     let b = bp.as_ptr();
     for p in 0..k {
         // One rank-1 update: the B panel row broadcast against each of the
         // MR packed A values. Lanes are the NR *independent* output
         // columns; each still accumulates mul-then-add in scalar order.
-        let bv = _mm256_loadu_ps(b.add(p * NR));
-        let ac = a.add(p * MR);
-        r0 = _mm256_add_ps(r0, _mm256_mul_ps(_mm256_set1_ps(*ac), bv));
-        r1 = _mm256_add_ps(r1, _mm256_mul_ps(_mm256_set1_ps(*ac.add(1)), bv));
-        r2 = _mm256_add_ps(r2, _mm256_mul_ps(_mm256_set1_ps(*ac.add(2)), bv));
-        r3 = _mm256_add_ps(r3, _mm256_mul_ps(_mm256_set1_ps(*ac.add(3)), bv));
-        r4 = _mm256_add_ps(r4, _mm256_mul_ps(_mm256_set1_ps(*ac.add(4)), bv));
-        r5 = _mm256_add_ps(r5, _mm256_mul_ps(_mm256_set1_ps(*ac.add(5)), bv));
-        r6 = _mm256_add_ps(r6, _mm256_mul_ps(_mm256_set1_ps(*ac.add(6)), bv));
-        r7 = _mm256_add_ps(r7, _mm256_mul_ps(_mm256_set1_ps(*ac.add(7)), bv));
+        //
+        // SAFETY: `p < k`, so the B load covers `bp[p*NR .. p*NR + NR]`
+        // (in bounds: `bp.len() >= k * NR`) and the A reads cover
+        // `ap[p*MR .. p*MR + MR]` (in bounds: `ap.len() >= k * MR`), both
+        // checked by the `debug_assert!`s above and asserted again by the
+        // `microkernel_with` wrapper in release builds.
+        unsafe {
+            let bv = _mm256_loadu_ps(b.add(p * NR));
+            let ac = a.add(p * MR);
+            r0 = _mm256_add_ps(r0, _mm256_mul_ps(_mm256_set1_ps(*ac), bv));
+            r1 = _mm256_add_ps(r1, _mm256_mul_ps(_mm256_set1_ps(*ac.add(1)), bv));
+            r2 = _mm256_add_ps(r2, _mm256_mul_ps(_mm256_set1_ps(*ac.add(2)), bv));
+            r3 = _mm256_add_ps(r3, _mm256_mul_ps(_mm256_set1_ps(*ac.add(3)), bv));
+            r4 = _mm256_add_ps(r4, _mm256_mul_ps(_mm256_set1_ps(*ac.add(4)), bv));
+            r5 = _mm256_add_ps(r5, _mm256_mul_ps(_mm256_set1_ps(*ac.add(5)), bv));
+            r6 = _mm256_add_ps(r6, _mm256_mul_ps(_mm256_set1_ps(*ac.add(6)), bv));
+            r7 = _mm256_add_ps(r7, _mm256_mul_ps(_mm256_set1_ps(*ac.add(7)), bv));
+        }
     }
-    _mm256_storeu_ps(acc[0].as_mut_ptr(), r0);
-    _mm256_storeu_ps(acc[1].as_mut_ptr(), r1);
-    _mm256_storeu_ps(acc[2].as_mut_ptr(), r2);
-    _mm256_storeu_ps(acc[3].as_mut_ptr(), r3);
-    _mm256_storeu_ps(acc[4].as_mut_ptr(), r4);
-    _mm256_storeu_ps(acc[5].as_mut_ptr(), r5);
-    _mm256_storeu_ps(acc[6].as_mut_ptr(), r6);
-    _mm256_storeu_ps(acc[7].as_mut_ptr(), r7);
+    // SAFETY: same bound as the loads — each `acc[i]` holds exactly NR
+    // (== LANES) floats, written back unaligned.
+    unsafe {
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), r0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), r1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), r2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), r3);
+        _mm256_storeu_ps(acc[4].as_mut_ptr(), r4);
+        _mm256_storeu_ps(acc[5].as_mut_ptr(), r5);
+        _mm256_storeu_ps(acc[6].as_mut_ptr(), r6);
+        _mm256_storeu_ps(acc[7].as_mut_ptr(), r7);
+    }
 }
 
 /// Expands to a standard `main vector loop + scalar tail` elementwise body
 /// so every kernel splits its slices the same way.
 macro_rules! zip2 {
     ($a:ident, $b:ident, $out:ident, |$va:ident, $vb:ident| $vec:expr, $tail:path) => {{
+        debug_assert!($a.len() == $out.len() && $b.len() == $out.len());
         let n = $out.len();
         let main = n - n % LANES;
         let (pa, pb, po) = ($a.as_ptr(), $b.as_ptr(), $out.as_mut_ptr());
         let mut i = 0;
         while i < main {
-            let $va = _mm256_loadu_ps(pa.add(i));
-            let $vb = _mm256_loadu_ps(pb.add(i));
-            _mm256_storeu_ps(po.add(i), $vec);
+            // SAFETY: `i + LANES <= main <= len` for all three slices
+            // (equal lengths checked above), so the loads and the store
+            // stay inside their allocations.
+            unsafe {
+                let $va = _mm256_loadu_ps(pa.add(i));
+                let $vb = _mm256_loadu_ps(pb.add(i));
+                _mm256_storeu_ps(po.add(i), $vec);
+            }
             i += LANES;
         }
         $tail(&$a[main..], &$b[main..], &mut $out[main..]);
@@ -105,47 +131,55 @@ macro_rules! zip2 {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
     zip2!(a, b, out, |va, vb| _mm256_add_ps(va, vb), scalar::add);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
     zip2!(a, b, out, |va, vb| _mm256_sub_ps(va, vb), scalar::sub);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
     zip2!(a, b, out, |va, vb| _mm256_mul_ps(va, vb), scalar::mul);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn add_assign(dst: &mut [f32], src: &[f32]) {
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
     let n = dst.len();
     let main = n - n % LANES;
     let (pd, ps) = (dst.as_mut_ptr(), src.as_ptr());
     let mut i = 0;
     while i < main {
-        let d = _mm256_loadu_ps(pd.add(i));
-        let s = _mm256_loadu_ps(ps.add(i));
-        _mm256_storeu_ps(pd.add(i), _mm256_add_ps(d, s));
+        // SAFETY: `i + LANES <= main <= len` for both equal-length slices.
+        unsafe {
+            let d = _mm256_loadu_ps(pd.add(i));
+            let s = _mm256_loadu_ps(ps.add(i));
+            _mm256_storeu_ps(pd.add(i), _mm256_add_ps(d, s));
+        }
         i += LANES;
     }
     scalar::add_assign(&mut dst[main..], &src[main..]);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
+pub fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
+    debug_assert_eq!(dst.len(), src.len());
     let n = dst.len();
     let main = n - n % LANES;
     let vs = _mm256_set1_ps(s);
     let (pd, ps) = (dst.as_mut_ptr(), src.as_ptr());
     let mut i = 0;
     while i < main {
-        let d = _mm256_loadu_ps(pd.add(i));
-        let x = _mm256_loadu_ps(ps.add(i));
-        // s * x first, then add — the scalar `add_scaled` order.
-        _mm256_storeu_ps(pd.add(i), _mm256_add_ps(d, _mm256_mul_ps(vs, x)));
+        // SAFETY: `i + LANES <= main <= len` for both equal-length slices.
+        unsafe {
+            let d = _mm256_loadu_ps(pd.add(i));
+            let x = _mm256_loadu_ps(ps.add(i));
+            // s * x first, then add — the scalar `add_scaled` order.
+            _mm256_storeu_ps(pd.add(i), _mm256_add_ps(d, _mm256_mul_ps(vs, x)));
+        }
         i += LANES;
     }
     scalar::axpy(&mut dst[main..], &src[main..], s);
@@ -155,13 +189,18 @@ pub unsafe fn axpy(dst: &mut [f32], src: &[f32], s: f32) {
 /// in-place variants pass the same logical data as both).
 macro_rules! map1 {
     ($src:ident, $out:ident, |$v:ident| $vec:expr, $tail:expr) => {{
+        debug_assert_eq!($src.len(), $out.len());
         let n = $out.len();
         let main = n - n % LANES;
         let (ps, po) = ($src.as_ptr(), $out.as_mut_ptr());
         let mut i = 0;
         while i < main {
-            let $v = _mm256_loadu_ps(ps.add(i));
-            _mm256_storeu_ps(po.add(i), $vec);
+            // SAFETY: `i + LANES <= main <= len` for both equal-length
+            // slices, so the load and store stay in bounds.
+            unsafe {
+                let $v = _mm256_loadu_ps(ps.add(i));
+                _mm256_storeu_ps(po.add(i), $vec);
+            }
             i += LANES;
         }
         $tail(&$src[main..], &mut $out[main..]);
@@ -176,8 +215,12 @@ macro_rules! map1_inplace {
         let pd = $dst.as_mut_ptr();
         let mut i = 0;
         while i < main {
-            let $v = _mm256_loadu_ps(pd.add(i));
-            _mm256_storeu_ps(pd.add(i), $vec);
+            // SAFETY: `i + LANES <= main <= len`, so the read-modify-write
+            // stays inside the slice.
+            unsafe {
+                let $v = _mm256_loadu_ps(pd.add(i));
+                _mm256_storeu_ps(pd.add(i), $vec);
+            }
             i += LANES;
         }
         $tail(&mut $dst[main..]);
@@ -185,7 +228,7 @@ macro_rules! map1_inplace {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn scale(src: &[f32], s: f32, out: &mut [f32]) {
+pub fn scale(src: &[f32], s: f32, out: &mut [f32]) {
     let vs = _mm256_set1_ps(s);
     map1!(src, out, |v| _mm256_mul_ps(v, vs), |s_, o_: &mut [f32]| {
         scalar::scale(s_, s, o_)
@@ -193,7 +236,7 @@ pub unsafe fn scale(src: &[f32], s: f32, out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn scale_inplace(dst: &mut [f32], s: f32) {
+pub fn scale_inplace(dst: &mut [f32], s: f32) {
     let vs = _mm256_set1_ps(s);
     map1_inplace!(dst, |v| _mm256_mul_ps(v, vs), |d_: &mut [f32]| {
         scalar::scale_inplace(d_, s)
@@ -201,7 +244,7 @@ pub unsafe fn scale_inplace(dst: &mut [f32], s: f32) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn add_scalar(src: &[f32], s: f32, out: &mut [f32]) {
+pub fn add_scalar(src: &[f32], s: f32, out: &mut [f32]) {
     let vs = _mm256_set1_ps(s);
     map1!(src, out, |v| _mm256_add_ps(v, vs), |s_, o_: &mut [f32]| {
         scalar::add_scalar(s_, s, o_)
@@ -209,7 +252,7 @@ pub unsafe fn add_scalar(src: &[f32], s: f32, out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn add_scalar_inplace(dst: &mut [f32], s: f32) {
+pub fn add_scalar_inplace(dst: &mut [f32], s: f32) {
     let vs = _mm256_set1_ps(s);
     map1_inplace!(dst, |v| _mm256_add_ps(v, vs), |d_: &mut [f32]| {
         scalar::add_scalar_inplace(d_, s)
@@ -217,7 +260,7 @@ pub unsafe fn add_scalar_inplace(dst: &mut [f32], s: f32) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn clamp(src: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
+pub fn clamp(src: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
     let vlo = _mm256_set1_ps(lo);
     let vhi = _mm256_set1_ps(hi);
     // Operand order is load-bearing: max/min return the SECOND operand
@@ -233,7 +276,7 @@ pub unsafe fn clamp(src: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn relu(src: &[f32], out: &mut [f32]) {
+pub fn relu(src: &[f32], out: &mut [f32]) {
     let zero = _mm256_setzero_ps();
     // `v <= 0` with an ORDERED predicate is false for NaN, so andnot
     // zeroes exactly the non-positive ordered lanes and passes NaN through
@@ -247,7 +290,7 @@ pub unsafe fn relu(src: &[f32], out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn relu_inplace(dst: &mut [f32]) {
+pub fn relu_inplace(dst: &mut [f32]) {
     let zero = _mm256_setzero_ps();
     map1_inplace!(
         dst,
@@ -257,7 +300,7 @@ pub unsafe fn relu_inplace(dst: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn leaky_relu(src: &[f32], a: f32, out: &mut [f32]) {
+pub fn leaky_relu(src: &[f32], a: f32, out: &mut [f32]) {
     let zero = _mm256_setzero_ps();
     let va = _mm256_set1_ps(a);
     // blendv picks `v` where `v > 0` (ordered, so NaN falls to the a*v
@@ -271,7 +314,7 @@ pub unsafe fn leaky_relu(src: &[f32], a: f32, out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn leaky_relu_inplace(dst: &mut [f32], a: f32) {
+pub fn leaky_relu_inplace(dst: &mut [f32], a: f32) {
     let zero = _mm256_setzero_ps();
     let va = _mm256_set1_ps(a);
     map1_inplace!(
@@ -282,7 +325,7 @@ pub unsafe fn leaky_relu_inplace(dst: &mut [f32], a: f32) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn relu_mask(src: &[f32], mask: &mut [f32]) {
+pub fn relu_mask(src: &[f32], mask: &mut [f32]) {
     let zero = _mm256_setzero_ps();
     let one = _mm256_set1_ps(1.0);
     // `v > 0` ordered: NaN lanes get mask 0.0, matching `v > 0.0`.
@@ -295,7 +338,7 @@ pub unsafe fn relu_mask(src: &[f32], mask: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn relu_backward(mask: &[f32], g: &[f32], out: &mut [f32]) {
+pub fn relu_backward(mask: &[f32], g: &[f32], out: &mut [f32]) {
     let zero = _mm256_setzero_ps();
     // Select, not multiply: and-ing the comparison mask with g yields g
     // where mask != 0 and +0.0 elsewhere, even for NaN gradients.
@@ -311,7 +354,8 @@ pub unsafe fn relu_backward(mask: &[f32], g: &[f32], out: &mut [f32]) {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn leaky_relu_backward(mask: &[f32], g: &[f32], a: f32, out: &mut [f32]) {
+pub fn leaky_relu_backward(mask: &[f32], g: &[f32], a: f32, out: &mut [f32]) {
+    debug_assert!(mask.len() == out.len() && g.len() == out.len());
     let zero = _mm256_setzero_ps();
     let va = _mm256_set1_ps(a);
     let n = out.len();
@@ -319,18 +363,22 @@ pub unsafe fn leaky_relu_backward(mask: &[f32], g: &[f32], a: f32, out: &mut [f3
     let (pm, pg, po) = (mask.as_ptr(), g.as_ptr(), out.as_mut_ptr());
     let mut i = 0;
     while i < main {
-        let vm = _mm256_loadu_ps(pm.add(i));
-        let vg = _mm256_loadu_ps(pg.add(i));
-        let scaled = _mm256_mul_ps(vg, va); // g * a, scalar order
-        let keep = _mm256_cmp_ps(vm, zero, _CMP_NEQ_UQ);
-        _mm256_storeu_ps(po.add(i), _mm256_blendv_ps(scaled, vg, keep));
+        // SAFETY: `i + LANES <= main <= len` for all three equal-length
+        // slices.
+        unsafe {
+            let vm = _mm256_loadu_ps(pm.add(i));
+            let vg = _mm256_loadu_ps(pg.add(i));
+            let scaled = _mm256_mul_ps(vg, va); // g * a, scalar order
+            let keep = _mm256_cmp_ps(vm, zero, _CMP_NEQ_UQ);
+            _mm256_storeu_ps(po.add(i), _mm256_blendv_ps(scaled, vg, keep));
+        }
         i += LANES;
     }
     scalar::leaky_relu_backward(&mask[main..], &g[main..], a, &mut out[main..]);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
+pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32) {
     let vmean = _mm256_set1_ps(mean);
     let vinv = _mm256_set1_ps(inv_std);
     let vg = _mm256_set1_ps(g);
@@ -349,14 +397,15 @@ pub unsafe fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn row_max(xs: &[f32]) -> f32 {
+pub fn row_max(xs: &[f32]) -> f32 {
     let n = xs.len();
     let main = n - n % LANES;
     let p = xs.as_ptr();
     let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
     let mut i = 0;
     while i < main {
-        let v = _mm256_loadu_ps(p.add(i));
+        // SAFETY: `i + LANES <= main <= xs.len()`.
+        let v = unsafe { _mm256_loadu_ps(p.add(i)) };
         // f32::max semantics per lane: a NaN candidate never replaces the
         // accumulator (ordered self-compare is false for NaN).
         let not_nan = _mm256_cmp_ps(v, v, _CMP_ORD_Q);
@@ -365,7 +414,8 @@ pub unsafe fn row_max(xs: &[f32]) -> f32 {
         i += LANES;
     }
     let mut lanes = [0.0f32; LANES];
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // SAFETY: `lanes` is exactly LANES floats.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
     // Lanes are NaN-free by construction; fold them and the tail with the
     // scalar twin so the end result is the same f32::max fold.
     let head = scalar::row_max(&lanes);
@@ -373,7 +423,8 @@ pub unsafe fn row_max(xs: &[f32]) -> f32 {
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
+pub fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
+    debug_assert!(r0.len() == out.len() * 2 && r1.len() == out.len() * 2);
     let n = out.len();
     let main = n - n % LANES;
     let vinv = _mm256_set1_ps(inv);
@@ -383,37 +434,55 @@ pub unsafe fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
         // 8 outputs consume 16 consecutive inputs per row; deinterleaving
         // gives each lane its own window's (even, odd) pair so the
         // per-output sum runs in the scalar order e0+o0+e1+o1.
-        let (e0, o0) = deinterleave(
-            _mm256_loadu_ps(p0.add(2 * j)),
-            _mm256_loadu_ps(p0.add(2 * j + LANES)),
-        );
-        let (e1, o1) = deinterleave(
-            _mm256_loadu_ps(p1.add(2 * j)),
-            _mm256_loadu_ps(p1.add(2 * j + LANES)),
-        );
+        //
+        // SAFETY: `j + LANES <= main <= out.len()` bounds the store, and
+        // the input loads cover `r[2j .. 2j + 2*LANES]` with
+        // `2j + 2*LANES <= 2*main <= r.len()` (rows are exactly twice the
+        // output, checked above).
+        let ((e0, o0), (e1, o1)) = unsafe {
+            (
+                deinterleave(
+                    _mm256_loadu_ps(p0.add(2 * j)),
+                    _mm256_loadu_ps(p0.add(2 * j + LANES)),
+                ),
+                deinterleave(
+                    _mm256_loadu_ps(p1.add(2 * j)),
+                    _mm256_loadu_ps(p1.add(2 * j + LANES)),
+                ),
+            )
+        };
         let acc = _mm256_add_ps(_mm256_add_ps(_mm256_add_ps(e0, o0), e1), o1);
-        _mm256_storeu_ps(po.add(j), _mm256_mul_ps(acc, vinv));
+        // SAFETY: store bound argued above (`j + LANES <= out.len()`).
+        unsafe { _mm256_storeu_ps(po.add(j), _mm256_mul_ps(acc, vinv)) };
         j += LANES;
     }
     scalar::avg_pool_k2(&r0[2 * main..], &r1[2 * main..], &mut out[main..], inv);
 }
 
 #[target_feature(enable = "avx2")]
-pub unsafe fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {
+pub fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {
+    debug_assert!(r0.len() == out.len() * 2 && r1.len() == out.len() * 2);
     let n = out.len();
     let main = n - n % LANES;
     let neg_inf = _mm256_set1_ps(f32::NEG_INFINITY);
     let (p0, p1, po) = (r0.as_ptr(), r1.as_ptr(), out.as_mut_ptr());
     let mut j = 0;
     while j < main {
-        let (e0, o0) = deinterleave(
-            _mm256_loadu_ps(p0.add(2 * j)),
-            _mm256_loadu_ps(p0.add(2 * j + LANES)),
-        );
-        let (e1, o1) = deinterleave(
-            _mm256_loadu_ps(p1.add(2 * j)),
-            _mm256_loadu_ps(p1.add(2 * j + LANES)),
-        );
+        // SAFETY: same bound as `avg_pool_k2` — loads cover
+        // `r[2j .. 2j + 2*LANES] ⊆ r[0 .. 2*main]` and rows are exactly
+        // twice the output length.
+        let ((e0, o0), (e1, o1)) = unsafe {
+            (
+                deinterleave(
+                    _mm256_loadu_ps(p0.add(2 * j)),
+                    _mm256_loadu_ps(p0.add(2 * j + LANES)),
+                ),
+                deinterleave(
+                    _mm256_loadu_ps(p1.add(2 * j)),
+                    _mm256_loadu_ps(p1.add(2 * j + LANES)),
+                ),
+            )
+        };
         // Running `if v > best` per lane, in window order; a NaN candidate
         // never wins (`>` ordered), matching the scalar loop.
         let mut best = neg_inf;
@@ -421,7 +490,8 @@ pub unsafe fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {
             let gt = _mm256_cmp_ps(v, best, _CMP_GT_OQ);
             best = _mm256_blendv_ps(best, v, gt);
         }
-        _mm256_storeu_ps(po.add(j), best);
+        // SAFETY: `j + LANES <= main <= out.len()`.
+        unsafe { _mm256_storeu_ps(po.add(j), best) };
         j += LANES;
     }
     scalar::max_pool_k2(&r0[2 * main..], &r1[2 * main..], &mut out[main..]);

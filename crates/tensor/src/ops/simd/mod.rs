@@ -28,7 +28,11 @@
 
 pub mod scalar;
 
-#[cfg(target_arch = "x86_64")]
+// Miri interprets portable Rust only — the AVX2 bodies are compiled out
+// under it (and `kernel_path` pins `Scalar`), so `cargo miri test` checks
+// the whole crate through the scalar path, which the parity suite proves
+// bit-identical to the vector one.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod avx2;
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -115,29 +119,35 @@ fn read_simd_env() -> KernelPath {
     }
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 fn avx2_available() -> bool {
     std::is_x86_feature_detected!("avx2")
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+/// Non-x86 targets never have AVX2; under Miri the vector bodies are not
+/// even compiled, so detection reports unavailable and every kernel runs
+/// its scalar twin.
+#[cfg(any(not(target_arch = "x86_64"), miri))]
 fn avx2_available() -> bool {
     false
 }
 
 /// Dispatches `$name($($arg),*)` to the AVX2 or scalar body for `$path`.
 ///
-/// On non-x86 targets the `Avx2` arm is compiled out and every call lands
-/// on the scalar body ([`kernel_path`] never returns `Avx2` there, but the
-/// arm must still typecheck), so there are no `cfg` holes.
+/// On non-x86 targets (and under Miri) the `Avx2` arm is compiled out and
+/// every call lands on the scalar body ([`kernel_path`] never returns
+/// `Avx2` there, but the arm must still typecheck), so there are no `cfg`
+/// holes.
 macro_rules! dispatch {
     ($path:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
         match $path {
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: `Avx2` is only ever cached after
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: the AVX2 bodies are safe `#[target_feature]` fns, so
+            // the only obligation here is that the host really has AVX2 —
+            // and `Avx2` is only ever cached after
             // `is_x86_feature_detected!("avx2")` succeeded on this host.
             KernelPath::Avx2 => unsafe { avx2::$name($($arg),*) },
-            #[cfg(not(target_arch = "x86_64"))]
+            #[cfg(any(not(target_arch = "x86_64"), miri))]
             KernelPath::Avx2 => scalar::$name($($arg),*),
             KernelPath::Scalar => scalar::$name($($arg),*),
         }

@@ -15,11 +15,23 @@
 //! which worker happens to run a chunk. Kernels built on these helpers
 //! (see [`crate::ops::matmul`]) additionally keep a fixed per-element
 //! reduction order, so results are bit-identical across thread counts.
+//!
+//! # Shutdown hygiene
+//!
+//! Workers are **joinable, never detached**: every [`WorkerPool`] keeps its
+//! `JoinHandle`s and joins them when dropped (or when
+//! [`WorkerPool::shutdown`] is called), after raising a shutdown flag the
+//! worker loop observes between jobs. The process-wide pool behind
+//! [`pool_run`] lives in a static and so is not dropped by Rust; call
+//! [`shutdown_global_pool`] to join its workers explicitly (e.g. before a
+//! sanitizer-checked process exits). The pool revives transparently on the
+//! next [`pool_run`] after a shutdown.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Returns the number of worker threads to use.
 ///
@@ -78,7 +90,7 @@ fn read_thread_env() -> usize {
 
 /// A unit of fanned-out work: `f(chunk_index)` for every index in
 /// `0..total`. The raw pointer erases the closure's lifetime; soundness is
-/// argued in [`pool_run`].
+/// argued in [`WorkerPool::run`].
 struct Job {
     f: RawClosure,
     next: AtomicUsize,
@@ -89,10 +101,16 @@ struct Job {
 }
 
 /// `*const dyn Fn` made Send+Sync so it can cross the queue. The pointee
-/// is `Sync` (bound enforced by [`pool_run`]) and outlives every access
-/// (the dispatcher blocks until all chunks completed).
+/// is `Sync` (bound enforced by [`WorkerPool::run`]) and outlives every
+/// access (the dispatcher blocks until all chunks completed).
 struct RawClosure(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` (the `F: Sync` bound on `WorkerPool::run`
+// is the only constructor) and the dispatching stack frame keeps it alive
+// until every worker is done touching it, so sending the pointer to
+// another thread cannot outlive or race the closure.
 unsafe impl Send for RawClosure {}
+// SAFETY: same argument as `Send`; workers only ever call the closure
+// through `&dyn Fn`, which `F: Sync` makes thread-safe.
 unsafe impl Sync for RawClosure {}
 
 impl Job {
@@ -103,6 +121,7 @@ impl Job {
             if idx >= self.total {
                 return;
             }
+            debug_assert!(idx < self.total, "claimed chunk out of range");
             // SAFETY: a successful claim (idx < total) implies the
             // dispatcher is still blocked waiting for `completed == total`,
             // so the closure behind the pointer is alive. Stale queue
@@ -121,65 +140,203 @@ impl Job {
     }
 }
 
-struct Pool {
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
     queue: Mutex<VecDeque<Arc<Job>>>,
     available: Condvar,
-    spawned: Mutex<usize>,
+    /// Raised (under the queue lock) to tell idle workers to exit; workers
+    /// drain the queue before honoring it.
+    shutdown: AtomicBool,
 }
 
-fn pool() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| Pool {
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
-        spawned: Mutex::new(0),
-    })
+/// A job-queue thread pool whose workers are **joined, not detached**.
+///
+/// Dropping the pool (or calling [`WorkerPool::shutdown`]) raises a
+/// shutdown flag, wakes every idle worker and joins all of them. The
+/// process-wide instance used by [`pool_run`] is created lazily; tests
+/// that need tight control over worker lifetime (e.g. the TSan-exercised
+/// spawn/submit/drop stress test) construct their own.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
-impl Pool {
-    /// Grows the pool to at least `want` resident workers. Workers are
-    /// detached and live for the rest of the process; they block on the
-    /// queue condvar when idle, so an idle pool costs nothing.
-    fn ensure_workers(&'static self, want: usize) {
-        let mut spawned = self.spawned.lock().unwrap_or_else(|e| e.into_inner());
-        while *spawned < want {
-            *spawned += 1;
-            std::thread::Builder::new()
-                .name(format!("leca-worker-{spawned}"))
-                .spawn(move || self.worker_loop())
-                .expect("failed to spawn pool worker");
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool; workers are spawned lazily by [`run`].
+    ///
+    /// [`run`]: WorkerPool::run
+    pub fn new() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
         }
     }
 
-    fn worker_loop(&self) {
-        loop {
-            let job = {
-                let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
-                loop {
-                    if let Some(j) = q.pop_front() {
-                        break j;
-                    }
-                    q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
-                }
-            };
-            job.run_chunks();
+    /// Grows the pool to at least `want` resident workers. Idle workers
+    /// block on the queue condvar, so an idle pool costs nothing.
+    fn ensure_workers(&self, want: usize) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        while workers.len() < want {
+            let id = workers.len();
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("leca-worker-{id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
         }
+    }
+
+    /// Current number of resident worker threads (test/diagnostic hook).
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     fn submit(&self, job: &Arc<Job>, copies: usize) {
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         for _ in 0..copies {
             q.push_back(Arc::clone(job));
         }
         drop(q);
-        self.available.notify_all();
+        self.shared.available.notify_all();
+    }
+
+    /// Runs `f(chunk_index)` for every index in `0..chunks`, fanning out
+    /// over this pool's workers with at most `threads` participants
+    /// (including the calling thread, which always helps).
+    ///
+    /// Chunk claiming is index-based, so the chunk → data mapping is
+    /// independent of which worker runs a chunk (see the module docs on
+    /// determinism).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn run<F>(&self, chunks: usize, threads: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if chunks == 0 {
+            return;
+        }
+        if chunks == 1 || threads <= 1 {
+            for idx in 0..chunks {
+                f(idx);
+            }
+            return;
+        }
+
+        let helpers = threads.min(chunks) - 1;
+        self.ensure_workers(helpers);
+
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the transmute only erases the closure's lifetime for the
+        // queue crossing. Sound because this frame does not return until
+        // `completed == total` below, and workers touch the closure only
+        // while executing claimed chunks (each of which bumps `completed`
+        // before the dispatcher can observe completion).
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
+        let job = Arc::new(Job {
+            f: RawClosure(erased as *const (dyn Fn(usize) + Sync)),
+            next: AtomicUsize::new(0),
+            total: chunks,
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        self.submit(&job, helpers);
+
+        // Help out, then wait for the stragglers.
+        job.run_chunks();
+        let mut c = job.completed.lock().unwrap_or_else(|e| e.into_inner());
+        while *c < job.total {
+            c = job.done.wait(c).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(c);
+        if job.panicked.load(Ordering::SeqCst) {
+            panic!("parallel worker panicked");
+        }
+    }
+
+    /// Joins every worker thread after raising the shutdown flag.
+    ///
+    /// Queued stale job copies are drained first (they are no-ops once a
+    /// job's chunks are exhausted). The flag is lowered afterwards so the
+    /// pool **revives** — a later [`run`](WorkerPool::run) simply spawns
+    /// fresh workers. Idempotent; joining zero workers is a no-op.
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            // Raise the flag under the queue lock so a worker between
+            // "queue empty" and "wait" cannot miss the wake-up.
+            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.shared.available.notify_all();
+        for handle in workers.drain(..) {
+            // A worker that panicked through `catch_unwind` still exits
+            // its loop; surface nothing here (the dispatcher already
+            // re-panicked on the calling thread).
+            let _ = handle.join();
+        }
+        self.shared.shutdown.store(false, Ordering::SeqCst);
     }
 }
 
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.run_chunks();
+    }
+}
+
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+/// Joins the process-wide pool's worker threads.
+///
+/// Statics are never dropped, so the global pool cannot join its workers
+/// via `Drop`; call this before process exit when a clean thread shutdown
+/// matters (sanitizer runs, leak-checked harnesses). The pool revives on
+/// the next [`pool_run`], so calling this mid-workload only costs a
+/// re-spawn.
+pub fn shutdown_global_pool() {
+    global_pool().shutdown();
+}
+
 /// Runs `f(chunk_index)` for every index in `0..chunks`, fanning out over
-/// the persistent pool. The calling thread participates, so `chunks == 1`
-/// (or a single configured thread) runs entirely inline with no queue
-/// traffic.
+/// the persistent process-wide pool. The calling thread participates, so
+/// `chunks == 1` (or a single configured thread) runs entirely inline with
+/// no queue traffic.
 ///
 /// # Panics
 ///
@@ -188,47 +345,7 @@ pub fn pool_run<F>(chunks: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    if chunks == 0 {
-        return;
-    }
-    let threads = num_threads();
-    if chunks == 1 || threads <= 1 {
-        for idx in 0..chunks {
-            f(idx);
-        }
-        return;
-    }
-
-    let helpers = threads.min(chunks) - 1;
-    let p = pool();
-    p.ensure_workers(helpers);
-
-    // Erase the closure's lifetime for the queue crossing. Sound because
-    // this frame does not return until `completed == total` below, and
-    // workers touch the closure only while executing claimed chunks (each
-    // of which bumps `completed`).
-    let f_ref: &(dyn Fn(usize) + Sync) = &f;
-    let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
-    let job = Arc::new(Job {
-        f: RawClosure(erased as *const (dyn Fn(usize) + Sync)),
-        next: AtomicUsize::new(0),
-        total: chunks,
-        completed: Mutex::new(0),
-        done: Condvar::new(),
-        panicked: AtomicBool::new(false),
-    });
-    p.submit(&job, helpers);
-
-    // Help out, then wait for the stragglers.
-    job.run_chunks();
-    let mut c = job.completed.lock().unwrap_or_else(|e| e.into_inner());
-    while *c < job.total {
-        c = job.done.wait(c).unwrap_or_else(|e| e.into_inner());
-    }
-    drop(c);
-    if job.panicked.load(Ordering::SeqCst) {
-        panic!("parallel worker panicked");
-    }
+    global_pool().run(chunks, num_threads(), f);
 }
 
 // ---------------------------------------------------------------------
@@ -293,6 +410,7 @@ where
         return;
     }
     let (chunk, chunks) = split(rows, min_rows);
+    let out_len = out.len();
     let base = SendPtr(out.as_mut_ptr());
     pool_run(chunks, |w| {
         let start = w * chunk;
@@ -300,8 +418,14 @@ where
         if start >= end {
             return;
         }
+        debug_assert!(
+            end * row_len <= out_len,
+            "row chunk {start}..{end} overruns the output buffer"
+        );
         // SAFETY: chunk `w` is claimed exactly once and row ranges are
-        // disjoint, so each slice below is exclusively owned.
+        // disjoint (chunk w covers rows [w*chunk, (w+1)*chunk)), so each
+        // slice below is exclusively owned; `end * row_len <= out.len()`
+        // keeps it in bounds of the original allocation.
         let slice = unsafe {
             std::slice::from_raw_parts_mut(base.get().add(start * row_len), (end - start) * row_len)
         };
@@ -312,7 +436,13 @@ where
 /// A raw `*mut f32` that may cross thread boundaries; exclusivity is the
 /// caller's obligation (disjoint chunk ranges).
 struct SendPtr(*mut f32);
+// SAFETY: the pointer targets a live `&mut [f32]` held by the dispatching
+// frame for the whole parallel region; workers write disjoint chunk
+// ranges, so moving the pointer across threads cannot create overlapping
+// access.
 unsafe impl Send for SendPtr {}
+// SAFETY: same disjointness argument as `Send`; shared access to the
+// wrapper only ever yields the raw pointer, never a data access.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
@@ -412,6 +542,62 @@ mod tests {
             });
             assert_eq!(total.load(Ordering::Relaxed), 28, "round {round}");
         }
+        match old {
+            Some(v) => std::env::set_var("LECA_THREADS", v),
+            None => std::env::remove_var("LECA_THREADS"),
+        }
+        refresh_num_threads();
+    }
+
+    #[test]
+    fn local_pool_joins_workers_on_drop() {
+        let pool = WorkerPool::new();
+        let total = AtomicU64::new(0);
+        pool.run(16, 4, |idx| {
+            total.fetch_add(idx as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 120);
+        assert!(pool.worker_count() >= 1);
+        drop(pool); // joins; a hang or crash here fails the test
+    }
+
+    #[test]
+    fn shutdown_then_revive() {
+        let pool = WorkerPool::new();
+        let total = AtomicU64::new(0);
+        pool.run(8, 3, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+        pool.shutdown();
+        assert_eq!(pool.worker_count(), 0);
+        // Revive: a fresh run after shutdown spawns new workers.
+        total.store(0, Ordering::Relaxed);
+        pool.run(8, 3, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+        pool.shutdown();
+        pool.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn global_pool_shutdown_revives() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old = std::env::var("LECA_THREADS").ok();
+        std::env::set_var("LECA_THREADS", "4");
+        refresh_num_threads();
+        let total = AtomicU64::new(0);
+        pool_run(8, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
+        shutdown_global_pool();
+        total.store(0, Ordering::Relaxed);
+        pool_run(8, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 36);
         match old {
             Some(v) => std::env::set_var("LECA_THREADS", v),
             None => std::env::remove_var("LECA_THREADS"),

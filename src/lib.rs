@@ -31,6 +31,10 @@
 //! See `examples/` for runnable end-to-end pipelines and `crates/bench`
 //! for the binaries regenerating every table and figure of the paper.
 
+// This crate promises memory safety by construction: no `unsafe` at all.
+// `leca-audit` verifies this header is present; the compiler enforces it.
+#![forbid(unsafe_code)]
+
 pub use leca_baselines as baselines;
 pub use leca_circuit as circuit;
 pub use leca_core as core;

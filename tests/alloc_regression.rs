@@ -32,23 +32,33 @@ struct CountingAllocator;
 // SAFETY: delegates every operation to `System` unchanged; the counter is
 // a relaxed atomic with no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: forwards the caller's contract (valid layout) verbatim.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s contract; forwarded.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
+        // SAFETY: forwards the caller's contract (valid layout) verbatim.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: forwards the caller's contract (live `ptr` with matching
+        // layout) verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: forwards the caller's contract (live `ptr` with matching
+        // layout) verbatim.
+        unsafe { System.dealloc(ptr, layout) }
     }
 }
 
