@@ -12,7 +12,8 @@
 //! |---|---|
 //! | [`rules::UNSAFE_COMMENT`] | every `unsafe` block / fn / impl is preceded by a `// SAFETY:` comment |
 //! | [`rules::UNSAFE_ALLOWLIST`] | `unsafe` only appears in the explicit module allowlist |
-//! | [`rules::THREAD_SPAWN`] | no `std::thread::spawn` in library code outside the `parallel.rs` pool |
+//! | [`rules::THREAD_SPAWN`] | no thread spawning in library code outside the explicit spawn allowlist |
+//! | [`rules::JOINED_SPAWN`] | spawn-allowlisted library files keep `JoinHandle`s — no detached threads |
 //! | [`rules::HOT_PATH_ALLOC`] | no allocation calls inside `_into` kernel bodies (error/panic arms exempt) |
 //! | [`rules::NONDETERMINISM`] | no wall-clock / OS-entropy randomness outside the bench harness |
 //! | [`rules::LINT_HEADER`] | `#![forbid(unsafe_code)]` / `#![deny(unsafe_op_in_unsafe_fn)]` headers present |
@@ -46,6 +47,9 @@ pub mod rules {
     pub const UNSAFE_ALLOWLIST: &str = "unsafe-allowlist";
     /// Thread spawning outside the worker pool.
     pub const THREAD_SPAWN: &str = "thread-spawn";
+    /// Spawn-allowlisted library file with no `JoinHandle` in sight —
+    /// a detached thread the shutdown path cannot join.
+    pub const JOINED_SPAWN: &str = "joined-spawn";
     /// Allocation inside a zero-alloc `_into` kernel body.
     pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
     /// Wall-clock / OS-entropy nondeterminism outside seeded entry points.
@@ -78,6 +82,10 @@ pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
         "tests/activation_alloc.rs",
         "counting GlobalAlloc delegating verbatim to System",
     ),
+    (
+        "tests/serve_alloc.rs",
+        "counting GlobalAlloc delegating verbatim to System",
+    ),
 ];
 
 /// Files allowed to spawn threads directly. All other library code must
@@ -91,6 +99,10 @@ pub const SPAWN_ALLOWLIST: &[(&str, &str)] = &[
     (
         "shims/crossbeam/src/lib.rs",
         "vendored offline shim; not linked into any workspace crate since PR 2",
+    ),
+    (
+        "crates/serve/src/supervisor.rs",
+        "supervised serving shards: long-lived named threads, every handle joined on shutdown",
     ),
 ];
 
@@ -111,6 +123,7 @@ pub const REQUIRED_HEADERS: &[(&str, &str)] = &[
     ("crates/core/src/lib.rs", "#![forbid(unsafe_code)]"),
     ("crates/bench/src/lib.rs", "#![forbid(unsafe_code)]"),
     ("crates/audit/src/lib.rs", "#![forbid(unsafe_code)]"),
+    ("crates/serve/src/lib.rs", "#![forbid(unsafe_code)]"),
     (
         "crates/tensor/src/lib.rs",
         "#![deny(unsafe_op_in_unsafe_fn)]",
@@ -437,12 +450,63 @@ fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
     false
 }
 
+/// Tokens that start a thread, in either the free-function or builder
+/// form.
+const SPAWN_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
+
+/// First line index of an embedded `#[cfg(test)] mod …` block, if any.
+/// Unit-test modules sit at the end of library files by convention, so
+/// everything from this line on is test code and exempt from the
+/// library-only rules (tests may spawn threads *to test* the pool).
+fn first_test_mod_line(lines: &[Line]) -> Option<usize> {
+    for (idx, line) in lines.iter().enumerate() {
+        if normalize_ws(&line.code) != "#[cfg(test)]" {
+            continue;
+        }
+        // The attribute must introduce a module (not a lone fn/use).
+        for follow in lines.iter().skip(idx + 1).take(2) {
+            let t = follow.code.trim();
+            if t.is_empty() || follow.is_attr_only() {
+                continue;
+            }
+            if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                return Some(idx);
+            }
+            break;
+        }
+    }
+    None
+}
+
 fn check_thread_spawn(rel: &str, lines: &[Line], diags: &mut Vec<Diagnostic>) {
-    if !is_library_code(rel) || allowlisted(SPAWN_ALLOWLIST, rel) {
+    if !is_library_code(rel) {
         return;
     }
-    for (idx, line) in lines.iter().enumerate() {
-        for needle in ["thread::spawn", "thread::Builder"] {
+    let test_mod_at = first_test_mod_line(lines).unwrap_or(lines.len());
+    if allowlisted(SPAWN_ALLOWLIST, rel) {
+        // Allowlisted spawners still must not detach: a spawn site with
+        // no `JoinHandle` anywhere in the library portion of the file is
+        // a thread the shutdown path cannot join.
+        let spawns = lines[..test_mod_at]
+            .iter()
+            .any(|l| SPAWN_TOKENS.iter().any(|t| l.code.contains(t)));
+        let joined = lines[..test_mod_at]
+            .iter()
+            .any(|l| l.code.contains("JoinHandle"));
+        if spawns && !joined {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: 0,
+                rule: rules::JOINED_SPAWN,
+                message: "spawns threads but never names a `JoinHandle` — every spawned \
+                          thread must be joined on shutdown (no detached threads)"
+                    .to_string(),
+            });
+        }
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate().take(test_mod_at) {
+        for needle in SPAWN_TOKENS {
             if line.code.contains(needle) {
                 diags.push(Diagnostic {
                     file: rel.to_string(),
@@ -861,9 +925,54 @@ mod tests {
         assert!(audit_file("crates/nn/src/layer.rs", src)
             .iter()
             .any(|d| d.rule == rules::THREAD_SPAWN));
-        // Tests and the pool itself may spawn.
+        // Tests may spawn freely; allowlisted spawners must keep handles.
         assert!(audit_file("tests/pool_stress.rs", src).is_empty());
-        assert!(audit_file("crates/tensor/src/parallel.rs", src).is_empty());
+        let joined = "let h: std::thread::JoinHandle<()> = std::thread::spawn(|| {});\n";
+        assert!(audit_file("crates/tensor/src/parallel.rs", joined).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_spawner_must_keep_join_handles() {
+        let src = "pub fn go() { std::thread::Builder::new().spawn(f).unwrap(); }\n";
+        let d = audit_file("crates/serve/src/supervisor.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, rules::JOINED_SPAWN);
+        // Naming the handle (so shutdown can join it) clears the rule.
+        let joined = "pub fn go() -> std::thread::JoinHandle<()> {\n\
+                          std::thread::Builder::new().spawn(f).unwrap()\n\
+                      }\n";
+        assert!(audit_file("crates/serve/src/supervisor.rs", joined).is_empty());
+    }
+
+    #[test]
+    fn unit_test_module_spawns_are_exempt() {
+        let src = "pub fn lib_code() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { std::thread::spawn(|| {}).join().unwrap(); }\n\
+                   }\n";
+        assert!(audit_file("crates/serve/src/queue.rs", src).is_empty());
+        // The same spawn above the test module is still flagged.
+        let src = "pub fn lib_code() { std::thread::spawn(|| {}); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {}\n";
+        assert!(audit_file("crates/serve/src/queue.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::THREAD_SPAWN));
+    }
+
+    #[test]
+    fn cfg_test_on_a_method_does_not_start_the_test_region() {
+        let src = "pub struct Q;\n\
+                   impl Q {\n\
+                       #[cfg(test)]\n\
+                       pub fn len(&self) -> usize { 0 }\n\
+                   }\n\
+                   pub fn later() { std::thread::spawn(|| {}); }\n";
+        assert!(audit_file("crates/serve/src/queue.rs", src)
+            .iter()
+            .any(|d| d.rule == rules::THREAD_SPAWN));
     }
 
     #[test]

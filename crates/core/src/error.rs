@@ -23,6 +23,20 @@ pub enum LecaError {
         /// Rollbacks attempted before giving up.
         rollbacks: usize,
     },
+    /// An inference batch with zero samples (or zero elements) was
+    /// submitted to [`crate::InferenceSession`].
+    EmptyBatch,
+    /// An inference batch whose shape contains a zero dimension.
+    ZeroDim {
+        /// The offending shape.
+        shape: Vec<usize>,
+    },
+    /// An inference batch (or a health-check output) containing a NaN or
+    /// infinite value.
+    NonFinite {
+        /// Linear index of the first non-finite element.
+        index: usize,
+    },
 }
 
 impl fmt::Display for LecaError {
@@ -39,6 +53,13 @@ impl fmt::Display for LecaError {
                 f,
                 "training diverged: loss stayed non-finite after {rollbacks} rollbacks"
             ),
+            LecaError::EmptyBatch => write!(f, "inference batch is empty (zero samples)"),
+            LecaError::ZeroDim { shape } => {
+                write!(f, "inference batch shape {shape:?} has a zero dimension")
+            }
+            LecaError::NonFinite { index } => {
+                write!(f, "non-finite value at linear index {index}")
+            }
         }
     }
 }
@@ -52,7 +73,11 @@ impl std::error::Error for LecaError {
             LecaError::Sensor(e) => Some(e),
             LecaError::Data(e) => Some(e),
             LecaError::Codec(e) => Some(e),
-            LecaError::InvalidConfig(_) | LecaError::Diverged { .. } => None,
+            LecaError::InvalidConfig(_)
+            | LecaError::Diverged { .. }
+            | LecaError::EmptyBatch
+            | LecaError::ZeroDim { .. }
+            | LecaError::NonFinite { .. } => None,
         }
     }
 }

@@ -20,10 +20,14 @@ use leca_nn::{Layer, Mode};
 use leca_tensor::{PooledTensor, Tensor, Workspace, WorkspaceStats};
 
 /// The model a session drives: a full LeCA pipeline or a bare backbone
-/// (the baseline-codec evaluation path).
+/// (the baseline-codec evaluation path), either borrowed from the caller
+/// or owned outright (the serving tier pins one owned session per worker
+/// so a poisoned worker can swap in a rebuilt pipeline without any
+/// borrow gymnastics).
 enum ModelRef<'a> {
     Pipeline(&'a mut LecaPipeline),
     Backbone(&'a mut Backbone),
+    Owned(Box<LecaPipeline>),
 }
 
 /// A reusable inference context: one model, one workspace.
@@ -52,6 +56,67 @@ impl<'a> InferenceSession<'a> {
         }
     }
 
+    /// Takes ownership of a pipeline, yielding a `'static` session.
+    ///
+    /// This is the serving-tier constructor: a worker thread owns its
+    /// session outright, and a supervisor can replace the model after a
+    /// panic via [`InferenceSession::rebuild_owned`].
+    pub fn owning(pipeline: LecaPipeline) -> InferenceSession<'static> {
+        InferenceSession {
+            model: ModelRef::Owned(Box::new(pipeline)),
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Replaces an owned session's model with a freshly built pipeline and
+    /// discards the workspace (a panicked forward may have left pooled
+    /// buffers in an inconsistent live/free state, so the whole memory
+    /// plan is rebuilt from scratch; the next batches re-warm it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] on a borrowed session — the
+    /// caller owns the model there, so a rebuild must happen outside.
+    pub fn rebuild_owned(&mut self, pipeline: LecaPipeline) -> LecaResult<()> {
+        match self.model {
+            ModelRef::Owned(_) => {
+                self.model = ModelRef::Owned(Box::new(pipeline));
+                self.ws = Workspace::new();
+                Ok(())
+            }
+            _ => Err(LecaError::InvalidConfig(
+                "rebuild_owned needs an owning session (see InferenceSession::owning)".into(),
+            )),
+        }
+    }
+
+    /// Discards every pooled buffer and starts the workspace over.
+    ///
+    /// Post-panic hygiene for callers that keep the model: a forward that
+    /// unwound mid-flight can strand buffers marked live, so the pool's
+    /// occupancy counters no longer describe reality. The next forwards
+    /// repopulate the fresh pool.
+    pub fn reset_workspace(&mut self) {
+        self.ws = Workspace::new();
+    }
+
+    /// Cheap liveness probe for supervisors: runs one zero-filled batch of
+    /// `input_shape` through the model and checks the logits are finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::NonFinite`] when the model emits NaN/inf from
+    /// a well-formed input (weight corruption, poisoned state), and
+    /// propagates layer errors (e.g. a shape the model rejects).
+    pub fn health_check(&mut self, input_shape: &[usize]) -> LecaResult<()> {
+        let x = Tensor::zeros(input_shape);
+        let logits = self.logits(&x)?;
+        if let Some(index) = logits.as_slice().iter().position(|v| !v.is_finite()) {
+            return Err(LecaError::NonFinite { index });
+        }
+        Ok(())
+    }
+
     /// Eval-mode logits for a batch, computed through the workspace.
     ///
     /// The returned [`PooledTensor`] rejoins the pool when dropped.
@@ -63,6 +128,7 @@ impl<'a> InferenceSession<'a> {
         let out = match &mut self.model {
             ModelRef::Pipeline(p) => p.forward_ws(x, Mode::Eval, &self.ws)?,
             ModelRef::Backbone(b) => b.forward_ws(x, Mode::Eval, &self.ws)?,
+            ModelRef::Owned(p) => p.forward_ws(x, Mode::Eval, &self.ws)?,
         };
         Ok(out)
     }
@@ -71,10 +137,19 @@ impl<'a> InferenceSession<'a> {
     /// into `preds` (cleared first). Reusing the same `preds` vector across
     /// calls keeps the steady state allocation-free.
     ///
+    /// The batch is validated first: garbage in no longer means garbage
+    /// (or a panic) out, which is what lets the serving tier accept
+    /// arbitrary sensor traffic. The validation pass is a single linear
+    /// scan and performs no allocation on the accept path.
+    ///
     /// # Errors
     ///
-    /// Propagates layer errors.
+    /// Returns [`LecaError::EmptyBatch`] for zero-sample input,
+    /// [`LecaError::ZeroDim`] when any dimension is zero, and
+    /// [`LecaError::NonFinite`] when the batch contains NaN/inf;
+    /// otherwise propagates layer errors.
     pub fn classify_batch(&mut self, x: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
+        validate_batch(x)?;
         let logits = self.logits(x)?;
         predict_into(&logits, preds)
     }
@@ -87,10 +162,16 @@ impl<'a> InferenceSession<'a> {
     /// Returns [`LecaError::InvalidConfig`] on a backbone-only session and
     /// propagates layer errors.
     pub fn classify_ofmaps(&mut self, ofmaps: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
-        let ModelRef::Pipeline(p) = &mut self.model else {
-            return Err(LecaError::InvalidConfig(
-                "classify_ofmaps needs a pipeline session (no decoder on a bare backbone)".into(),
-            ));
+        validate_batch(ofmaps)?;
+        let p: &mut LecaPipeline = match &mut self.model {
+            ModelRef::Pipeline(p) => p,
+            ModelRef::Owned(p) => p,
+            ModelRef::Backbone(_) => {
+                return Err(LecaError::InvalidConfig(
+                    "classify_ofmaps needs a pipeline session (no decoder on a bare backbone)"
+                        .into(),
+                ));
+            }
         };
         let decoded = p.decoder_mut().forward_ws(ofmaps, Mode::Eval, &self.ws)?;
         let logits = p
@@ -131,6 +212,24 @@ impl<'a> InferenceSession<'a> {
     pub fn workspace(&self) -> &Workspace {
         &self.ws
     }
+}
+
+/// Input hardening shared by the classify entry points: empty batches,
+/// zero dimensions and non-finite payloads become typed errors instead of
+/// panics deeper in the kernel stack (or silently garbage logits).
+fn validate_batch(x: &Tensor) -> LecaResult<()> {
+    if x.rank() == 0 || x.shape().first() == Some(&0) {
+        return Err(LecaError::EmptyBatch);
+    }
+    if x.shape().contains(&0) {
+        return Err(LecaError::ZeroDim {
+            shape: x.shape().to_vec(),
+        });
+    }
+    if let Some(index) = x.as_slice().iter().position(|v| !v.is_finite()) {
+        return Err(LecaError::NonFinite { index });
+    }
+    Ok(())
 }
 
 /// Row-wise argmax into a reused vector; ties resolve to the first index,
@@ -268,5 +367,80 @@ mod tests {
         let mut preds = Vec::new();
         assert!(predict_into(&Tensor::zeros(&[4]), &mut preds).is_err());
         assert!(predict_into(&Tensor::zeros(&[4, 0]), &mut preds).is_err());
+    }
+
+    #[test]
+    fn classify_batch_rejects_empty_batch() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let mut preds = Vec::new();
+        let err = session
+            .classify_batch(&Tensor::zeros(&[0, 3, 16, 16]), &mut preds)
+            .unwrap_err();
+        assert!(matches!(err, LecaError::EmptyBatch), "{err}");
+    }
+
+    #[test]
+    fn classify_batch_rejects_zero_dims() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let mut preds = Vec::new();
+        let err = session
+            .classify_batch(&Tensor::zeros(&[2, 3, 0, 16]), &mut preds)
+            .unwrap_err();
+        assert!(matches!(err, LecaError::ZeroDim { .. }), "{err}");
+    }
+
+    #[test]
+    fn classify_batch_rejects_non_finite_inputs() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let mut preds = Vec::new();
+        let mut x = Tensor::zeros(&[2, 3, 16, 16]);
+        x.as_mut_slice()[37] = f32::NAN;
+        let err = session.classify_batch(&x, &mut preds).unwrap_err();
+        assert!(matches!(err, LecaError::NonFinite { index: 37 }), "{err}");
+        x.as_mut_slice()[37] = f32::INFINITY;
+        let err = session.classify_batch(&x, &mut preds).unwrap_err();
+        assert!(matches!(err, LecaError::NonFinite { index: 37 }), "{err}");
+        assert!(preds.is_empty(), "rejected batches must not emit preds");
+    }
+
+    #[test]
+    fn owning_session_matches_borrowed_and_rebuilds() {
+        let mut p = pipeline(Modality::Soft);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::rand_uniform(&[3, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let expect = p.forward(&x, Mode::Eval).unwrap().argmax_rows().unwrap();
+        let mut session = InferenceSession::owning(p);
+        let mut preds = Vec::new();
+        session.classify_batch(&x, &mut preds).unwrap();
+        assert_eq!(preds, expect);
+        // Rebuild with an identically seeded pipeline: same predictions,
+        // fresh workspace.
+        session.rebuild_owned(pipeline(Modality::Soft)).unwrap();
+        assert_eq!(session.stats().free, 0, "rebuild must discard the pool");
+        session.classify_batch(&x, &mut preds).unwrap();
+        assert_eq!(preds, expect);
+        assert!(session.classify_ofmaps(&x, &mut preds).is_err()); // wrong shape propagates
+    }
+
+    #[test]
+    fn rebuild_rejected_on_borrowed_session() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        let err = session.rebuild_owned(pipeline(Modality::Soft)).unwrap_err();
+        assert!(matches!(err, LecaError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn health_check_passes_on_sane_model_and_resets() {
+        let p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::owning(p);
+        session.health_check(&[1, 3, 16, 16]).unwrap();
+        assert!(session.stats().free > 0);
+        session.reset_workspace();
+        assert_eq!(session.stats().free, 0);
+        assert_eq!(session.stats().live, 0);
     }
 }

@@ -1,0 +1,224 @@
+//! Service configuration and its environment knobs.
+//!
+//! Three knobs are deployment-facing and readable from the environment
+//! (mirroring `LECA_THREADS` / `LECA_SIMD`):
+//!
+//! * `LECA_SERVE_SHARDS` — worker shards (each pins one warm
+//!   [`leca_core::InferenceSession`]).
+//! * `LECA_SERVE_DEADLINE_US` — default per-request deadline.
+//! * `LECA_SERVE_MAX_BATCH` — dynamic-batcher flush size.
+//!
+//! Everything else (queue capacity, linger, retry/backoff, breaker
+//! thresholds) is set in code; the defaults are tuned for the repo's
+//! tiny-CNN scale.
+
+use crate::error::{ServeError, ServeResult};
+
+/// Per-tenant circuit-breaker policy.
+///
+/// Outcomes are recorded in a sliding window of the last
+/// [`BreakerConfig::window`] requests; once at least
+/// [`BreakerConfig::min_volume`] outcomes are present and the failure
+/// fraction exceeds [`BreakerConfig::trip_ratio`], the breaker opens for
+/// [`BreakerConfig::cooldown_us`] and sheds the tenant's traffic at
+/// admission. After the cooldown it half-opens, letting
+/// [`BreakerConfig::half_open_probes`] probe requests through: one
+/// success closes it, one failure re-opens it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding-window length (outcomes per tenant).
+    pub window: usize,
+    /// Minimum outcomes before the breaker may trip.
+    pub min_volume: usize,
+    /// Failure fraction (0..=1]; the breaker trips when the windowed failure fraction exceeds it.
+    pub trip_ratio: f64,
+    /// How long an open breaker sheds load, in microseconds.
+    pub cooldown_us: u64,
+    /// Probe requests admitted in the half-open state.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 32,
+            min_volume: 16,
+            trip_ratio: 0.5,
+            cooldown_us: 20_000,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Full service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Worker shards; each owns a bounded queue and one pinned session.
+    pub shards: usize,
+    /// Dynamic-batcher flush size (requests per `classify_batch`).
+    pub max_batch: usize,
+    /// Bounded queue capacity per shard; a full queue rejects with
+    /// [`ServeError::Overloaded`] instead of growing.
+    pub queue_cap: usize,
+    /// Default per-request deadline, microseconds (overridable per
+    /// submit).
+    pub deadline_us: u64,
+    /// How long a partially filled batch lingers for co-tenant requests
+    /// before flushing, microseconds.
+    pub linger_us: u64,
+    /// Retries after a failed attempt (so `1 + max_retries` attempts
+    /// total).
+    pub max_retries: u32,
+    /// Base of the exponential retry backoff, microseconds (attempt `k`
+    /// sleeps `backoff_base_us << k`, capped at 100 ms).
+    pub backoff_base_us: u64,
+    /// Tenant-table size; tenant ids are `0..max_tenants`.
+    pub max_tenants: u32,
+    /// Per-tenant circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// When set, each worker warms its session (and re-warms after a
+    /// rebuild) with two throwaway batches of this shape.
+    pub warm_shape: Option<Vec<usize>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            max_batch: 8,
+            queue_cap: 64,
+            deadline_us: 50_000,
+            linger_us: 200,
+            max_retries: 2,
+            backoff_base_us: 100,
+            max_tenants: 16,
+            breaker: BreakerConfig::default(),
+            warm_shape: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `LECA_SERVE_SHARDS`, `LECA_SERVE_DEADLINE_US`
+    /// and `LECA_SERVE_MAX_BATCH` when set to positive integers
+    /// (unparsable or zero values are ignored, matching `LECA_THREADS`).
+    pub fn from_env() -> Self {
+        let mut cfg = ServeConfig::default();
+        if let Some(v) = read_env("LECA_SERVE_SHARDS") {
+            cfg.shards = v as usize;
+        }
+        if let Some(v) = read_env("LECA_SERVE_DEADLINE_US") {
+            cfg.deadline_us = v;
+        }
+        if let Some(v) = read_env("LECA_SERVE_MAX_BATCH") {
+            cfg.max_batch = v as usize;
+        }
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for unusable values.
+    pub fn validate(&self) -> ServeResult<()> {
+        if self.shards == 0 {
+            return Err(ServeError::BadConfig("shards must be >= 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::BadConfig("max_batch must be >= 1".into()));
+        }
+        if self.queue_cap < self.max_batch {
+            return Err(ServeError::BadConfig(format!(
+                "queue_cap ({}) must be >= max_batch ({})",
+                self.queue_cap, self.max_batch
+            )));
+        }
+        if self.max_tenants == 0 {
+            return Err(ServeError::BadConfig("max_tenants must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.breaker.trip_ratio) || self.breaker.trip_ratio == 0.0 {
+            return Err(ServeError::BadConfig(
+                "breaker.trip_ratio must be in (0, 1]".into(),
+            ));
+        }
+        if self.breaker.window == 0 || self.breaker.min_volume == 0 {
+            return Err(ServeError::BadConfig(
+                "breaker window/min_volume must be >= 1".into(),
+            ));
+        }
+        if self.breaker.min_volume > self.breaker.window {
+            return Err(ServeError::BadConfig(format!(
+                "breaker.min_volume ({}) must be <= window ({})",
+                self.breaker.min_volume, self.breaker.window
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_env(key: &str) -> Option<u64> {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `from_env` tests mutate process-global env vars: serialize them.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        for f in [
+            |c: &mut ServeConfig| c.shards = 0,
+            |c: &mut ServeConfig| c.max_batch = 0,
+            |c: &mut ServeConfig| c.queue_cap = 0,
+            |c: &mut ServeConfig| c.max_tenants = 0,
+            |c: &mut ServeConfig| c.breaker.trip_ratio = 0.0,
+            |c: &mut ServeConfig| c.breaker.trip_ratio = 1.5,
+            |c: &mut ServeConfig| c.breaker.window = 0,
+            |c: &mut ServeConfig| c.breaker.min_volume = c.breaker.window + 1,
+        ] {
+            let mut cfg = ServeConfig::default();
+            f(&mut cfg);
+            assert!(matches!(
+                cfg.validate().unwrap_err(),
+                ServeError::BadConfig(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn env_overrides_apply_and_ignore_garbage() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let keys = [
+            "LECA_SERVE_SHARDS",
+            "LECA_SERVE_DEADLINE_US",
+            "LECA_SERVE_MAX_BATCH",
+        ];
+        let old: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
+        std::env::set_var("LECA_SERVE_SHARDS", "5");
+        std::env::set_var("LECA_SERVE_DEADLINE_US", "1234");
+        std::env::set_var("LECA_SERVE_MAX_BATCH", "nonsense");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.shards, 5);
+        assert_eq!(cfg.deadline_us, 1234);
+        assert_eq!(cfg.max_batch, ServeConfig::default().max_batch);
+        for (k, v) in keys.iter().zip(old) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+    }
+}

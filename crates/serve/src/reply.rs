@@ -1,0 +1,235 @@
+//! One-shot reply delivery with slot recycling.
+//!
+//! A [`ReplySlot`] is a tiny one-shot channel (Mutex + Condvar): the
+//! service writes exactly one [`Reply`], the client's [`Ticket`] takes
+//! it. First write wins — late writers (a retry racing a timeout sweep)
+//! are no-ops, which is what makes "every request answered exactly once"
+//! easy to reason about.
+//!
+//! Slots are pooled: consuming a ticket returns its slot to a bounded
+//! free list once the service side has dropped its handle, so the warm
+//! request path performs no allocation (the alloc-regression test
+//! `tests/serve_alloc.rs` pins this down end to end).
+
+use crate::error::Reply;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A one-shot reply cell. First [`ReplySlot::set`] wins.
+#[derive(Debug, Default)]
+pub struct ReplySlot {
+    state: Mutex<Option<Reply>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    /// Delivers `reply` unless one is already present; returns whether
+    /// this call won.
+    pub fn set(&self, reply: Reply) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.is_some() {
+            return false;
+        }
+        *state = Some(reply);
+        self.ready.notify_all();
+        true
+    }
+
+    /// True once a reply has been delivered (and not yet consumed)
+    /// (test hook).
+    #[cfg(test)]
+    pub fn is_set(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    fn take_blocking(&self) -> Reply {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = state.take() {
+                return r;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_timeout(&self, timeout: Duration) -> Option<Reply> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = state.take() {
+                return Some(r);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _timeout) = self
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+}
+
+/// Bounded free list of reply slots.
+#[derive(Debug)]
+pub struct SlotPool {
+    free: Mutex<Vec<Arc<ReplySlot>>>,
+    cap: usize,
+}
+
+impl SlotPool {
+    /// A pool that retains at most `cap` idle slots.
+    pub fn new(cap: usize) -> Self {
+        SlotPool {
+            free: Mutex::new(Vec::with_capacity(cap)),
+            cap,
+        }
+    }
+
+    /// Pops a recycled slot or allocates a fresh one (cold path).
+    pub fn get(&self) -> Arc<ReplySlot> {
+        let popped = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        popped.unwrap_or_default()
+    }
+
+    /// Returns `slot` to the free list when it is exclusively held and
+    /// the list has room; otherwise the slot is simply dropped.
+    pub fn recycle(&self, slot: Arc<ReplySlot>) {
+        if Arc::strong_count(&slot) != 1 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+        if free.len() < self.cap {
+            free.push(slot);
+        }
+    }
+
+    /// Idle slots currently pooled (test hook).
+    #[cfg(test)]
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// The client's handle to one in-flight request.
+///
+/// Consume it with [`Ticket::wait`] (or [`Ticket::wait_for`]); the reply
+/// is always typed — a verdict or a [`crate::ServeError`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ReplySlot>,
+    pool: Arc<SlotPool>,
+    /// Request id (unique per service instance); stable across retries.
+    pub id: u64,
+}
+
+impl Ticket {
+    pub(crate) fn new(slot: Arc<ReplySlot>, pool: Arc<SlotPool>, id: u64) -> Self {
+        Ticket { slot, pool, id }
+    }
+
+    /// Blocks until the reply arrives, recycling the slot.
+    ///
+    /// The service guarantees a typed reply for every admitted request —
+    /// including through worker panics, retries, deadline expiry and
+    /// shutdown — so this wait always terminates once the service is
+    /// processing (see the drop-guard in `worker.rs`).
+    pub fn wait(self) -> Reply {
+        let reply = self.slot.take_blocking();
+        self.finish();
+        reply
+    }
+
+    /// Like [`Ticket::wait`] but gives up after `timeout` (the request
+    /// stays in flight; its slot is not recycled). `None` on timeout.
+    pub fn wait_for(self, timeout: Duration) -> Option<Reply> {
+        match self.slot.take_timeout(timeout) {
+            Some(reply) => {
+                self.finish();
+                Some(reply)
+            }
+            None => None,
+        }
+    }
+
+    /// Recycles the slot once the service side has dropped its clone. The
+    /// service sets the reply *before* releasing its `Pending` (and with
+    /// it the slot Arc), so a bounded yield loop is enough to observe
+    /// exclusivity on the warm path; if the race is lost the slot is
+    /// dropped and a later `get` allocates a replacement.
+    fn finish(self) {
+        for _ in 0..64 {
+            if Arc::strong_count(&self.slot) == 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let Ticket { slot, pool, .. } = self;
+        pool.recycle(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ServeError, Verdict};
+
+    fn ok(class: usize) -> Reply {
+        Ok(Verdict {
+            class,
+            worker: 0,
+            batch_size: 1,
+        })
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let slot = ReplySlot::default();
+        assert!(slot.set(ok(1)));
+        assert!(!slot.set(Err(ServeError::ShuttingDown)));
+        assert!(slot.is_set());
+        assert_eq!(slot.take_blocking(), ok(1));
+        assert!(!slot.is_set());
+    }
+
+    #[test]
+    fn ticket_waits_and_recycles() {
+        let pool = Arc::new(SlotPool::new(4));
+        let slot = pool.get();
+        let t = Ticket::new(Arc::clone(&slot), Arc::clone(&pool), 7);
+        slot.set(ok(3));
+        drop(slot); // service side releases its handle
+        assert_eq!(t.wait(), ok(3));
+        assert_eq!(pool.idle(), 1);
+        // The recycled slot is reusable for a fresh request.
+        let again = pool.get();
+        assert!(!again.is_set());
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_consuming() {
+        let pool = Arc::new(SlotPool::new(4));
+        let slot = pool.get();
+        let t = Ticket::new(Arc::clone(&slot), Arc::clone(&pool), 1);
+        assert!(t.wait_for(Duration::from_millis(5)).is_none());
+        // A reply delivered later is still observable via the slot.
+        slot.set(ok(9));
+        assert!(slot.is_set());
+    }
+
+    #[test]
+    fn pool_bounds_its_free_list() {
+        let pool = SlotPool::new(1);
+        let a = Arc::new(ReplySlot::default());
+        let b = Arc::new(ReplySlot::default());
+        pool.recycle(a);
+        pool.recycle(b);
+        assert_eq!(pool.idle(), 1);
+    }
+}

@@ -28,7 +28,7 @@
 //! next [`pool_run`] after a shutdown.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -98,6 +98,10 @@ struct Job {
     completed: Mutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
+    /// First panic payload caught while running a chunk; the dispatcher
+    /// rethrows it verbatim so callers see the original message, not a
+    /// generic "worker panicked".
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 /// `*const dyn Fn` made Send+Sync so it can cross the queue. The pointee
@@ -128,7 +132,12 @@ impl Job {
             // copies that arrive after completion always see idx >= total
             // (all `total` claims already happened) and never get here.
             let f = unsafe { &*self.f.0 };
-            if catch_unwind(AssertUnwindSafe(|| f(idx))).is_err() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(idx))) {
+                let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+                drop(slot);
                 self.panicked.store(true, Ordering::SeqCst);
             }
             let mut c = self.completed.lock().unwrap_or_else(|e| e.into_inner());
@@ -253,6 +262,7 @@ impl WorkerPool {
             completed: Mutex::new(0),
             done: Condvar::new(),
             panicked: AtomicBool::new(false),
+            payload: Mutex::new(None),
         });
         self.submit(&job, helpers);
 
@@ -264,7 +274,15 @@ impl WorkerPool {
         }
         drop(c);
         if job.panicked.load(Ordering::SeqCst) {
-            panic!("parallel worker panicked");
+            // Every chunk has completed (panicked or not), so the pool's
+            // queue holds only exhausted stale copies and the workers are
+            // back on the condvar: the pool stays fully reusable. Rethrow
+            // the original payload so the caller sees the real message.
+            let payload = job.payload.lock().unwrap_or_else(|e| e.into_inner()).take();
+            match payload {
+                Some(p) => resume_unwind(p),
+                None => panic!("parallel worker panicked"),
+            }
         }
     }
 
@@ -278,8 +296,14 @@ impl WorkerPool {
         let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
         {
             // Raise the flag under the queue lock so a worker between
-            // "queue empty" and "wait" cannot miss the wake-up.
-            let _q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // "queue empty" and "wait" cannot miss the wake-up. Stale job
+            // copies are purged here rather than left for workers to
+            // drain: every completed (or panicked) job has exhausted its
+            // chunk counter, so the copies are pure no-ops, and dropping
+            // them now means no queue entry can outlive a shutdown (the
+            // panic-in-job regression test pins this down).
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.clear();
             self.shared.shutdown.store(true, Ordering::SeqCst);
         }
         self.shared.available.notify_all();
@@ -610,5 +634,71 @@ mod tests {
     fn par_rows_mut_checks_size() {
         let mut out = vec![0.0f32; 9];
         par_rows_mut(&mut out, 2, 5, 1, |_, _| {});
+    }
+
+    /// Regression test for the poisoned-pool edge: a job that panics must
+    /// (a) surface the *original* payload to the dispatcher, (b) leave the
+    /// pool reusable — later jobs run to completion, `shutdown` joins
+    /// without hanging, and no stale queue entry survives.
+    #[test]
+    fn panic_in_job_leaves_pool_reusable() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, 4, |idx| {
+                if idx == 3 {
+                    panic!("chunk 3 exploded");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panicking job must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+            payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap()
+        });
+        assert_eq!(msg, "chunk 3 exploded", "original payload must survive");
+
+        // The pool must still work: every chunk of a fresh job runs.
+        let total = AtomicU64::new(0);
+        pool.run(16, 4, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 136);
+
+        // Shutdown/revive cycles must not hang or leak queue entries.
+        pool.shutdown();
+        assert_eq!(pool.worker_count(), 0);
+        assert!(pool
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty());
+        total.store(0, Ordering::Relaxed);
+        pool.run(4, 2, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    /// Every-chunk-panics variant: all claims must still be accounted for
+    /// (no hung `join`), and repeated panicking jobs must not wedge the
+    /// queue.
+    #[test]
+    fn repeated_panicking_jobs_do_not_wedge_the_pool() {
+        let pool = WorkerPool::new();
+        for round in 0..10 {
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(5, 3, |_| panic!("round {round}"));
+            }));
+            assert!(r.is_err(), "round {round} must panic");
+        }
+        let total = AtomicU64::new(0);
+        pool.run(5, 3, |idx| {
+            total.fetch_add(idx as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 15);
+        drop(pool); // must join cleanly
     }
 }

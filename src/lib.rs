@@ -16,6 +16,9 @@
 //!   models.
 //! * [`baselines`] — the compression baselines (CNV, SD, LR, CS, MS, AGT,
 //!   JPEG).
+//! * [`serve`] — the fault-tolerant multi-tenant inference service
+//!   (dynamic batching, deadlines, backpressure, circuit breaking, chaos
+//!   replay).
 //!
 //! # Quickstart
 //!
@@ -41,4 +44,5 @@ pub use leca_core as core;
 pub use leca_data as data;
 pub use leca_nn as nn;
 pub use leca_sensor as sensor;
+pub use leca_serve as serve;
 pub use leca_tensor as tensor;
