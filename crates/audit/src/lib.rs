@@ -86,6 +86,14 @@ pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
         "tests/serve_alloc.rs",
         "counting GlobalAlloc delegating verbatim to System",
     ),
+    (
+        "tests/quant_alloc.rs",
+        "counting GlobalAlloc delegating verbatim to System",
+    ),
+    (
+        "crates/tensor/src/ops/simd/qavx2.rs",
+        "int8 AVX2 qgemm microkernel (bounds argued per load/store, Miri-exempt via cfg)",
+    ),
 ];
 
 /// Files allowed to spawn threads directly. All other library code must

@@ -11,7 +11,7 @@
 use leca_core::config::LecaConfig;
 use leca_core::encoder::Modality;
 use leca_core::pipeline::LecaPipeline;
-use leca_core::session::InferenceSession;
+use leca_core::session::{InferenceSession, Precision};
 use leca_nn::backbone::tiny_cnn;
 use leca_tensor::ops::simd::{self, MR, NR};
 use leca_tensor::{ops, parallel, Tensor};
@@ -109,6 +109,34 @@ fn main() {
     );
     rows.push(json_row("conv2d_8x16x32x32_3x3", s, v));
 
+    // Int8 GEMM at the same geometry as the f32 matmul row: prepacked
+    // weights, strided i8 activations, i32 accumulators.
+    let (qm, qk, qn) = (64usize, 144usize, 4096usize);
+    let qw: Vec<i8> = (0..qm * qk)
+        .map(|i| ((i % 251) as i32 - 125) as i8)
+        .collect();
+    let qscales = vec![0.01f32; qm];
+    let qa = ops::PackedQMat::pack(&qw, qm, qk, &qscales);
+    let qb: Vec<i8> = (0..qk * qn)
+        .map(|i| ((i % 239) as i32 - 119) as i8)
+        .collect();
+    let mut qacc = vec![0i32; qa.tiles() * MR * qn];
+    let (s, v) = on_both_paths(20, || {
+        let b = ops::QOperand::Strided {
+            data: &qb,
+            rs: qn,
+            cs: 1,
+            zp: 3,
+        };
+        ops::qgemm(&qa, &b, qn, &mut qacc);
+        std::hint::black_box(&mut qacc);
+    });
+    println!(
+        "qgemm_64x144x4096:     scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
+        s / v
+    );
+    rows.push(json_row("qgemm_64x144x4096", s, v));
+
     let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
     let (s, v) = on_both_paths(50, || {
         std::hint::black_box(ops::softmax_rows(&logits).expect("softmax"));
@@ -139,6 +167,27 @@ fn main() {
         avx2_ips / scalar_ips
     );
 
+    // Same session, int8 mode: calibrate on the bench batch, compile the
+    // engine, and time the quantized classify path on both dispatch
+    // paths. The headline number is int8-avx2 vs f32-avx2 throughput.
+    session.enable_int8(&batch).expect("int8 engine");
+    for _ in 0..2 {
+        session
+            .classify_batch_with(&batch, &mut preds, Precision::Int8)
+            .expect("int8 warm");
+    }
+    let (s8, v8) = on_both_paths(30, || {
+        session
+            .classify_batch_with(&batch, &mut preds, Precision::Int8)
+            .expect("int8 classify");
+    });
+    let (scalar8_ips, avx28_ips) = (n_imgs * 1e9 / s8, n_imgs * 1e9 / v8);
+    let int8_speedup = avx28_ips / avx2_ips;
+    println!(
+        "classify_batch_int8 8x3x16x16: scalar {scalar8_ips:>9.0} imgs/s  avx2 {avx28_ips:>9.0} imgs/s  \
+         x{int8_speedup:.2} vs f32 avx2"
+    );
+
     std::env::remove_var("LECA_SIMD");
     simd::refresh_kernel_path();
 
@@ -146,7 +195,9 @@ fn main() {
     (
         "{{\n  \"avx2_available\": {avx2_available},\n  \"threads\": 1,\n  \"kernels\": [\n{}\n  ],\n  \
          \"classify_batch\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar_ips:.0}, \
-         \"avx2_imgs_per_sec\": {avx2_ips:.0}, \"speedup\": {:.3}}}\n}}\n",
+         \"avx2_imgs_per_sec\": {avx2_ips:.0}, \"speedup\": {:.3}}},\n  \
+         \"classify_batch_int8\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar8_ips:.0}, \
+         \"avx2_imgs_per_sec\": {avx28_ips:.0}, \"speedup_vs_f32_avx2\": {int8_speedup:.3}}}\n}}\n",
         rows.join(",\n"),
         avx2_ips / scalar_ips
     );

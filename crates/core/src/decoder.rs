@@ -86,6 +86,27 @@ impl LecaDecoder {
     pub fn n_ch(&self) -> usize {
         self.n_ch
     }
+
+    /// The transposed-convolution upsampling stage.
+    pub fn upsample(&self) -> &ConvTranspose2d {
+        &self.upsample
+    }
+
+    /// Mutable access to the upsampling stage (staged forwards, e.g. int8
+    /// calibration).
+    pub fn upsample_mut(&mut self) -> &mut ConvTranspose2d {
+        &mut self.upsample
+    }
+
+    /// The DnCNN residual branch.
+    pub fn dncnn(&self) -> &Sequential {
+        &self.dncnn
+    }
+
+    /// Mutable access to the DnCNN residual branch.
+    pub fn dncnn_mut(&mut self) -> &mut Sequential {
+        &mut self.dncnn
+    }
 }
 
 impl Layer for LecaDecoder {

@@ -253,6 +253,11 @@ impl LecaEncoder {
         self.resolution.qbit()
     }
 
+    /// The ADC resolution (code grid) the encoder quantizes onto.
+    pub fn resolution(&self) -> AdcResolution {
+        self.resolution
+    }
+
     /// Changes the ofmap bit depth (incremental training: pre-train at
     /// Q_bit = 8, fine-tune at the target).
     ///

@@ -37,6 +37,9 @@ pub enum LecaError {
         /// Linear index of the first non-finite element.
         index: usize,
     },
+    /// Int8 inference was requested from a session with no compiled
+    /// quantized engine (see [`crate::InferenceSession::enable_int8`]).
+    Int8Unavailable,
 }
 
 impl fmt::Display for LecaError {
@@ -60,6 +63,11 @@ impl fmt::Display for LecaError {
             LecaError::NonFinite { index } => {
                 write!(f, "non-finite value at linear index {index}")
             }
+            LecaError::Int8Unavailable => write!(
+                f,
+                "int8 inference requested but no quantized engine is compiled \
+                 (call InferenceSession::enable_int8 first)"
+            ),
         }
     }
 }
@@ -77,7 +85,8 @@ impl std::error::Error for LecaError {
             | LecaError::Diverged { .. }
             | LecaError::EmptyBatch
             | LecaError::ZeroDim { .. }
-            | LecaError::NonFinite { .. } => None,
+            | LecaError::NonFinite { .. }
+            | LecaError::Int8Unavailable => None,
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod deploy;
 pub mod encoder;
 pub mod eval;
 pub mod pipeline;
+pub mod quantized;
 pub mod session;
 pub mod trainer;
 
@@ -49,7 +50,8 @@ pub use decoder::LecaDecoder;
 pub use encoder::{LecaEncoder, Modality};
 pub use error::LecaError;
 pub use pipeline::LecaPipeline;
-pub use session::InferenceSession;
+pub use quantized::{QuantCalibration, QuantizedEngine};
+pub use session::{InferenceSession, Precision};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LecaError>;

@@ -70,12 +70,22 @@ impl LecaPipeline {
         &mut self.encoder
     }
 
+    /// The decoder.
+    pub fn decoder(&self) -> &LecaDecoder {
+        &self.decoder
+    }
+
     /// Mutable decoder access.
     pub fn decoder_mut(&mut self) -> &mut LecaDecoder {
         &mut self.decoder
     }
 
     /// The frozen backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Mutable access to the frozen backbone.
     pub fn backbone_mut(&mut self) -> &mut Backbone {
         &mut self.backbone
     }

@@ -14,10 +14,23 @@
 //! memory plan.
 
 use crate::pipeline::LecaPipeline;
+use crate::quantized::{QuantCalibration, QuantizedEngine};
 use crate::{LecaError, Result as LecaResult};
 use leca_nn::backbone::Backbone;
 use leca_nn::{Layer, Mode};
 use leca_tensor::{PooledTensor, Tensor, Workspace, WorkspaceStats};
+
+/// Numeric precision of a classify call: the f32 workspace path or the
+/// int8 quantized engine (see [`crate::QuantizedEngine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision f32 inference through the pooled workspace.
+    #[default]
+    F32,
+    /// Int8 quantized inference; requires
+    /// [`InferenceSession::enable_int8`] first.
+    Int8,
+}
 
 /// The model a session drives: a full LeCA pipeline or a bare backbone
 /// (the baseline-codec evaluation path), either borrowed from the caller
@@ -37,6 +50,8 @@ enum ModelRef<'a> {
 pub struct InferenceSession<'a> {
     model: ModelRef<'a>,
     ws: Workspace,
+    engine: Option<QuantizedEngine>,
+    precision: Precision,
 }
 
 impl<'a> InferenceSession<'a> {
@@ -45,6 +60,8 @@ impl<'a> InferenceSession<'a> {
         InferenceSession {
             model: ModelRef::Pipeline(pipeline),
             ws: Workspace::new(),
+            engine: None,
+            precision: Precision::F32,
         }
     }
 
@@ -53,6 +70,8 @@ impl<'a> InferenceSession<'a> {
         InferenceSession {
             model: ModelRef::Backbone(backbone),
             ws: Workspace::new(),
+            engine: None,
+            precision: Precision::F32,
         }
     }
 
@@ -65,6 +84,8 @@ impl<'a> InferenceSession<'a> {
         InferenceSession {
             model: ModelRef::Owned(Box::new(pipeline)),
             ws: Workspace::new(),
+            engine: None,
+            precision: Precision::F32,
         }
     }
 
@@ -82,12 +103,89 @@ impl<'a> InferenceSession<'a> {
             ModelRef::Owned(_) => {
                 self.model = ModelRef::Owned(Box::new(pipeline));
                 self.ws = Workspace::new();
+                // A compiled engine holds the *old* model's weights; drop
+                // it and fall back to f32 until the caller re-enables int8
+                // against the fresh pipeline.
+                self.engine = None;
+                self.precision = Precision::F32;
                 Ok(())
             }
             _ => Err(LecaError::InvalidConfig(
                 "rebuild_owned needs an owning session (see InferenceSession::owning)".into(),
             )),
         }
+    }
+
+    /// Compiles the int8 engine for this session's pipeline: calibrates
+    /// activation ranges on `calib_batch` (f32 eval forward) and prepacks
+    /// the quantized kernels. Does **not** change the session's default
+    /// precision — use [`InferenceSession::set_precision`] or the explicit
+    /// [`InferenceSession::classify_batch_with`] to route batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::InvalidConfig`] on a backbone-only session or
+    /// an unsupported pipeline structure; propagates calibration errors.
+    pub fn enable_int8(&mut self, calib_batch: &Tensor) -> LecaResult<()> {
+        validate_batch(calib_batch)?;
+        let p: &mut LecaPipeline = match &mut self.model {
+            ModelRef::Pipeline(p) => p,
+            ModelRef::Owned(p) => p,
+            ModelRef::Backbone(_) => {
+                return Err(LecaError::InvalidConfig(
+                    "int8 needs a pipeline session (no encoder/decoder on a bare backbone)".into(),
+                ));
+            }
+        };
+        let cal = QuantizedEngine::calibrate(p, calib_batch)?;
+        self.engine = Some(QuantizedEngine::build(p, &cal)?);
+        Ok(())
+    }
+
+    /// Compiles the int8 engine from a previously recorded (e.g.
+    /// checkpoint-restored) calibration table instead of calibrating anew.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceSession::enable_int8`], plus a config error when the
+    /// table's point count does not match the pipeline.
+    pub fn enable_int8_with(&mut self, calib: &QuantCalibration) -> LecaResult<()> {
+        let p: &LecaPipeline = match &self.model {
+            ModelRef::Pipeline(p) => p,
+            ModelRef::Owned(p) => p,
+            ModelRef::Backbone(_) => {
+                return Err(LecaError::InvalidConfig(
+                    "int8 needs a pipeline session (no encoder/decoder on a bare backbone)".into(),
+                ));
+            }
+        };
+        self.engine = Some(QuantizedEngine::build(p, calib)?);
+        Ok(())
+    }
+
+    /// The session's default classify precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// True once [`InferenceSession::enable_int8`] has compiled an engine.
+    pub fn int8_ready(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Sets the default precision used by
+    /// [`InferenceSession::classify_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::Int8Unavailable`] when selecting
+    /// [`Precision::Int8`] before [`InferenceSession::enable_int8`].
+    pub fn set_precision(&mut self, precision: Precision) -> LecaResult<()> {
+        if precision == Precision::Int8 && self.engine.is_none() {
+            return Err(LecaError::Int8Unavailable);
+        }
+        self.precision = precision;
+        Ok(())
     }
 
     /// Discards every pooled buffer and starts the workspace over.
@@ -149,9 +247,51 @@ impl<'a> InferenceSession<'a> {
     /// [`LecaError::NonFinite`] when the batch contains NaN/inf;
     /// otherwise propagates layer errors.
     pub fn classify_batch(&mut self, x: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
+        self.classify_batch_with(x, preds, self.precision)
+    }
+
+    /// Classifies a batch at an explicit precision, regardless of the
+    /// session default. The serving tier uses this to route mixed-tenant
+    /// batches through one session.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceSession::classify_batch`], plus
+    /// [`LecaError::Int8Unavailable`] when [`Precision::Int8`] is
+    /// requested with no compiled engine.
+    pub fn classify_batch_with(
+        &mut self,
+        x: &Tensor,
+        preds: &mut Vec<usize>,
+        precision: Precision,
+    ) -> LecaResult<()> {
         validate_batch(x)?;
-        let logits = self.logits(x)?;
-        predict_into(&logits, preds)
+        match precision {
+            Precision::F32 => {
+                let logits = self.logits(x)?;
+                predict_into(&logits, preds)
+            }
+            Precision::Int8 => {
+                let engine = self.engine.as_mut().ok_or(LecaError::Int8Unavailable)?;
+                let classes = engine.classes();
+                let logits = engine.logits(x)?;
+                predict_slice(logits, classes, preds)
+            }
+        }
+    }
+
+    /// Int8 logits for a batch (the quantized analogue of
+    /// [`InferenceSession::logits`]); the slice lives in engine-owned
+    /// scratch and is valid until the next int8 call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LecaError::Int8Unavailable`] with no compiled engine;
+    /// otherwise as [`InferenceSession::classify_batch`].
+    pub fn logits_int8(&mut self, x: &Tensor) -> LecaResult<&[f32]> {
+        validate_batch(x)?;
+        let engine = self.engine.as_mut().ok_or(LecaError::Int8Unavailable)?;
+        engine.logits(x)
     }
 
     /// Classifies a batch of *captured ofmaps* (what [`crate::deploy`]'s
@@ -200,6 +340,13 @@ impl<'a> InferenceSession<'a> {
         for _ in 0..2 {
             self.classify_batch(&x, &mut preds)?;
         }
+        // Also pre-grow the int8 engine's scratch so a precision switch
+        // does not reintroduce steady-state allocations.
+        if self.engine.is_some() && self.precision == Precision::F32 {
+            for _ in 0..2 {
+                self.classify_batch_with(&x, &mut preds, Precision::Int8)?;
+            }
+        }
         Ok(())
     }
 
@@ -241,10 +388,21 @@ fn predict_into(logits: &Tensor, preds: &mut Vec<usize>) -> LecaResult<()> {
             logits.shape()
         )));
     }
-    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    predict_slice(logits.as_slice(), logits.shape()[1], preds)
+}
+
+/// Argmax over row-major `(n, classes)` logits stored in a flat slice
+/// (the int8 engine's output form); same tie-breaking as `predict_into`.
+fn predict_slice(logits: &[f32], classes: usize, preds: &mut Vec<usize>) -> LecaResult<()> {
+    if classes == 0 || !logits.len().is_multiple_of(classes) {
+        return Err(LecaError::InvalidConfig(format!(
+            "classify expects (N, {classes}) logits, got {} values",
+            logits.len()
+        )));
+    }
     preds.clear();
-    preds.reserve(n);
-    for row in logits.as_slice().chunks_exact(k) {
+    preds.reserve(logits.len() / classes);
+    for row in logits.chunks_exact(classes) {
         let mut best = 0;
         for (j, &v) in row.iter().enumerate() {
             if v > row[best] {
@@ -431,6 +589,99 @@ mod tests {
         let mut session = InferenceSession::for_pipeline(&mut p);
         let err = session.rebuild_owned(pipeline(Modality::Soft)).unwrap_err();
         assert!(matches!(err, LecaError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn int8_requires_enable_first() {
+        let mut p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        assert_eq!(session.precision(), Precision::F32);
+        assert!(!session.int8_ready());
+        let err = session.set_precision(Precision::Int8).unwrap_err();
+        assert!(matches!(err, LecaError::Int8Unavailable), "{err}");
+        let mut preds = Vec::new();
+        let x = Tensor::zeros(&[1, 3, 16, 16]);
+        let err = session
+            .classify_batch_with(&x, &mut preds, Precision::Int8)
+            .unwrap_err();
+        assert!(matches!(err, LecaError::Int8Unavailable), "{err}");
+        let err = session.logits_int8(&x).unwrap_err();
+        assert!(matches!(err, LecaError::Int8Unavailable), "{err}");
+    }
+
+    #[test]
+    fn int8_session_classifies_and_mostly_agrees_with_f32() {
+        let mut p = pipeline(Modality::Soft);
+        let mut rng = StdRng::seed_from_u64(20);
+        let calib = Tensor::rand_uniform(&[8, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let x = Tensor::rand_uniform(&[16, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let mut session = InferenceSession::for_pipeline(&mut p);
+        session.enable_int8(&calib).unwrap();
+        assert!(session.int8_ready());
+        // Default precision stays f32 until asked.
+        assert_eq!(session.precision(), Precision::F32);
+        let mut f32_preds = Vec::new();
+        session.classify_batch(&x, &mut f32_preds).unwrap();
+        session.set_precision(Precision::Int8).unwrap();
+        let mut int8_preds = Vec::new();
+        session.classify_batch(&x, &mut int8_preds).unwrap();
+        assert_eq!(int8_preds.len(), f32_preds.len());
+        let agree = f32_preds
+            .iter()
+            .zip(&int8_preds)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree * 10 >= f32_preds.len() * 8,
+            "int8 agrees on only {agree}/{}",
+            f32_preds.len()
+        );
+    }
+
+    #[test]
+    fn int8_rejected_on_backbone_session() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut bb = tiny_cnn(3, &mut rng);
+        let mut session = InferenceSession::for_backbone(&mut bb);
+        let calib = Tensor::zeros(&[1, 3, 16, 16]);
+        let err = session.enable_int8(&calib).unwrap_err();
+        assert!(matches!(err, LecaError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn rebuild_owned_drops_stale_engine() {
+        let p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::owning(p);
+        let mut rng = StdRng::seed_from_u64(22);
+        let calib = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+        session.enable_int8(&calib).unwrap();
+        session.set_precision(Precision::Int8).unwrap();
+        session.rebuild_owned(pipeline(Modality::Soft)).unwrap();
+        assert!(!session.int8_ready());
+        assert_eq!(session.precision(), Precision::F32);
+        // Re-enabling against the fresh pipeline works.
+        session.enable_int8(&calib).unwrap();
+        assert!(session.int8_ready());
+    }
+
+    #[test]
+    fn warm_up_covers_the_int8_path_too() {
+        let p = pipeline(Modality::Soft);
+        let mut session = InferenceSession::owning(p);
+        let mut rng = StdRng::seed_from_u64(23);
+        let calib = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut rng);
+        session.enable_int8(&calib).unwrap();
+        session.warm_up(&[2, 3, 16, 16]).unwrap();
+        // Both paths now classify without error.
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut rng);
+        let mut preds = Vec::new();
+        session
+            .classify_batch_with(&x, &mut preds, Precision::F32)
+            .unwrap();
+        session
+            .classify_batch_with(&x, &mut preds, Precision::Int8)
+            .unwrap();
+        assert_eq!(preds.len(), 2);
     }
 
     #[test]

@@ -36,6 +36,11 @@ impl Backbone {
     }
 
     /// The underlying layer chain.
+    pub fn net(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Mutable access to the underlying layer chain.
     pub fn net_mut(&mut self) -> &mut Sequential {
         &mut self.net
     }

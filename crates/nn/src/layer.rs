@@ -118,6 +118,15 @@ pub trait Layer {
 
     /// A short human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Downcasting hook for graph compilers (the int8 quantizer walks a
+    /// [`crate::layers::Sequential`] and pattern-matches concrete layers
+    /// through this). Concrete in-tree layers override it to return
+    /// `Some(self)`; the default `None` makes any unrecognized external
+    /// layer an explicit "unsupported" case rather than a silent skip.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,10 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "relu"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Leaky rectified linear unit: `y = x` for `x > 0`, else `alpha * x`.
@@ -141,6 +145,10 @@ impl Layer for LeakyRelu {
 
     fn name(&self) -> &'static str {
         "leaky_relu"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -60,6 +60,21 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    /// Learned per-channel scale γ.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma.value
+    }
+
+    /// Learned per-channel shift β.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta.value
+    }
+
+    /// Numerical stabilizer added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize, usize)> {
         if x.rank() != 4 {
             return Err(NnError::Tensor(leca_tensor::TensorError::RankMismatch {
@@ -279,6 +294,10 @@ impl Layer for BatchNorm2d {
 
     fn name(&self) -> &'static str {
         "batch_norm2d"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -103,6 +103,11 @@ impl Conv2d {
     pub fn stride(&self) -> usize {
         self.stride
     }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
 }
 
 impl Layer for Conv2d {
@@ -186,6 +191,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -50,6 +50,26 @@ impl ConvTranspose2d {
     pub fn weight(&self) -> &Tensor {
         &self.weight.value
     }
+
+    /// The current bias vector, if any.
+    pub fn bias(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|p| &p.value)
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
 }
 
 impl Layer for ConvTranspose2d {
@@ -130,6 +150,10 @@ impl Layer for ConvTranspose2d {
 
     fn name(&self) -> &'static str {
         "conv_transpose2d"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -34,6 +34,16 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.weight.value.shape()[0]
     }
+
+    /// The current weight matrix, `(out, in)`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The current bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
 }
 
 impl Layer for Linear {
@@ -87,6 +97,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "linear"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -48,6 +48,10 @@ impl Layer for AvgPool2d {
     fn name(&self) -> &'static str {
         "avg_pool2d"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// True when `x` is rank 4 with spatial dims divisible by window `k` — the
@@ -102,6 +106,10 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "max_pool2d"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -137,6 +137,10 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,10 @@ impl Layer for Flatten {
     fn name(&self) -> &'static str {
         "flatten"
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Global average pooling: `(N, C, H, W)` → `(N, C)`.
@@ -136,6 +140,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "global_avg_pool"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod gradcheck;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod qlayers;
 pub mod quant;
 pub mod serialize;
 

@@ -1,0 +1,945 @@
+//! Int8 inference layers over the `leca-tensor` quantized GEMM tier.
+//!
+//! These are **inference-only** counterparts of the f32 [`crate::layers`]:
+//! each is compiled from a trained f32 layer by quantizing its weights
+//! per output channel (symmetric, zero-point 0) and prepacking them into
+//! [`PackedQMat`] tiles, so the per-call work is only the activation pack,
+//! the integer GEMM, and a fused requantize/dequantize epilogue. They do
+//! not implement [`crate::Layer`] — there is no backward pass, and their
+//! operands are raw i8 code buffers rather than f32 tensors.
+//!
+//! Calibration state (the activation ranges observed on a representative
+//! batch) lives in [`QuantCalibration`], which *does* implement
+//! [`crate::Layer`] purely so the ranges ride the CRC-checked checkpoint
+//! format in [`crate::serialize`] like any other persistent buffer.
+//!
+//! Numerical contract: everything here inherits the tensor tier's
+//! bit-determinism — integer accumulation has no rounding and every
+//! f32→i32 conversion rounds to nearest-even on both dispatch paths, so
+//! int8 inference is bit-identical across `LECA_SIMD` and `LECA_THREADS`.
+
+use crate::layers::{BatchNorm2d, Conv2d, ConvTranspose2d, Linear};
+use crate::{Layer, Mode, NnError, Result};
+use leca_tensor::ops::simd;
+use leca_tensor::ops::{qgemm, Conv2dGeometry, PackedQMat, QIm2col, QOperand};
+use leca_tensor::{QTensor, QuantParams, Tensor};
+
+/// Tracks the running min/max of every tensor shown to it — the standard
+/// post-training calibration observer.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMaxObserver {
+    lo: f32,
+    hi: f32,
+}
+
+impl Default for MinMaxObserver {
+    fn default() -> Self {
+        MinMaxObserver::new()
+    }
+}
+
+impl MinMaxObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        MinMaxObserver {
+            lo: f32::INFINITY,
+            hi: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Widens the tracked range to cover `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`leca_tensor::TensorError::NonFinite`] when `t` contains
+    /// NaN or infinity — a poisoned activation must fail calibration, not
+    /// silently produce an unbounded grid.
+    pub fn observe(&mut self, t: &Tensor) -> Result<()> {
+        let (lo, hi) = QTensor::observe_range(t)?;
+        self.lo = self.lo.min(lo);
+        self.hi = self.hi.max(hi);
+        Ok(())
+    }
+
+    /// True before the first successful [`MinMaxObserver::observe`].
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// The observed `(lo, hi)` range.
+    pub fn range(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+
+    /// The affine grid covering the observed range.
+    pub fn params(&self) -> QuantParams {
+        if self.is_empty() {
+            QuantParams::UNIT
+        } else {
+            QuantParams::from_range(self.lo, self.hi)
+        }
+    }
+}
+
+/// Named activation ranges gathered during calibration, persisted through
+/// the standard checkpoint format.
+///
+/// The ranges live in a single `(n_points, 2)` tensor exposed via
+/// [`Layer::visit_buffers`], so [`crate::serialize::save`] /
+/// [`crate::serialize::load`] give CRC-checked persistence for free. The
+/// [`Layer`] forward is the identity — this layer is never part of a
+/// compute graph.
+#[derive(Debug)]
+pub struct QuantCalibration {
+    ranges: Tensor,
+}
+
+impl QuantCalibration {
+    /// Creates a calibration table with `n_points` empty observation
+    /// points (`lo = +inf`, `hi = -inf`).
+    pub fn new(n_points: usize) -> Self {
+        let mut ranges = Tensor::zeros(&[n_points.max(1), 2]);
+        for p in 0..n_points.max(1) {
+            ranges.as_mut_slice()[p * 2] = f32::INFINITY;
+            ranges.as_mut_slice()[p * 2 + 1] = f32::NEG_INFINITY;
+        }
+        QuantCalibration { ranges }
+    }
+
+    /// Number of observation points.
+    pub fn len(&self) -> usize {
+        self.ranges.shape()[0]
+    }
+
+    /// True when the table has no observation points. (The backing tensor
+    /// always holds at least one row; emptiness is a logical property of
+    /// point 0 never having been observed.)
+    pub fn is_empty(&self) -> bool {
+        self.ranges.as_slice()[0] > self.ranges.as_slice()[1]
+    }
+
+    /// Widens point `idx` to cover `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] for an out-of-range index and a
+    /// tensor error when `t` is non-finite.
+    pub fn record(&mut self, idx: usize, t: &Tensor) -> Result<()> {
+        if idx >= self.len() {
+            return Err(NnError::BatchMismatch {
+                what: "calibration point",
+                expected: self.len(),
+                actual: idx,
+            });
+        }
+        let (lo, hi) = QTensor::observe_range(t)?;
+        let row = &mut self.ranges.as_mut_slice()[idx * 2..idx * 2 + 2];
+        row[0] = row[0].min(lo);
+        row[1] = row[1].max(hi);
+        Ok(())
+    }
+
+    /// The observed `(lo, hi)` range of point `idx`.
+    pub fn range(&self, idx: usize) -> (f32, f32) {
+        let row = &self.ranges.as_slice()[idx * 2..idx * 2 + 2];
+        (row[0], row[1])
+    }
+
+    /// The affine grid covering point `idx` (the unit grid when the point
+    /// was never observed).
+    pub fn params(&self, idx: usize) -> QuantParams {
+        let (lo, hi) = self.range(idx);
+        if lo > hi {
+            QuantParams::UNIT
+        } else {
+            QuantParams::from_range(lo, hi)
+        }
+    }
+}
+
+impl Layer for QuantCalibration {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor> {
+        Ok(x.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        Ok(grad_out.clone())
+    }
+
+    fn visit_buffers(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.ranges);
+    }
+
+    fn name(&self) -> &'static str {
+        "quant_calibration"
+    }
+}
+
+/// Folds an eval-mode [`BatchNorm2d`] into the preceding convolution's
+/// weights and bias: `w'_o = w_o * γ_o / sqrt(var_o + eps)`,
+/// `b'_o = β_o + (b_o - mean_o) * γ_o / sqrt(var_o + eps)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when the channel counts disagree.
+pub fn fold_batchnorm(conv: &Conv2d, bn: &BatchNorm2d) -> Result<(Tensor, Vec<f32>)> {
+    let o = conv.weight().shape()[0];
+    if bn.channels() != o {
+        return Err(NnError::BatchMismatch {
+            what: "batch-norm fold channels",
+            expected: o,
+            actual: bn.channels(),
+        });
+    }
+    let per_out = conv.weight().len() / o;
+    let mut w = conv.weight().clone();
+    let mut b = vec![0.0f32; o];
+    for (oi, bo) in b.iter_mut().enumerate() {
+        let g = bn.gamma().as_slice()[oi] / (bn.running_var().as_slice()[oi] + bn.eps()).sqrt();
+        for v in &mut w.as_mut_slice()[oi * per_out..(oi + 1) * per_out] {
+            *v *= g;
+        }
+        let b0 = conv.bias().map_or(0.0, |t| t.as_slice()[oi]);
+        *bo = bn.beta().as_slice()[oi] + (b0 - bn.running_mean().as_slice()[oi]) * g;
+    }
+    Ok((w, b))
+}
+
+/// What a [`QConv2d`] emits: i8 codes on a fixed output grid (feeding the
+/// next quantized layer) or dequantized f32 (leaving the int8 domain).
+#[derive(Debug, Clone, Copy)]
+pub enum QConvEpilogue {
+    /// Requantize onto `out`'s grid, optionally fusing ReLU as
+    /// `max(q, zero_point)`.
+    Requant {
+        /// The output activation grid.
+        out: QuantParams,
+        /// Fuse ReLU into the requantization.
+        relu: bool,
+    },
+    /// Dequantize to f32, optionally applying ReLU afterwards.
+    Dequant {
+        /// Apply f32 ReLU to the dequantized output.
+        relu: bool,
+    },
+}
+
+/// An int8 2-D convolution compiled from a trained [`Conv2d`] (optionally
+/// with a folded [`BatchNorm2d`]), lowered to the prepacked quantized GEMM.
+#[derive(Debug)]
+pub struct QConv2d {
+    weights: PackedQMat,
+    bias: Vec<f32>,
+    in_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    input: QuantParams,
+    epilogue: QConvEpilogue,
+    /// GEMM accumulator scratch, grown once and reused (warm runs never
+    /// allocate).
+    acc: Vec<i32>,
+}
+
+/// Quantizes a rank-4 `(O, ·, ·, ·)` weight tensor per output channel and
+/// packs it as the `(O, rest)` GEMM A matrix.
+fn pack_weight(w: &Tensor) -> Result<PackedQMat> {
+    let qt = QTensor::quantize_per_channel(w)?;
+    let o = w.shape()[0];
+    Ok(PackedQMat::pack(
+        qt.data(),
+        o,
+        w.len() / o.max(1),
+        qt.scales(),
+    ))
+}
+
+/// Quantizes a conv weight `(O, C, KH, KW)` per output channel and packs
+/// it with the reduction axis reordered from the weight's natural
+/// `(ci, ky, kx)` to the `(ky, kx, ci)` order [`QIm2col`] serves. Channel-
+/// adjacent reduction rows share one bounds geometry, which is what lets
+/// the im2col B-pack run at streaming speed; i32 GEMM accumulation is
+/// exact under any reduction permutation, so results are bit-identical.
+fn pack_conv_weight(w: &Tensor) -> Result<PackedQMat> {
+    let qt = QTensor::quantize_per_channel(w)?;
+    let d = w.shape();
+    let (o, c, kh, kw) = (d[0], d[1], d[2], d[3]);
+    let k = c * kh * kw;
+    let mut perm = vec![0i8; o * k];
+    for oi in 0..o {
+        let src = &qt.data()[oi * k..(oi + 1) * k];
+        let row = &mut perm[oi * k..(oi + 1) * k];
+        for ci in 0..c {
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    row[(ky * kw + kx) * c + ci] = src[(ci * kh + ky) * kw + kx];
+                }
+            }
+        }
+    }
+    Ok(PackedQMat::pack(&perm, o, k, qt.scales()))
+}
+
+impl QConv2d {
+    /// Compiles `conv` for inputs on the `input` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the weights are non-finite.
+    pub fn from_conv(conv: &Conv2d, input: QuantParams, epilogue: QConvEpilogue) -> Result<Self> {
+        let o = conv.weight().shape()[0];
+        let bias = match conv.bias() {
+            Some(b) => b.as_slice().to_vec(),
+            None => vec![0.0; o],
+        };
+        Self::from_parts(
+            conv.weight(),
+            bias,
+            conv.stride(),
+            conv.pad(),
+            input,
+            epilogue,
+        )
+    }
+
+    /// Compiles `conv` with `bn` folded into its weights and bias.
+    ///
+    /// # Errors
+    ///
+    /// As [`QConv2d::from_conv`] and [`fold_batchnorm`].
+    pub fn from_conv_bn(
+        conv: &Conv2d,
+        bn: &BatchNorm2d,
+        input: QuantParams,
+        epilogue: QConvEpilogue,
+    ) -> Result<Self> {
+        let (w, b) = fold_batchnorm(conv, bn)?;
+        Self::from_parts(&w, b, conv.stride(), conv.pad(), input, epilogue)
+    }
+
+    fn from_parts(
+        weight: &Tensor,
+        bias: Vec<f32>,
+        stride: usize,
+        pad: usize,
+        input: QuantParams,
+        epilogue: QConvEpilogue,
+    ) -> Result<Self> {
+        Ok(QConv2d {
+            weights: pack_conv_weight(weight)?,
+            bias,
+            in_ch: weight.shape()[1],
+            kernel: weight.shape()[2],
+            stride,
+            pad,
+            input,
+            epilogue,
+            acc: Vec::new(),
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The configured epilogue.
+    pub fn epilogue(&self) -> QConvEpilogue {
+        self.epilogue
+    }
+
+    /// Output spatial dims for an `h x w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid geometry.
+    pub fn out_dims(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        Ok(Conv2dGeometry {
+            in_h: h,
+            in_w: w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+        .out_dims()?)
+    }
+
+    /// Runs the integer GEMM over the whole batch, leaving per-channel
+    /// rows in `self.acc`, and returns `(oh, ow)`.
+    fn gemm(&mut self, x: &[i8], n_imgs: usize, h: usize, w: usize) -> Result<(usize, usize)> {
+        if x.len() != n_imgs * self.in_ch * h * w {
+            return Err(NnError::BatchMismatch {
+                what: "qconv2d input codes",
+                expected: n_imgs * self.in_ch * h * w,
+                actual: x.len(),
+            });
+        }
+        let (oh, ow) = self.out_dims(h, w)?;
+        let n = n_imgs * oh * ow;
+        self.acc.resize(self.weights.tiles() * simd::MR * n, 0);
+        let view = QOperand::Im2col(QIm2col {
+            data: x,
+            c: self.in_ch,
+            h,
+            w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+            oh,
+            ow,
+            zp: self.input.zero_point,
+        });
+        qgemm(&self.weights, &view, n, &mut self.acc);
+        Ok((oh, ow))
+    }
+
+    /// Convolves the i8 NCHW batch `x` and requantizes into `out` (i8
+    /// NCHW). Requires a [`QConvEpilogue::Requant`] epilogue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a dequantizing epilogue and
+    /// [`NnError::BatchMismatch`] for wrong buffer sizes.
+    pub fn run_q(
+        &mut self,
+        x: &[i8],
+        n_imgs: usize,
+        h: usize,
+        w: usize,
+        out: &mut [i8],
+    ) -> Result<()> {
+        let QConvEpilogue::Requant { out: oq, relu } = self.epilogue else {
+            return Err(NnError::InvalidConfig(
+                "qconv2d: run_q requires a requantizing epilogue".into(),
+            ));
+        };
+        let (oh, ow) = self.gemm(x, n_imgs, h, w)?;
+        let (o, hw, n) = (self.out_channels(), oh * ow, n_imgs * oh * ow);
+        if out.len() != n_imgs * o * hw {
+            return Err(NnError::BatchMismatch {
+                what: "qconv2d output codes",
+                expected: n_imgs * o * hw,
+                actual: out.len(),
+            });
+        }
+        for oi in 0..o {
+            let m = self.input.scale * self.weights.scales()[oi] / oq.scale;
+            let b = self.bias[oi] / oq.scale;
+            let row = &self.acc[oi * n..(oi + 1) * n];
+            for img in 0..n_imgs {
+                simd::requant_i32(
+                    &row[img * hw..(img + 1) * hw],
+                    m,
+                    b,
+                    oq.zero_point,
+                    relu,
+                    &mut out[(img * o + oi) * hw..(img * o + oi + 1) * hw],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Convolves the i8 NCHW batch `x` and dequantizes into `out` (f32
+    /// NCHW). Requires a [`QConvEpilogue::Dequant`] epilogue.
+    ///
+    /// # Errors
+    ///
+    /// As [`QConv2d::run_q`], with the epilogue roles swapped.
+    pub fn run_f(
+        &mut self,
+        x: &[i8],
+        n_imgs: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        let QConvEpilogue::Dequant { relu } = self.epilogue else {
+            return Err(NnError::InvalidConfig(
+                "qconv2d: run_f requires a dequantizing epilogue".into(),
+            ));
+        };
+        let (oh, ow) = self.gemm(x, n_imgs, h, w)?;
+        let (o, hw, n) = (self.out_channels(), oh * ow, n_imgs * oh * ow);
+        if out.len() != n_imgs * o * hw {
+            return Err(NnError::BatchMismatch {
+                what: "qconv2d output",
+                expected: n_imgs * o * hw,
+                actual: out.len(),
+            });
+        }
+        for oi in 0..o {
+            let m = self.input.scale * self.weights.scales()[oi];
+            let row = &self.acc[oi * n..(oi + 1) * n];
+            for img in 0..n_imgs {
+                let dst = &mut out[(img * o + oi) * hw..(img * o + oi + 1) * hw];
+                simd::dequant_i32(&row[img * hw..(img + 1) * hw], m, self.bias[oi], dst);
+                if relu {
+                    simd::relu_inplace(dst);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An int8 `K x` upsampling transposed convolution (`stride == kernel`,
+/// no padding — the LeCA decoder's upsample stage), always dequantizing
+/// to f32.
+///
+/// Lowered as `A · B` with `A` the `(out_ch·k·k, in_ch)` reshaped weight
+/// and `B` the input batch viewed channel-major; with `stride == kernel`
+/// every output pixel is written by exactly one `(ky, kx)` tap, so the
+/// col2im scatter is a disjoint copy.
+#[derive(Debug)]
+pub struct QConvTranspose2d {
+    weights: PackedQMat,
+    bias: Vec<f32>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    input: QuantParams,
+    acc: Vec<i32>,
+    /// Dequantized-row scratch for the scatter.
+    frow: Vec<f32>,
+}
+
+impl QConvTranspose2d {
+    /// Compiles `ct` for inputs on the `input` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] unless `stride == kernel` and
+    /// `pad == 0`, and a tensor error for non-finite weights.
+    pub fn from_conv_transpose(ct: &ConvTranspose2d, input: QuantParams) -> Result<Self> {
+        if ct.stride() != ct.kernel() || ct.pad() != 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "qconv_transpose2d supports stride == kernel, pad == 0; got stride {}, kernel {}, pad {}",
+                ct.stride(),
+                ct.kernel(),
+                ct.pad()
+            )));
+        }
+        let d = ct.weight().shape();
+        let (ci, co, k) = (d[0], d[1], d[2]);
+        // Reshape (in, out, k, k) into the (out*k*k, in) GEMM A matrix so
+        // each row gets its own symmetric scale.
+        let mut a = Tensor::zeros(&[co * k * k, ci]);
+        for cin in 0..ci {
+            for cout in 0..co {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let v = ct.weight().as_slice()[((cin * co + cout) * k + ky) * k + kx];
+                        a.as_mut_slice()[((cout * k + ky) * k + kx) * ci + cin] = v;
+                    }
+                }
+            }
+        }
+        let bias = match ct.bias() {
+            Some(b) => b.as_slice().to_vec(),
+            None => vec![0.0; co],
+        };
+        Ok(QConvTranspose2d {
+            weights: pack_weight(&a)?,
+            bias,
+            in_ch: ci,
+            out_ch: co,
+            kernel: k,
+            input,
+            acc: Vec::new(),
+            frow: Vec::new(),
+        })
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// The upsampling factor (`kernel == stride`).
+    pub fn factor(&self) -> usize {
+        self.kernel
+    }
+
+    /// Upsamples the i8 NCHW batch `x` (`n_imgs x in_ch x h x w`) into
+    /// the f32 NCHW buffer `out` (`n_imgs x out_ch x h*k x w*k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] for wrong buffer sizes.
+    pub fn run(
+        &mut self,
+        x: &[i8],
+        n_imgs: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if x.len() != n_imgs * self.in_ch * h * w {
+            return Err(NnError::BatchMismatch {
+                what: "qconv_transpose2d input codes",
+                expected: n_imgs * self.in_ch * h * w,
+                actual: x.len(),
+            });
+        }
+        let k = self.kernel;
+        let (oh, ow) = (h * k, w * k);
+        if out.len() != n_imgs * self.out_ch * oh * ow {
+            return Err(NnError::BatchMismatch {
+                what: "qconv_transpose2d output",
+                expected: n_imgs * self.out_ch * oh * ow,
+                actual: out.len(),
+            });
+        }
+        let n = n_imgs * h * w;
+        self.acc.resize(self.weights.tiles() * simd::MR * n, 0);
+        let view = QOperand::Nchw {
+            data: x,
+            c: self.in_ch,
+            hw: h * w,
+            zp: self.input.zero_point,
+        };
+        qgemm(&self.weights, &view, n, &mut self.acc);
+        self.frow.resize(n, 0.0);
+        for r in 0..self.out_ch * k * k {
+            let (oc, rem) = (r / (k * k), r % (k * k));
+            let (ky, kx) = (rem / k, rem % k);
+            let m = self.input.scale * self.weights.scales()[r];
+            simd::dequant_i32(
+                &self.acc[r * n..(r + 1) * n],
+                m,
+                self.bias[oc],
+                &mut self.frow,
+            );
+            for img in 0..n_imgs {
+                for iy in 0..h {
+                    let src = &self.frow[(img * h + iy) * w..(img * h + iy) * w + w];
+                    let base = ((img * self.out_ch + oc) * oh + iy * k + ky) * ow + kx;
+                    for (ix, &v) in src.iter().enumerate() {
+                        out[base + ix * k] = v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An int8 fully-connected layer compiled from a trained [`Linear`],
+/// always dequantizing to f32.
+#[derive(Debug)]
+pub struct QLinear {
+    weights: PackedQMat,
+    bias: Vec<f32>,
+    in_features: usize,
+    input: QuantParams,
+    acc: Vec<i32>,
+    frow: Vec<f32>,
+}
+
+impl QLinear {
+    /// Compiles `linear` for inputs on the `input` grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when the weights are non-finite.
+    pub fn from_linear(linear: &Linear, input: QuantParams) -> Result<Self> {
+        let qt = QTensor::quantize_per_channel(linear.weight())?;
+        let (o, i) = (linear.out_features(), linear.in_features());
+        Ok(QLinear {
+            weights: PackedQMat::pack(qt.data(), o, i, qt.scales()),
+            bias: linear.bias().as_slice().to_vec(),
+            in_features: i,
+            input,
+            acc: Vec::new(),
+            frow: Vec::new(),
+        })
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Computes `y = dequant(x_q) · Wᵀ + b` for the i8 row-major batch
+    /// `x` (`n x in`), writing the f32 `(n, out)` result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BatchMismatch`] for wrong buffer sizes.
+    pub fn run(&mut self, x: &[i8], n_rows: usize, out: &mut [f32]) -> Result<()> {
+        if x.len() != n_rows * self.in_features {
+            return Err(NnError::BatchMismatch {
+                what: "qlinear input codes",
+                expected: n_rows * self.in_features,
+                actual: x.len(),
+            });
+        }
+        let o = self.out_features();
+        if out.len() != n_rows * o {
+            return Err(NnError::BatchMismatch {
+                what: "qlinear output",
+                expected: n_rows * o,
+                actual: out.len(),
+            });
+        }
+        self.acc.resize(self.weights.tiles() * simd::MR * n_rows, 0);
+        // B is xᵀ: get(p, j) = x[j * in + p].
+        let view = QOperand::Strided {
+            data: x,
+            rs: 1,
+            cs: self.in_features,
+            zp: self.input.zero_point,
+        };
+        qgemm(&self.weights, &view, n_rows, &mut self.acc);
+        self.frow.resize(n_rows, 0.0);
+        for oi in 0..o {
+            let m = self.input.scale * self.weights.scales()[oi];
+            simd::dequant_i32(
+                &self.acc[oi * n_rows..(oi + 1) * n_rows],
+                m,
+                self.bias[oi],
+                &mut self.frow,
+            );
+            for (j, &v) in self.frow.iter().enumerate() {
+                out[j * o + oi] = v;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Quantizes the f32 batch `src` onto `params`'s grid (used between f32
+/// stages and the int8 tier; vectorized on the AVX2 path).
+pub fn quantize_batch(src: &[f32], params: QuantParams, out: &mut [i8]) {
+    simd::quantize_q8(src, 1.0 / params.scale, params.zero_point, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Integer-valued tensor with |v| <= 127 so symmetric per-channel
+    /// quantization (scale 1 when maxabs == 127) is exact.
+    fn int_tensor(shape: &[usize], seed: u64, lim: i32) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        let mut state = seed | 1;
+        for v in t.as_mut_slice() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = ((state >> 33) % (2 * lim as u64 + 1)) as i32 - lim;
+            *v = r as f32;
+        }
+        t
+    }
+
+    /// Forces one weight to ±127 per channel so each channel's scale is
+    /// exactly 1.0 and quantization is the identity on integer weights.
+    fn pin_scales(w: &mut Tensor) {
+        let o = w.shape()[0];
+        let per = w.len() / o;
+        for oi in 0..o {
+            w.as_mut_slice()[oi * per] = 127.0;
+        }
+    }
+
+    const UNIT: QuantParams = QuantParams::UNIT;
+
+    fn codes_of(t: &Tensor) -> Vec<i8> {
+        t.as_slice().iter().map(|&v| v as i8).collect()
+    }
+
+    #[test]
+    fn qconv_dequant_matches_f32_conv_exactly_on_integer_grids() {
+        let mut w = int_tensor(&[3, 2, 3, 3], 7, 5);
+        pin_scales(&mut w);
+        let bias = Tensor::from_slice(&[1.0, -2.0, 0.5]);
+        let mut conv = Conv2d::from_weights(w, Some(bias), 1, 1);
+        let x = int_tensor(&[2, 2, 6, 6], 11, 7);
+        let expected = conv.forward(&x, Mode::Eval).unwrap();
+
+        let mut qc =
+            QConv2d::from_conv(&conv, UNIT, QConvEpilogue::Dequant { relu: false }).unwrap();
+        let mut out = vec![0.0f32; expected.len()];
+        qc.run_f(&codes_of(&x), 2, 6, 6, &mut out).unwrap();
+        assert_eq!(out, expected.as_slice(), "integer conv must be exact");
+    }
+
+    #[test]
+    fn qconv_requant_matches_manual_requantization() {
+        let mut w = int_tensor(&[4, 3, 3, 3], 3, 4);
+        pin_scales(&mut w);
+        let mut conv = Conv2d::from_weights(w, None, 2, 1);
+        let x = int_tensor(&[1, 3, 8, 8], 5, 6);
+        let f32_out = conv.forward(&x, Mode::Eval).unwrap();
+
+        let oq = QuantParams {
+            scale: 2.0,
+            zero_point: -3,
+        };
+        let mut qc = QConv2d::from_conv(
+            &conv,
+            UNIT,
+            QConvEpilogue::Requant {
+                out: oq,
+                relu: true,
+            },
+        )
+        .unwrap();
+        let mut out = vec![0i8; f32_out.len()];
+        qc.run_q(&codes_of(&x), 1, 8, 8, &mut out).unwrap();
+        for (got, &f) in out.iter().zip(f32_out.as_slice()) {
+            let want = oq.quantize(f.max(0.0));
+            // ReLU is fused as max(q, zp); on exact grids they agree.
+            assert_eq!(*got, want.max(oq.zero_point as i8), "f32 value {f}");
+        }
+    }
+
+    #[test]
+    fn epilogue_mismatch_is_a_typed_error() {
+        let mut w = int_tensor(&[1, 1, 1, 1], 1, 3);
+        pin_scales(&mut w);
+        let conv = Conv2d::from_weights(w, None, 1, 0);
+        let mut q =
+            QConv2d::from_conv(&conv, UNIT, QConvEpilogue::Dequant { relu: false }).unwrap();
+        let mut out = vec![0i8; 4];
+        assert!(matches!(
+            q.run_q(&[0i8; 4], 1, 2, 2, &mut out),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn qconv_transpose_matches_f32_upsample_exactly() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ct = ConvTranspose2d::new(3, 2, 2, 2, 0, true, &mut rng);
+        // Overwrite with exact integer weights through the param visitor.
+        let wshape = ct.weight().shape().to_vec();
+        let mut wi = int_tensor(&wshape, 13, 6);
+        // Per-row scale pinning happens on the reshaped (out*k*k, in)
+        // matrix: pin column 0 of every (oc, ky, kx) row, i.e. in-channel
+        // 0 of every tap.
+        {
+            let d = wi.shape().to_vec();
+            for cout in 0..d[1] {
+                for ky in 0..d[2] {
+                    for kx in 0..d[3] {
+                        wi.as_mut_slice()[(cout * d[2] + ky) * d[3] + kx] = 127.0;
+                    }
+                }
+            }
+        }
+        ct.visit_params(&mut |p| {
+            if p.value.rank() == 4 {
+                p.value = wi.clone();
+            } else {
+                p.value = Tensor::from_slice(&[0.25, -1.5]);
+            }
+        });
+        let x = int_tensor(&[2, 3, 4, 5], 17, 5);
+        let expected = ct.forward(&x, Mode::Eval).unwrap();
+
+        let mut qct = QConvTranspose2d::from_conv_transpose(&ct, UNIT).unwrap();
+        let mut out = vec![0.0f32; expected.len()];
+        qct.run(&codes_of(&x), 2, 4, 5, &mut out).unwrap();
+        assert_eq!(out, expected.as_slice(), "integer upsample must be exact");
+    }
+
+    #[test]
+    fn qconv_transpose_rejects_general_geometry() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ct = ConvTranspose2d::new(2, 2, 3, 2, 0, false, &mut rng);
+        assert!(matches!(
+            QConvTranspose2d::from_conv_transpose(&ct, UNIT),
+            Err(NnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn qlinear_matches_f32_linear_exactly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(6, 4, &mut rng);
+        let mut wi = int_tensor(&[4, 6], 19, 9);
+        pin_scales(&mut wi);
+        lin.visit_params(&mut |p| {
+            if p.value.rank() == 2 {
+                p.value = wi.clone();
+            } else {
+                p.value = Tensor::from_slice(&[0.5, -0.5, 2.0, 0.0]);
+            }
+        });
+        let x = int_tensor(&[3, 6], 23, 8);
+        let expected = lin.forward(&x, Mode::Eval).unwrap();
+
+        let mut ql = QLinear::from_linear(&lin, UNIT).unwrap();
+        let mut out = vec![0.0f32; expected.len()];
+        ql.run(&codes_of(&x), 3, &mut out).unwrap();
+        assert_eq!(out, expected.as_slice(), "integer matvec must be exact");
+    }
+
+    #[test]
+    fn folded_batchnorm_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, true, &mut rng);
+        let mut bn = BatchNorm2d::new(3);
+        // Drive the running stats away from the (0, 1) init.
+        let warm = Tensor::rand_uniform(&[4, 3, 5, 5], -2.0, 3.0, &mut rng);
+        bn.forward(&warm, Mode::Train).unwrap();
+        let x = Tensor::rand_uniform(&[2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let expected = bn
+            .forward(&conv.forward(&x, Mode::Eval).unwrap(), Mode::Eval)
+            .unwrap();
+
+        let (w, b) = fold_batchnorm(&conv, &bn).unwrap();
+        let mut folded = Conv2d::from_weights(w, Some(Tensor::from_slice(&b)), 1, 1);
+        let got = folded.forward(&x, Mode::Eval).unwrap();
+        for (g, e) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((g - e).abs() < 1e-4, "folded {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn observer_and_calibration_roundtrip() {
+        let mut obs = MinMaxObserver::new();
+        assert!(obs.is_empty());
+        obs.observe(&Tensor::from_slice(&[-1.0, 2.0])).unwrap();
+        obs.observe(&Tensor::from_slice(&[0.5, 3.0])).unwrap();
+        assert_eq!(obs.range(), (-1.0, 3.0));
+        assert!(obs.observe(&Tensor::from_slice(&[f32::NAN])).is_err());
+
+        let mut cal = QuantCalibration::new(3);
+        assert_eq!(cal.len(), 3);
+        assert!(cal.is_empty());
+        cal.record(0, &Tensor::from_slice(&[-1.0, 3.0])).unwrap();
+        cal.record(2, &Tensor::from_slice(&[0.0, 10.0])).unwrap();
+        assert!(cal.record(3, &Tensor::from_slice(&[0.0])).is_err());
+        assert!(!cal.is_empty());
+
+        // Persist through the standard CRC-checked checkpoint format.
+        let bytes = crate::serialize::to_bytes(&mut cal);
+        let mut restored = QuantCalibration::new(3);
+        crate::serialize::from_bytes(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.range(0), (-1.0, 3.0));
+        assert_eq!(restored.range(2), (0.0, 10.0));
+        let p = restored.params(0);
+        assert!(p.scale > 0.0);
+        // Unobserved point falls back to the unit grid.
+        assert_eq!(restored.params(1).scale, 1.0);
+    }
+
+    #[test]
+    fn quantize_batch_uses_grid() {
+        let p = QuantParams {
+            scale: 0.5,
+            zero_point: 1,
+        };
+        let mut out = vec![0i8; 3];
+        quantize_batch(&[0.0, 1.0, -2.0], p, &mut out);
+        assert_eq!(out, vec![1, 3, -3]);
+    }
+}

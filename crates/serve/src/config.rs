@@ -7,12 +7,15 @@
 //!   [`leca_core::InferenceSession`]).
 //! * `LECA_SERVE_DEADLINE_US` — default per-request deadline.
 //! * `LECA_SERVE_MAX_BATCH` — dynamic-batcher flush size.
+//! * `LECA_SERVE_PRECISION` — default numeric precision (`f32` or
+//!   `int8`) for tenants without an explicit override.
 //!
 //! Everything else (queue capacity, linger, retry/backoff, breaker
 //! thresholds) is set in code; the defaults are tuned for the repo's
 //! tiny-CNN scale.
 
 use crate::error::{ServeError, ServeResult};
+use leca_core::Precision;
 
 /// Per-tenant circuit-breaker policy.
 ///
@@ -79,6 +82,20 @@ pub struct ServeConfig {
     /// When set, each worker warms its session (and re-warms after a
     /// rebuild) with two throwaway batches of this shape.
     pub warm_shape: Option<Vec<usize>>,
+    /// Numeric precision for tenants without an entry in
+    /// [`ServeConfig::tenant_precision`]. Serving at
+    /// [`Precision::Int8`] requires the session factory to return
+    /// sessions with a compiled quantized engine
+    /// ([`leca_core::InferenceSession::enable_int8`]); a shard whose
+    /// session cannot serve int8 fails such batches with a typed
+    /// [`ServeError::WorkerFailed`](crate::ServeError::WorkerFailed)
+    /// instead of silently falling back to f32.
+    pub default_precision: Precision,
+    /// Per-tenant precision overrides, `(tenant, precision)`. The last
+    /// matching entry wins; tenants absent here use
+    /// [`ServeConfig::default_precision`]. Batches never mix tenants, so
+    /// each coalesced batch runs at exactly one precision.
+    pub tenant_precision: Vec<(u32, Precision)>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +111,8 @@ impl Default for ServeConfig {
             max_tenants: 16,
             breaker: BreakerConfig::default(),
             warm_shape: None,
+            default_precision: Precision::F32,
+            tenant_precision: Vec::new(),
         }
     }
 }
@@ -101,7 +120,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Defaults overridden by `LECA_SERVE_SHARDS`, `LECA_SERVE_DEADLINE_US`
     /// and `LECA_SERVE_MAX_BATCH` when set to positive integers
-    /// (unparsable or zero values are ignored, matching `LECA_THREADS`).
+    /// (unparsable or zero values are ignored, matching `LECA_THREADS`),
+    /// and by `LECA_SERVE_PRECISION` when set to `f32` or `int8`
+    /// (case-insensitive; anything else is ignored).
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
         if let Some(v) = read_env("LECA_SERVE_SHARDS") {
@@ -113,7 +134,25 @@ impl ServeConfig {
         if let Some(v) = read_env("LECA_SERVE_MAX_BATCH") {
             cfg.max_batch = v as usize;
         }
+        if let Ok(v) = std::env::var("LECA_SERVE_PRECISION") {
+            match v.to_ascii_lowercase().as_str() {
+                "f32" => cfg.default_precision = Precision::F32,
+                "int8" => cfg.default_precision = Precision::Int8,
+                _ => {}
+            }
+        }
         cfg
+    }
+
+    /// The precision `tenant`'s batches run at: the last matching entry
+    /// in [`ServeConfig::tenant_precision`], else
+    /// [`ServeConfig::default_precision`].
+    pub fn precision_for(&self, tenant: u32) -> Precision {
+        self.tenant_precision
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == tenant)
+            .map_or(self.default_precision, |(_, p)| *p)
     }
 
     /// Validates the configuration.
@@ -153,6 +192,16 @@ impl ServeConfig {
                 self.breaker.min_volume, self.breaker.window
             )));
         }
+        if let Some((t, _)) = self
+            .tenant_precision
+            .iter()
+            .find(|(t, _)| *t >= self.max_tenants)
+        {
+            return Err(ServeError::BadConfig(format!(
+                "tenant_precision names tenant {t} outside the tenant table (max_tenants {})",
+                self.max_tenants
+            )));
+        }
         Ok(())
     }
 }
@@ -188,6 +237,9 @@ mod tests {
             |c: &mut ServeConfig| c.breaker.trip_ratio = 1.5,
             |c: &mut ServeConfig| c.breaker.window = 0,
             |c: &mut ServeConfig| c.breaker.min_volume = c.breaker.window + 1,
+            |c: &mut ServeConfig| {
+                c.tenant_precision = vec![(c.max_tenants, Precision::Int8)];
+            },
         ] {
             let mut cfg = ServeConfig::default();
             f(&mut cfg);
@@ -205,20 +257,45 @@ mod tests {
             "LECA_SERVE_SHARDS",
             "LECA_SERVE_DEADLINE_US",
             "LECA_SERVE_MAX_BATCH",
+            "LECA_SERVE_PRECISION",
         ];
         let old: Vec<_> = keys.iter().map(|k| std::env::var(k).ok()).collect();
         std::env::set_var("LECA_SERVE_SHARDS", "5");
         std::env::set_var("LECA_SERVE_DEADLINE_US", "1234");
         std::env::set_var("LECA_SERVE_MAX_BATCH", "nonsense");
+        std::env::set_var("LECA_SERVE_PRECISION", "Int8");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.shards, 5);
         assert_eq!(cfg.deadline_us, 1234);
         assert_eq!(cfg.max_batch, ServeConfig::default().max_batch);
+        assert_eq!(cfg.default_precision, Precision::Int8);
+        std::env::set_var("LECA_SERVE_PRECISION", "fp16");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.default_precision, Precision::F32);
         for (k, v) in keys.iter().zip(old) {
             match v {
                 Some(v) => std::env::set_var(k, v),
                 None => std::env::remove_var(k),
             }
         }
+    }
+
+    #[test]
+    fn precision_for_prefers_the_last_matching_override() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.precision_for(3), Precision::F32);
+        cfg.default_precision = Precision::Int8;
+        assert_eq!(cfg.precision_for(3), Precision::Int8);
+        cfg.tenant_precision = vec![
+            (3, Precision::F32),
+            (5, Precision::Int8),
+            (3, Precision::Int8),
+        ];
+        assert_eq!(cfg.precision_for(3), Precision::Int8, "last entry wins");
+        assert_eq!(cfg.precision_for(5), Precision::Int8);
+        assert_eq!(cfg.precision_for(0), Precision::Int8, "default applies");
+        cfg.default_precision = Precision::F32;
+        assert_eq!(cfg.precision_for(0), Precision::F32);
+        cfg.validate().unwrap();
     }
 }

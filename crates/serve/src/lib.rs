@@ -25,6 +25,13 @@
 //! * **Per-tenant circuit breakers** — a tenant whose requests keep
 //!   failing is shed with [`ServeError::CircuitOpen`] while healthy
 //!   tenants keep flowing.
+//! * **Per-tenant precision** — each tenant's batches run at
+//!   [`Precision::F32`] or [`Precision::Int8`]
+//!   ([`ServeConfig::default_precision`] /
+//!   [`ServeConfig::tenant_precision`], env `LECA_SERVE_PRECISION`);
+//!   int8 needs sessions whose factory called
+//!   [`leca_core::InferenceSession::enable_int8`], and batches never mix
+//!   tenants, so every `classify_batch` call runs at one precision.
 //! * **Panic-isolating supervision** — a worker panic mid-batch answers
 //!   every rider with a typed error, then the supervisor rebuilds the
 //!   session and keeps serving; threads are always joined, never
@@ -86,6 +93,7 @@ pub use breaker::Admission;
 pub use chaos::ChaosPlan;
 pub use config::{BreakerConfig, ServeConfig};
 pub use error::{Reply, ServeError, ServeResult, Verdict};
+pub use leca_core::Precision;
 pub use metrics::{LatencyHisto, MetricsSnapshot, ServeMetrics};
 pub use reply::Ticket;
 pub use service::Service;

@@ -25,7 +25,7 @@ use crate::config::ServeConfig;
 use crate::error::{Reply, ServeError, Verdict};
 use crate::metrics::ServeMetrics;
 use crate::queue::{Request, ShardQueue};
-use leca_core::InferenceSession;
+use leca_core::{InferenceSession, Precision};
 use leca_tensor::Tensor;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -105,6 +105,16 @@ impl WorkerState {
             // broken rebuild panics here, inside the supervisor's catch.
             if let Err(e) = self.session.classify_batch(input, &mut self.preds) {
                 panic!("session warm-up failed at batch size {b}: {e}");
+            }
+            // When the session carries a quantized engine, pre-grow its
+            // scratch too: any tenant may be routed to the int8 path.
+            if self.session.int8_ready() {
+                if let Err(e) =
+                    self.session
+                        .classify_batch_with(input, &mut self.preds, Precision::Int8)
+                {
+                    panic!("int8 warm-up failed at batch size {b}: {e}");
+                }
             }
         }
     }
@@ -234,6 +244,8 @@ pub(crate) fn worker_loop(w: &Worker, st: &mut WorkerState) {
         } = st;
 
         let n = batch.len();
+        // Batches never mix tenants, so one precision covers the batch.
+        let precision = w.cfg.precision_for(batch[0].tenant);
         let sample = &batch[0].payload.shape()[1..];
         let sample_len: usize = sample.iter().product();
         let input = cached_batch(batch_cache, n, sample);
@@ -265,6 +277,15 @@ pub(crate) fn worker_loop(w: &Worker, st: &mut WorkerState) {
             );
         }
 
+        // Int8 with no compiled engine is a configuration fault, not a
+        // transient model error: fail the batch once, without burning
+        // the retry budget on an outcome that cannot change.
+        if precision == Precision::Int8 && !session.int8_ready() {
+            pending.attempts = 1;
+            pending.fail("int8 precision configured but the session has no quantized engine (the factory must call enable_int8)");
+            continue;
+        }
+
         let mut last_err = String::new();
         for attempt in 0..=w.cfg.max_retries {
             pending.attempts = attempt + 1;
@@ -278,7 +299,7 @@ pub(crate) fn worker_loop(w: &Worker, st: &mut WorkerState) {
                 .min(MAX_BACKOFF);
                 std::thread::sleep(backoff);
             }
-            match session.classify_batch(input, preds) {
+            match session.classify_batch_with(input, preds, precision) {
                 Ok(()) => {
                     pending.complete(preds);
                     break;

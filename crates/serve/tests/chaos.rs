@@ -54,6 +54,7 @@ fn base_config() -> ServeConfig {
         max_tenants: 8,
         breaker: no_trip_breaker(),
         warm_shape: Some(SAMPLE_SHAPE.to_vec()),
+        ..ServeConfig::default()
     }
 }
 
@@ -271,6 +272,7 @@ fn full_storm_accounting_is_airtight() {
         max_tenants: 4,
         breaker: no_trip_breaker(),
         warm_shape: Some(SAMPLE_SHAPE.to_vec()),
+        ..ServeConfig::default()
     };
     let service = Arc::new(Service::start_with_chaos(cfg, make_session, chaos.clone()).unwrap());
 

@@ -46,6 +46,7 @@ fn stress_config() -> ServeConfig {
             half_open_probes: 1,
         },
         warm_shape: Some(SAMPLE_SHAPE.to_vec()),
+        ..ServeConfig::default()
     }
 }
 

@@ -38,6 +38,15 @@ pub enum TensorError {
     },
     /// Geometry (stride/padding/kernel) does not produce a valid output.
     InvalidGeometry(String),
+    /// An operation that requires finite inputs encountered NaN or an
+    /// infinity. Quantization refuses such values up front: they would
+    /// otherwise be silently clamped into the i8 grid.
+    NonFinite {
+        /// Name of the operation that rejected the value.
+        op: &'static str,
+        /// Flat index of the first offending element.
+        index: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -59,6 +68,9 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::NonFinite { op, index } => {
+                write!(f, "{op}: non-finite value at flat index {index}")
+            }
         }
     }
 }

@@ -36,10 +36,12 @@ mod tensor;
 
 pub mod ops;
 pub mod parallel;
+pub mod quant;
 pub mod workspace;
 
 pub use error::TensorError;
 pub use init::{kaiming_normal, kaiming_uniform, standard_normal, xavier_uniform};
+pub use quant::{QTensor, QuantParams};
 pub use shape::Shape;
 pub use tensor::Tensor;
 pub use workspace::{PooledTensor, Workspace, WorkspaceStats};

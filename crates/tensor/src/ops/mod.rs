@@ -8,6 +8,7 @@ mod conv;
 mod gemm;
 mod matmul;
 mod pool;
+mod qgemm;
 mod reduce;
 pub mod reference;
 pub mod simd;
@@ -22,6 +23,7 @@ pub use pool::{
     avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
     max_pool2d_into, MaxPoolIndices,
 };
+pub use qgemm::{qgemm, PackedQMat, QIm2col, QOperand};
 pub use reduce::{
     mean_axes_keep_channel, softmax_rows, softmax_rows_into, sum_axis0, sum_spatial_per_channel,
 };

@@ -120,6 +120,26 @@ pub fn conv2d_naive(x: &Tensor, weight: &Tensor, stride: usize, pad: usize) -> R
     Ok(out)
 }
 
+/// Textbook quantized matmul oracle: `acc[i][j] = Σ_p w[i,p] · (b[p,j] -
+/// zp)`, computed directly in i32 with no packing, pairing, or SIMD — the
+/// independent reference the int8 GEMM parity suite checks both dispatch
+/// paths against.
+pub fn qmatmul_naive(w: &[i8], m: usize, k: usize, b: &[i8], n: usize, zp: i32) -> Vec<i32> {
+    assert_eq!(w.len(), m * k, "qmatmul_naive: weight buffer mismatch");
+    assert_eq!(b.len(), k * n, "qmatmul_naive: operand buffer mismatch");
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += w[i * k + p] as i32 * (b[p * n + j] as i32 - zp);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,12 @@ pub mod scalar;
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 mod avx2;
 
+// Int8-tier AVX2 bodies (`_mm256_madd_epi16` GEMM core plus the
+// quantize/requantize/dequantize passes); same Miri/non-x86 story as
+// `avx2`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod qavx2;
+
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Microkernel tile height (output rows held in registers).
@@ -154,6 +160,24 @@ macro_rules! dispatch {
     };
 }
 
+/// [`dispatch!`] for the int8-tier kernels, whose AVX2 bodies live in
+/// [`qavx2`]. Same shape, same safety argument.
+macro_rules! dispatchq {
+    ($path:expr, $name:ident ( $($arg:expr),* $(,)? )) => {
+        match $path {
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            // SAFETY: the AVX2 bodies are safe `#[target_feature]` fns, so
+            // the only obligation here is that the host really has AVX2 —
+            // and `Avx2` is only ever cached after
+            // `is_x86_feature_detected!("avx2")` succeeded on this host.
+            KernelPath::Avx2 => unsafe { qavx2::$name($($arg),*) },
+            #[cfg(any(not(target_arch = "x86_64"), miri))]
+            KernelPath::Avx2 => scalar::$name($($arg),*),
+            KernelPath::Scalar => scalar::$name($($arg),*),
+        }
+    };
+}
+
 // ---------------------------------------------------------------------
 // GEMM microkernel
 // ---------------------------------------------------------------------
@@ -185,6 +209,76 @@ pub fn microkernel_with(
 #[inline]
 pub fn microkernel(k: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
     microkernel_with(kernel_path(), k, ap, bp, acc)
+}
+
+// ---------------------------------------------------------------------
+// Int8 GEMM microkernel + quantization passes
+// ---------------------------------------------------------------------
+
+/// Quantized `MR x NR` register-tile update on an explicit path.
+///
+/// Operands are zero-point-corrected i16 values packed in **pairs** along
+/// the reduction axis: `kp2 = k.div_ceil(2)` pair steps with layouts
+/// `ap[p2 * MR * 2 + i * 2 + r]` and `bp[p2 * NR * 2 + j * 2 + r]`
+/// (`r ∈ {0, 1}`; odd `k` zero-padded). Accumulation is exact i32 per pair
+/// and two's-complement on the running sum, identical on both paths — see
+/// the `qavx2` module docs for the saturation-freedom argument.
+///
+/// # Panics
+///
+/// Panics when a packed operand is shorter than `kp2` tiles.
+#[inline]
+pub fn qmicrokernel_with(
+    path: KernelPath,
+    kp2: usize,
+    ap: &[i16],
+    bp: &[i16],
+    acc: &mut [[i32; NR]; MR],
+) {
+    assert!(ap.len() >= kp2 * MR * 2, "packed A shorter than kp2 tiles");
+    assert!(bp.len() >= kp2 * NR * 2, "packed B shorter than kp2 panels");
+    dispatchq!(path, qmicrokernel(kp2, ap, bp, acc))
+}
+
+/// [`qmicrokernel_with`] on the process-wide [`kernel_path`].
+#[inline]
+pub fn qmicrokernel(kp2: usize, ap: &[i16], bp: &[i16], acc: &mut [[i32; NR]; MR]) {
+    qmicrokernel_with(kernel_path(), kp2, ap, bp, acc)
+}
+
+/// f32 → i8 quantize: `out[i] = clamp(rne(src[i] * inv) + zp, -127, 127)`
+/// with round-ties-to-even. Inputs must be finite (callers that cannot
+/// guarantee it validate via `quant::check_finite` first).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn quantize_q8(src: &[f32], inv: f32, zp: i32, out: &mut [i8]) {
+    check_pair("simd::quantize_q8", src.len(), out.len());
+    dispatchq!(kernel_path(), quantize_q8(src, inv, zp, out))
+}
+
+/// i32 accumulator → i8 requantize with fused bias and optional ReLU:
+/// `clamp(rne(acc[i] as f32 * m + b) + zp, -127, 127)`, then `max(·, zp)`
+/// when `relu`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn requant_i32(acc: &[i32], m: f32, b: f32, zp: i32, relu: bool, out: &mut [i8]) {
+    check_pair("simd::requant_i32", acc.len(), out.len());
+    dispatchq!(kernel_path(), requant_i32(acc, m, b, zp, relu, out))
+}
+
+/// i32 accumulator → f32 dequantize with fused bias:
+/// `out[i] = acc[i] as f32 * m + b` (cvt, mul, add — no FMA).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn dequant_i32(acc: &[i32], m: f32, b: f32, out: &mut [f32]) {
+    check_pair("simd::dequant_i32", acc.len(), out.len());
+    dispatchq!(kernel_path(), dequant_i32(acc, m, b, out))
 }
 
 // ---------------------------------------------------------------------

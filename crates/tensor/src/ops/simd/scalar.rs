@@ -195,6 +195,80 @@ pub fn avg_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32], inv: f32) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Int8 tier
+// ---------------------------------------------------------------------
+
+/// Scalar quantized `MR x NR` register-tile update over **i16-pair packed**
+/// operands.
+///
+/// Both operands hold zero-point-corrected values widened to `i16` and
+/// grouped in pairs along the reduction axis (`kp2 = k.div_ceil(2)` pair
+/// steps; odd `k` is zero-padded). Layouts:
+/// `ap[p2 * MR * 2 + i * 2 + r]`, `bp[p2 * NR * 2 + j * 2 + r]` with
+/// `r ∈ {0, 1}` the position within the pair.
+///
+/// Each pair contributes `a0*b0 + a1*b1` computed exactly in i32 (operands
+/// are bounded by `|q - zp| ≤ 254`, so a pair product sum is ≤ 2·254·254 ≪
+/// i32::MAX) and folded with `wrapping_add` — the same pairwise order the
+/// AVX2 `_mm256_madd_epi16` body uses, so accumulators match bit for bit
+/// even in the (unreachable in practice) event of i32 wraparound.
+#[inline]
+pub fn qmicrokernel(kp2: usize, ap: &[i16], bp: &[i16], acc: &mut [[i32; NR]; MR]) {
+    for p2 in 0..kp2 {
+        let a: &[i16; MR * 2] = ap[p2 * MR * 2..(p2 + 1) * MR * 2].try_into().unwrap();
+        let b: &[i16; NR * 2] = bp[p2 * NR * 2..(p2 + 1) * NR * 2].try_into().unwrap();
+        for i in 0..MR {
+            let a0 = a[i * 2] as i32;
+            let a1 = a[i * 2 + 1] as i32;
+            let row = &mut acc[i];
+            for j in 0..NR {
+                let pair = a0 * b[j * 2] as i32 + a1 * b[j * 2 + 1] as i32;
+                row[j] = row[j].wrapping_add(pair);
+            }
+        }
+    }
+}
+
+/// f32 → i8 quantize pass: `out[i] = clamp(rne(src[i] * inv) + zp)`.
+///
+/// `rne` is round-ties-to-even (the x86 `cvtps2dq` default), and the
+/// scaled value is clamped into ±1e9 *before* rounding so the f32→i32
+/// conversion is well-defined on both paths. Inputs must be finite —
+/// callers that cannot guarantee it go through `quant::check_finite`.
+#[inline]
+pub fn quantize_q8(src: &[f32], inv: f32, zp: i32, out: &mut [i8]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        let r = (x * inv).clamp(-1.0e9, 1.0e9).round_ties_even() as i32 + zp;
+        *o = r.clamp(crate::quant::QMIN, crate::quant::QMAX) as i8;
+    }
+}
+
+/// i32 accumulator → i8 requantize pass with fused bias and optional ReLU:
+/// `q = clamp(rne(acc[i] as f32 * m + b) + zp)`, then `max(q, zp)` when
+/// `relu` (the zero point *is* real zero on the output grid).
+#[inline]
+pub fn requant_i32(acc: &[i32], m: f32, b: f32, zp: i32, relu: bool, out: &mut [i8]) {
+    for (o, &a) in out.iter_mut().zip(acc) {
+        let v = (a as f32) * m + b;
+        let r = v.clamp(-1.0e9, 1.0e9).round_ties_even() as i32 + zp;
+        let mut q = r.clamp(crate::quant::QMIN, crate::quant::QMAX);
+        if relu {
+            q = q.max(zp);
+        }
+        *o = q as i8;
+    }
+}
+
+/// i32 accumulator → f32 dequantize pass with fused bias:
+/// `out[i] = acc[i] as f32 * m + b` (cvt, mul, add — no FMA).
+#[inline]
+pub fn dequant_i32(acc: &[i32], m: f32, b: f32, out: &mut [f32]) {
+    for (o, &a) in out.iter_mut().zip(acc) {
+        *o = (a as f32) * m + b;
+    }
+}
+
 /// 2x2 max-pool row pass: running `if v > best` in window order.
 #[inline]
 pub fn max_pool_k2(r0: &[f32], r1: &[f32], out: &mut [f32]) {

@@ -415,18 +415,21 @@ where
     });
 }
 
-/// Splits `out` into disjoint row-chunks of `row_len` floats and runs
+/// Splits `out` into disjoint row-chunks of `row_len` elements and runs
 /// `f(row_range, chunk)` on each in parallel.
 ///
 /// This is the mutable-output variant of [`par_ranges`]: each chunk owns
 /// an exclusive slice of the output buffer, so no locking is needed.
+/// Generic over the element type so the same fan-out serves the f32
+/// kernels and the int8 tier's `i32` accumulator / `i16` packing buffers.
 ///
 /// # Panics
 ///
 /// Panics if `out.len() != rows * row_len`, or if a worker panics.
-pub fn par_rows_mut<F>(out: &mut [f32], rows: usize, row_len: usize, min_rows: usize, f: F)
+pub fn par_rows_mut<T, F>(out: &mut [T], rows: usize, row_len: usize, min_rows: usize, f: F)
 where
-    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &mut [T]) + Sync,
 {
     assert_eq!(out.len(), rows * row_len, "output buffer size mismatch");
     if rows == 0 {
@@ -457,23 +460,23 @@ where
     });
 }
 
-/// A raw `*mut f32` that may cross thread boundaries; exclusivity is the
+/// A raw `*mut T` that may cross thread boundaries; exclusivity is the
 /// caller's obligation (disjoint chunk ranges).
-struct SendPtr(*mut f32);
-// SAFETY: the pointer targets a live `&mut [f32]` held by the dispatching
-// frame for the whole parallel region; workers write disjoint chunk
-// ranges, so moving the pointer across threads cannot create overlapping
-// access.
-unsafe impl Send for SendPtr {}
+struct SendPtr<T>(*mut T);
+// SAFETY: the pointer targets a live `&mut [T]` (T: Send) held by the
+// dispatching frame for the whole parallel region; workers write disjoint
+// chunk ranges, so moving the pointer across threads cannot create
+// overlapping access.
+unsafe impl<T: Send> Send for SendPtr<T> {}
 // SAFETY: same disjointness argument as `Send`; shared access to the
 // wrapper only ever yields the raw pointer, never a data access.
-unsafe impl Sync for SendPtr {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
-impl SendPtr {
+impl<T> SendPtr<T> {
     /// Accessor (rather than direct field use) so closures capture the
     /// Sync wrapper, not the raw pointer field (edition-2021 closures
     /// capture disjoint fields).
-    fn get(&self) -> *mut f32 {
+    fn get(&self) -> *mut T {
         self.0
     }
 }

@@ -1,0 +1,315 @@
+//! Bit-exactness parity suite for the int8 tier — same discipline as
+//! `simd_parity.rs`.
+//!
+//! Each case computes the scalar reference via `ops::simd::scalar::*`
+//! directly, then the dispatched wrapper under `LECA_SIMD=avx2`, and
+//! asserts **bitwise** equality: i32 accumulators and i8 codes compare
+//! with `==`, f32 dequant outputs with `to_bits`. The blocked `qgemm` is
+//! additionally checked against the unpacked, unpaired, unthreaded
+//! `reference::qmatmul_naive` oracle, so a packing bug cannot hide behind
+//! a matching bug in both kernel bodies. On hosts without AVX2 the forced
+//! path degrades to scalar and every assertion holds trivially.
+
+use leca_tensor::ops::reference::qmatmul_naive;
+use leca_tensor::ops::simd::{self, scalar, MR, NR};
+use leca_tensor::ops::{qgemm, PackedQMat, QOperand};
+use leca_tensor::quant::{QuantParams, QMAX, QMIN};
+use leca_tensor::{QTensor, Tensor, TensorError};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// `LECA_SIMD` is process-global; serialize every test that flips it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `body` with the AVX2 path requested (auto-degrading to scalar on
+/// hosts without it), restoring the previous dispatch state afterwards.
+fn with_avx2<T>(body: impl FnOnce() -> T) -> T {
+    with_simd("avx2", body)
+}
+
+fn with_simd<T>(value: &str, body: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let old = std::env::var("LECA_SIMD").ok();
+    std::env::set_var("LECA_SIMD", value);
+    simd::refresh_kernel_path();
+    let out = body();
+    match old {
+        Some(v) => std::env::set_var("LECA_SIMD", v),
+        None => std::env::remove_var("LECA_SIMD"),
+    }
+    simd::refresh_kernel_path();
+    out
+}
+
+/// Lengths below, at and straddling the 8-lane width, plus empty and a
+/// multi-vector ragged tail.
+const EDGE_LENS: &[usize] = &[0, 1, 7, 8, 9, 15, 16, 17, 31, 33];
+
+fn pick_len(sel: usize) -> usize {
+    if sel < EDGE_LENS.len() {
+        EDGE_LENS[sel]
+    } else {
+        sel - EDGE_LENS.len() + 1
+    }
+}
+
+const LEN_SEL: std::ops::Range<usize> = 0..(10 + 64);
+
+/// Deterministic pseudo-random i8 codes in the tier's `[-127, 127]` grid.
+fn gen_codes(len: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 255) as i32 - 127
+        })
+        .map(|v| v as i8)
+        .collect()
+}
+
+/// Zero-point-corrected i16 operand values (`|q - zp| ≤ 254`).
+fn gen_corrected(len: usize, seed: u64) -> Vec<i16> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 33) % 509) as i32 - 254) as i16
+        })
+        .collect()
+}
+
+fn gen_f32(len: usize, seed: u64) -> Vec<f32> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut v: Vec<f32> = Tensor::rand_uniform(&[len.max(1)], -4.0, 4.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    v.truncate(len);
+    v
+}
+
+fn gen_i32(len: usize, seed: u64) -> Vec<i32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Conv-realistic accumulator magnitudes (|acc| ≲ 8.4M: k·254·127
+            // at k ≈ 260) plus sign coverage.
+            ((state >> 33) % 16_777_216) as i32 - 8_388_608
+        })
+        .collect()
+}
+
+fn assert_f32_bits_eq(got: &[f32], want: &[f32]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits(),
+            "lane {}: dispatched {} vs scalar {}",
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The register-tile microkernel: i32 accumulators bit-exact between
+    /// the dispatched (AVX2) body and the scalar twin, from a nonzero
+    /// starting accumulator so the running-sum fold is exercised too.
+    #[test]
+    fn qmicrokernel_matches_scalar(
+        kp2 in 0usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let ap = gen_corrected(kp2 * MR * 2, seed);
+        let bp = gen_corrected(kp2 * NR * 2, seed ^ 0x0b);
+        let mut want = [[17i32; NR]; MR];
+        let mut got = [[17i32; NR]; MR];
+        with_avx2(|| {
+            scalar::qmicrokernel(kp2, &ap, &bp, &mut want);
+            simd::qmicrokernel(kp2, &ap, &bp, &mut got);
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    /// The full blocked qgemm: identical i32 accumulators across
+    /// `LECA_SIMD=off`/`avx2`, and both equal to the naive unpacked
+    /// oracle (`ops::reference::qmatmul_naive`).
+    #[test]
+    fn qgemm_bit_exact_across_paths_and_matches_oracle(
+        msel in 0usize..12,
+        nsel in 0usize..12,
+        ksel in 0usize..12,
+        zp in QMIN..(QMAX + 1),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (m, n, k) = (pick_len(msel) + 1, pick_len(nsel) + 1, pick_len(ksel) + 1);
+        let w = gen_codes(m * k, seed);
+        let b = gen_codes(k * n, seed ^ 0x5eed);
+        let scales = vec![1.0f32; m];
+        let packed = PackedQMat::pack(&w, m, k, &scales);
+        let run = || {
+            let mut acc = vec![0i32; packed.tiles() * MR * n];
+            qgemm(&packed, &QOperand::Strided { data: &b, rs: n, cs: 1, zp }, n, &mut acc);
+            acc
+        };
+        let on_avx2 = with_avx2(run);
+        let on_scalar = with_simd("off", run);
+        prop_assert_eq!(&on_avx2, &on_scalar, "paths disagree");
+        let oracle = qmatmul_naive(&w, m, k, &b, n, zp);
+        for i in 0..m {
+            prop_assert_eq!(
+                &on_avx2[i * n..i * n + n],
+                &oracle[i * n..i * n + n],
+                "row {} of {}x{}x{} zp={}", i, m, n, k, zp
+            );
+        }
+    }
+
+    /// The elementwise quantization passes: i8 codes and f32 dequants
+    /// bit-exact between the dispatched and scalar bodies, across lane
+    /// edge lengths, fused-ReLU on and off.
+    #[test]
+    fn quant_passes_match_scalar(
+        lsel in LEN_SEL,
+        seed in 0u64..u64::MAX,
+        scale in 0.001f32..2.0,
+        zp in QMIN..(QMAX + 1),
+        relu_sel in 0u8..2,
+    ) {
+        let relu = relu_sel == 1;
+        let len = pick_len(lsel);
+        let src = gen_f32(len, seed);
+        let acc = gen_i32(len, seed ^ 0xacc);
+        let inv = 1.0 / scale;
+        let (m, b) = (scale * 0.731, -0.4375f32);
+        with_avx2(|| -> Result<(), TestCaseError> {
+            let mut want8 = vec![0i8; len];
+            let mut got8 = vec![0i8; len];
+            scalar::quantize_q8(&src, inv, zp, &mut want8);
+            simd::quantize_q8(&src, inv, zp, &mut got8);
+            prop_assert_eq!(&got8, &want8, "quantize_q8");
+
+            scalar::requant_i32(&acc, m, b, zp, relu, &mut want8);
+            simd::requant_i32(&acc, m, b, zp, relu, &mut got8);
+            prop_assert_eq!(&got8, &want8, "requant_i32");
+
+            let mut wantf = vec![0.0f32; len];
+            let mut gotf = vec![0.0f32; len];
+            scalar::dequant_i32(&acc, m, b, &mut wantf);
+            simd::dequant_i32(&acc, m, b, &mut gotf);
+            assert_f32_bits_eq(&gotf, &wantf)
+        })?;
+    }
+
+    /// Round-trip bound: `|dequant(quant(x)) - x| ≤ scale/2` per channel,
+    /// for symmetric per-channel weight grids (values inside the
+    /// representable range by construction of the scale).
+    #[test]
+    fn dequant_quant_roundtrip_bounded_by_half_scale(
+        rows in 1usize..5,
+        cols in 1usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let data = gen_f32(rows * cols, seed);
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let q = QTensor::quantize_per_channel(&t).unwrap();
+        let back = q.dequantize();
+        for c in 0..rows {
+            let scale = q.scales()[c];
+            for j in 0..cols {
+                let x = t.as_slice()[c * cols + j];
+                let r = back.as_slice()[c * cols + j];
+                prop_assert!(
+                    (r - x).abs() <= scale * 0.5 + scale * 1e-5,
+                    "channel {} col {}: x={} r={} scale={}", c, j, x, r, scale
+                );
+            }
+        }
+    }
+
+    /// Activation grids from [`QuantParams::from_range`] obey the same
+    /// half-step bound for values inside the observed range.
+    #[test]
+    fn activation_roundtrip_bounded_by_half_scale(
+        lo in -8.0f32..0.0,
+        span in 0.01f32..16.0,
+        frac in 0.0f32..1.0,
+    ) {
+        let hi = lo + span;
+        let p = QuantParams::from_range(lo, hi);
+        // from_range widens to include zero; sample within the widened span.
+        let (wlo, whi) = (lo.min(0.0), hi.max(0.0));
+        let x = wlo + (whi - wlo) * frac;
+        let r = p.dequantize(p.quantize(x));
+        prop_assert!(
+            (r - x).abs() <= p.scale * 0.5 + p.scale * 1e-5,
+            "x={} r={} scale={} zp={}", x, r, p.scale, p.zero_point
+        );
+    }
+}
+
+/// NaN- and inf-poisoned f32 inputs are rejected with typed errors — the
+/// tier refuses to launder non-finite values into the i8 grid.
+#[test]
+fn poisoned_inputs_rejected_with_typed_errors() {
+    for (poison, name) in [
+        (f32::NAN, "nan"),
+        (f32::INFINITY, "+inf"),
+        (f32::NEG_INFINITY, "-inf"),
+    ] {
+        let mut v = vec![0.5f32; 11];
+        v[6] = poison;
+        let t = Tensor::from_vec(v, &[11]).unwrap();
+
+        let err = QTensor::quantize_per_channel(&t).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::NonFinite {
+                op: "quantize_per_channel",
+                index: 6
+            },
+            "{name}"
+        );
+
+        let err = QTensor::quantize_per_tensor(&t, QuantParams::UNIT).unwrap_err();
+        assert!(
+            matches!(err, TensorError::NonFinite { index: 6, .. }),
+            "{name}: {err}"
+        );
+
+        let err = QTensor::observe_range(&t).unwrap_err();
+        assert!(
+            matches!(err, TensorError::NonFinite { index: 6, .. }),
+            "{name}: {err}"
+        );
+    }
+}
+
+/// Deterministic spot check at the exact rounding boundaries: ties round
+/// to even on both paths (the x86 `cvtps2dq` default the scalar twin
+/// mirrors with `round_ties_even`).
+#[test]
+fn rounding_ties_to_even_on_both_paths() {
+    // With inv = 1 and zp = 0, inputs ±0.5, ±1.5, ±2.5 are exact ties.
+    let src = [0.5f32, -0.5, 1.5, -1.5, 2.5, -2.5, 3.5, -3.5, 126.5];
+    let want: Vec<i8> = vec![0, 0, 2, -2, 2, -2, 4, -4, 126];
+    with_avx2(|| {
+        let mut got = vec![0i8; src.len()];
+        simd::quantize_q8(&src, 1.0, 0, &mut got);
+        assert_eq!(got, want, "dispatched path");
+        let mut got_scalar = vec![0i8; src.len()];
+        scalar::quantize_q8(&src, 1.0, 0, &mut got_scalar);
+        assert_eq!(got_scalar, want, "scalar path");
+    });
+}

@@ -36,6 +36,13 @@ const GOLDEN_NOISY_LOSS2: u32 = 0x3fb08e07;
 const GOLDEN_FAULTY_LOGITS_CHECKSUM: u64 = 0x9e2abb0697a247cc;
 const GOLDEN_FAULTY_LOSS: u32 = 0x3fb3698f;
 
+/// Int8 golden, captured when the quantized engine landed (scalar qgemm,
+/// `LECA_SIMD=off`, `LECA_THREADS=1`). The int8 path quantizes with
+/// round-to-nearest-even and requantizes through exact i32 accumulators,
+/// so every SIMD/thread leg must reproduce this bit pattern — and the
+/// f32 goldens above must stay untouched by the quantization machinery.
+const GOLDEN_INT8_LOGITS_CHECKSUM: u64 = 0xed4e9cb5aa79e081;
+
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs `body` with `LECA_THREADS` set to `threads`, restoring the
@@ -108,6 +115,23 @@ fn faulty_results() -> (u64, u32) {
     (checksum(&logits), loss.to_bits())
 }
 
+/// The int8 workload: compile a quantized engine from a pinned Soft
+/// pipeline + calibration batch, run one eval batch, checksum the f32
+/// logits it produces.
+fn int8_logits_checksum() -> u64 {
+    let cfg = LecaConfig::new(2, 4, 3.0).unwrap();
+    let bb = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
+    let mut p = LecaPipeline::new(&cfg, Modality::Soft, bb, 7).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let calib = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+    let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+    let mut engine = leca::core::quantized::QuantizedEngine::compile(&mut p, &calib).unwrap();
+    let logits = engine.logits(&x).unwrap();
+    logits
+        .iter()
+        .fold(0u64, |h, v| h.rotate_left(7) ^ u64::from(v.to_bits()))
+}
+
 #[test]
 fn losses_bit_identical_across_thread_counts() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -135,6 +159,25 @@ fn noisy_training_matches_pre_rewrite_goldens() {
                 (GOLDEN_NOISY_LOSS1, GOLDEN_NOISY_LOSS2),
                 "Noisy-modality losses drifted from pre-rewrite goldens at \
                  LECA_SIMD={simd} LECA_THREADS={threads} (got 0x{l1:08x} / 0x{l2:08x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn int8_logits_match_golden_across_simd_and_threads() {
+    // The precision axis of the determinism matrix: the int8 engine's
+    // logits are pinned to one golden across every LECA_SIMD x
+    // LECA_THREADS leg, while the f32 goldens above stay untouched
+    // (asserted by their own tests in this same process).
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for simd in ["off", "avx2"] {
+        for threads in [1, 8] {
+            let ck = with_simd(simd, || with_threads(threads, int8_logits_checksum));
+            assert_eq!(
+                ck, GOLDEN_INT8_LOGITS_CHECKSUM,
+                "int8 logits drifted from the golden at LECA_SIMD={simd} \
+                 LECA_THREADS={threads} (got 0x{ck:016x})"
             );
         }
     }

@@ -1,0 +1,110 @@
+//! Allocation lockdown for the int8 warm inference path.
+//!
+//! The quantized engine owns every scratch buffer it needs — ADC code
+//! planes, per-stage int8 activation buffers, the f32 residual/GAP/logit
+//! tails — all grown during [`leca::core::session::InferenceSession::warm_up`].
+//! After warm-up, a steady-state int8 `classify_batch` must perform
+//! **zero heap allocations**, exactly like the f32 workspace path pinned
+//! by `tests/alloc_regression.rs`.
+//!
+//! `LECA_THREADS` is pinned to 1 (the thread pool's chunked dispatch
+//! allocates per parallel region). This file deliberately holds exactly
+//! one `#[test]` so no concurrent test pollutes the counters (each
+//! integration-test file is its own process and allocator).
+
+use leca::core::config::LecaConfig;
+use leca::core::encoder::Modality;
+use leca::core::pipeline::LecaPipeline;
+use leca::core::session::{InferenceSession, Precision};
+use leca::nn::backbone::tiny_cnn;
+use leca::tensor::parallel::refresh_num_threads;
+use leca::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract (valid layout) verbatim.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: caller upholds `GlobalAlloc::alloc_zeroed`'s contract; forwarded.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract (valid layout) verbatim.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwards the caller's contract (live `ptr` with matching
+        // layout) verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwards the caller's contract (live `ptr` with matching
+        // layout) verbatim.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_count() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn int8_steady_state_makes_no_heap_allocations() {
+    std::env::set_var("LECA_THREADS", "1");
+    refresh_num_threads();
+
+    let lc = LecaConfig::new(2, 4, 3.0).unwrap();
+    let bb = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
+    let pipeline = LecaPipeline::new(&lc, Modality::Soft, bb, 7).unwrap();
+    let mut session = InferenceSession::owning(pipeline);
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let calib = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+    session.enable_int8(&calib).unwrap();
+    session.set_precision(Precision::Int8).unwrap();
+
+    // `warm_up` runs throwaway batches at the session's precision,
+    // growing the engine's scratch for this exact shape.
+    let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut rng);
+    let mut preds = Vec::new();
+    session.warm_up(&[4, 3, 16, 16]).unwrap();
+    for _ in 0..4 {
+        session.classify_batch(&x, &mut preds).unwrap();
+    }
+
+    let before = alloc_count();
+    const ITERS: usize = 50;
+    let mut guard = 0usize;
+    for _ in 0..ITERS {
+        session.classify_batch(&x, &mut preds).unwrap();
+        guard += preds.iter().sum::<usize>();
+    }
+    let steady = alloc_count() - before;
+    println!("int8: {steady} heap allocations across {ITERS} warm classify_batch calls");
+    assert_eq!(
+        steady, 0,
+        "warm int8 classify_batch must not touch the heap \
+         ({steady} allocations across {ITERS} batches)"
+    );
+    assert!(guard < ITERS * 4 * 4, "predictions stayed in range");
+}

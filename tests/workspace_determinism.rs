@@ -144,6 +144,59 @@ fn workspace_path_is_kernel_path_invariant() {
     }
 }
 
+/// Int8 session leg: enable the quantized engine from a pinned
+/// calibration batch, checksum `logits_int8` over 3 passes (engine
+/// scratch reuse must not change bits), and collect the predictions.
+fn int8_session_results() -> (Vec<u64>, Vec<usize>) {
+    let mut p = pipeline(Modality::Soft);
+    let x = input();
+    let mut calib_rng = StdRng::seed_from_u64(7);
+    let calib = Tensor::rand_uniform(&[4, 3, 16, 16], 0.1, 0.9, &mut calib_rng);
+    let mut session = InferenceSession::for_pipeline(&mut p);
+    session.enable_int8(&calib).unwrap();
+    let cks = (0..3)
+        .map(|_| {
+            session
+                .logits_int8(&x)
+                .unwrap()
+                .iter()
+                .fold(0u64, |h, v| h.rotate_left(7) ^ u64::from(v.to_bits()))
+        })
+        .collect();
+    let mut preds = Vec::new();
+    session
+        .classify_batch_with(&x, &mut preds, leca::core::session::Precision::Int8)
+        .unwrap();
+    (cks, preds)
+}
+
+#[test]
+fn int8_path_is_invariant_across_the_simd_thread_matrix() {
+    // The quantized engine accumulates in exact i32 arithmetic and its
+    // epilogues round deterministically, so — like the f32 workspace
+    // path — every LECA_SIMD x LECA_THREADS leg must be bit-identical,
+    // and repeated passes through the cached scratch must not drift.
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut legs = Vec::new();
+    for simd in ["off", "avx2"] {
+        for threads in [1, 8] {
+            let got = with_simd(simd, || with_threads(threads, int8_session_results));
+            assert!(
+                got.0.windows(2).all(|w| w[0] == w[1]),
+                "int8 logits drifted across passes at LECA_SIMD={simd} LECA_THREADS={threads}"
+            );
+            legs.push((simd, threads, got));
+        }
+    }
+    let (_, _, reference) = &legs[0];
+    for (simd, threads, got) in &legs {
+        assert_eq!(
+            got, reference,
+            "int8 diverged at LECA_SIMD={simd} LECA_THREADS={threads}"
+        );
+    }
+}
+
 #[test]
 fn classify_batch_agrees_with_argmax_at_both_thread_counts() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
