@@ -17,6 +17,7 @@
 //! | [`rules::HOT_PATH_ALLOC`] | no allocation calls inside `_into` kernel bodies (error/panic arms exempt) |
 //! | [`rules::NONDETERMINISM`] | no wall-clock / OS-entropy randomness outside the bench harness |
 //! | [`rules::LINT_HEADER`] | `#![forbid(unsafe_code)]` / `#![deny(unsafe_op_in_unsafe_fn)]` headers present |
+//! | [`rules::ISA_CONFINEMENT`] | ISA intrinsics / feature detection only inside `crates/tensor/src/backend/` |
 //!
 //! The binary (`cargo run -p leca-audit`) walks the workspace, prints
 //! `file:line: [rule] message` diagnostics and exits non-zero on any
@@ -56,6 +57,8 @@ pub mod rules {
     pub const NONDETERMINISM: &str = "nondeterminism";
     /// Required crate-level lint header missing.
     pub const LINT_HEADER: &str = "lint-header";
+    /// ISA intrinsics or CPU-feature detection outside the backend layer.
+    pub const ISA_CONFINEMENT: &str = "isa-confinement";
 }
 
 /// Files allowed to contain `unsafe` (workspace-relative paths), with the
@@ -63,11 +66,11 @@ pub mod rules {
 /// crates additionally carry `#![forbid(unsafe_code)]`.
 pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
     (
-        "crates/tensor/src/ops/simd/avx2.rs",
+        "crates/tensor/src/backend/avx2.rs",
         "AVX2 kernel bodies (bounds argued per load/store, Miri-exempt via cfg)",
     ),
     (
-        "crates/tensor/src/ops/simd/mod.rs",
+        "crates/tensor/src/backend/mod.rs",
         "runtime dispatch into target_feature functions after CPUID detection",
     ),
     (
@@ -91,7 +94,7 @@ pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
         "counting GlobalAlloc delegating verbatim to System",
     ),
     (
-        "crates/tensor/src/ops/simd/qavx2.rs",
+        "crates/tensor/src/backend/qavx2.rs",
         "int8 AVX2 qgemm microkernel (bounds argued per load/store, Miri-exempt via cfg)",
     ),
 ];
@@ -117,6 +120,14 @@ pub const SPAWN_ALLOWLIST: &[(&str, &str)] = &[
 /// Path prefixes allowed to read wall clocks / OS entropy. Everything else
 /// must take a seeded `Rng` or an explicit timestamp argument.
 pub const NONDET_ALLOWLIST_PREFIXES: &[&str] = &["crates/bench/", "shims/"];
+
+/// The one directory allowed to name an ISA: intrinsics
+/// (`core::arch`/`std::arch`), `#[target_feature]` attributes and CPUID
+/// probes (`is_x86_feature_detected!`) live exclusively under the backend
+/// layer. Everything above it dispatches through the `KernelBackend`
+/// trait, so porting to a new ISA (or GPU tier) touches exactly one
+/// directory.
+pub const ISA_ALLOWED_PREFIX: &str = "crates/tensor/src/backend/";
 
 /// Crate-level lint headers the workspace promises. The audit fails when a
 /// listed file exists without its header (or is missing entirely while its
@@ -370,6 +381,7 @@ pub fn audit_file(rel: &str, src: &str) -> Vec<Diagnostic> {
     check_thread_spawn(rel, &lines, &mut diags);
     check_hot_path_allocs(rel, &lines, &mut diags);
     check_nondeterminism(rel, &lines, &mut diags);
+    check_isa_confinement(rel, &lines, &mut diags);
     diags
 }
 
@@ -698,6 +710,42 @@ fn check_nondeterminism(rel: &str, lines: &[Line], diags: &mut Vec<Diagnostic>) 
     }
 }
 
+/// ISA tokens matched as path substrings (module paths compose, so a bare
+/// `contains` is right: `use core::arch::x86_64::*` and
+/// `::core::arch::...` both hit).
+const ISA_PATH_TOKENS: &[&str] = &["core::arch", "std::arch"];
+
+/// ISA tokens matched at word boundaries (attribute / macro names).
+const ISA_WORD_TOKENS: &[&str] = &["target_feature", "is_x86_feature_detected"];
+
+fn check_isa_confinement(rel: &str, lines: &[Line], diags: &mut Vec<Diagnostic>) {
+    if rel.starts_with(ISA_ALLOWED_PREFIX) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let hit = ISA_PATH_TOKENS
+            .iter()
+            .find(|t| line.code.contains(*t))
+            .or_else(|| {
+                ISA_WORD_TOKENS
+                    .iter()
+                    .find(|t| !word_occurrences(&line.code, t).is_empty())
+            });
+        if let Some(tok) = hit {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: rules::ISA_CONFINEMENT,
+                message: format!(
+                    "`{tok}` outside `{ISA_ALLOWED_PREFIX}` — ISA-specific code lives \
+                     behind the `KernelBackend` trait; dispatch through \
+                     `leca_tensor::backend` instead of naming an ISA here"
+                ),
+            });
+        }
+    }
+}
+
 /// Checks the crate-level lint headers listed in [`REQUIRED_HEADERS`]
 /// against files under `root`. Missing files are flagged when their crate
 /// directory exists (so the check ports to partial fixture trees).
@@ -1013,6 +1061,31 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(d.iter().all(|d| d.rule == rules::NONDETERMINISM));
         assert!(audit_file("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn isa_tokens_flagged_outside_backend_layer() {
+        let src = "use core::arch::x86_64::_mm256_add_ps;\n\
+                   #[target_feature(enable = \"avx2\")]\n\
+                   fn f() { if std::is_x86_feature_detected!(\"avx2\") {} }\n";
+        let d = audit_file("crates/nn/src/layers/linear.rs", src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == rules::ISA_CONFINEMENT));
+        assert_eq!(d[0].line, 1);
+        // The same source inside the backend layer is the sanctioned home.
+        assert!(audit_file("crates/tensor/src/backend/avx2.rs", src)
+            .iter()
+            .all(|d| d.rule != rules::ISA_CONFINEMENT));
+    }
+
+    #[test]
+    fn isa_tokens_in_comments_strings_and_idents_are_not_flagged() {
+        // Comment and string mentions are stripped; identifiers merely
+        // *containing* a word token don't match at a word boundary.
+        let src = "// talk about core::arch and target_feature here\n\
+                   let s = \"std::arch\";\n\
+                   let my_target_features = 3;\n";
+        assert!(audit_file("crates/nn/src/layer.rs", src).is_empty());
     }
 
     #[test]

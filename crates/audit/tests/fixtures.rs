@@ -78,6 +78,18 @@ fn binary_fails_on_seeded_violations_with_file_line_diagnostics() {
         "missing nondeterminism diagnostic in:\n{stdout}"
     );
 
+    // ISA tokens escaping the backend layer: the intrinsic import, the
+    // target_feature attribute and the CPUID probe each get their line.
+    for line in [5, 7, 14] {
+        assert!(
+            stdout.contains(&format!(
+                "crates/nn/src/bad_isa.rs:{line}: [{}]",
+                rules::ISA_CONFINEMENT
+            )),
+            "missing isa-confinement diagnostic for line {line} in:\n{stdout}"
+        );
+    }
+
     // The clean control crate contributes nothing.
     assert!(
         !stdout.contains("clean/src/good.rs"),

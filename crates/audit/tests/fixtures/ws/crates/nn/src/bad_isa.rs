@@ -1,0 +1,15 @@
+// Seeded violation fixture: ISA-specific code escaping the backend layer.
+// Intrinsic imports, feature attributes and CPUID probes must all live
+// under crates/tensor/src/backend/.
+
+use core::arch::x86_64::_mm256_add_ps;
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn stray_kernel(a: f32) -> f32 {
+    let _ = _mm256_add_ps;
+    a
+}
+
+pub fn detect() -> bool {
+    std::is_x86_feature_detected!("avx2")
+}

@@ -6,18 +6,18 @@
 //! blocked-GEMM speedup directly. Results are recorded in EXPERIMENTS.md.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use leca_tensor::backend::{self as backend, MR, NR};
 use leca_tensor::ops::reference::{conv2d_naive, matmul_naive};
-use leca_tensor::ops::simd::{self, MR, NR};
 use leca_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-/// Pins `LECA_SIMD` to `path` and refreshes the cached dispatch — bench
-/// bodies run entirely on the requested kernel path.
-fn pin_simd(path: &str) {
-    std::env::set_var("LECA_SIMD", path);
-    simd::refresh_kernel_path();
+/// Pins `LECA_BACKEND` to `name` and refreshes the cached dispatch —
+/// bench bodies run entirely on the requested kernel backend.
+fn pin_backend(name: &str) {
+    std::env::set_var("LECA_BACKEND", name);
+    backend::refresh_backend();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -65,7 +65,7 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 /// Scalar vs AVX2 at identical shapes, single-threaded: the dispatch is
-/// pinned per bench via `LECA_SIMD`, so the group reads out the SIMD
+/// pinned per bench via `LECA_BACKEND`, so the group reads out the SIMD
 /// speedup of the microkernel, the full GEMM, conv2d and softmax
 /// directly. (On hosts without AVX2 the `avx2` legs silently rerun the
 /// scalar path and the ratio reads 1.0.)
@@ -88,12 +88,12 @@ fn bench_simd_paths(c: &mut Criterion) {
     let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
     let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
 
-    for (label, path) in [("scalar", "off"), ("avx2", "avx2")] {
-        pin_simd(path);
+    for label in ["scalar", "avx2"] {
+        pin_backend(label);
         group.bench_function(format!("microkernel_k256_{label}"), |bench| {
             bench.iter(|| {
                 let mut acc = [[0.0f32; NR]; MR];
-                simd::microkernel(k, &ap, &bp, &mut acc);
+                backend::microkernel(k, &ap, &bp, &mut acc);
                 std::hint::black_box(acc)
             });
         });
@@ -107,8 +107,8 @@ fn bench_simd_paths(c: &mut Criterion) {
             bench.iter(|| std::hint::black_box(ops::softmax_rows(&logits).expect("softmax")));
         });
     }
-    std::env::remove_var("LECA_SIMD");
-    simd::refresh_kernel_path();
+    std::env::remove_var("LECA_BACKEND");
+    backend::refresh_backend();
 
     group.finish();
 }

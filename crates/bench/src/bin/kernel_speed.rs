@@ -1,19 +1,22 @@
-//! Scalar-vs-SIMD kernel speed table, emitted as `BENCH_kernels.json` at
-//! the repo root (machine-readable companion to the criterion `simd`
-//! group in `benches/kernels.rs`).
+//! Kernel speed table across registered backends, emitted as
+//! `BENCH_kernels.json` at the repo root (machine-readable companion to
+//! the criterion `simd` group in `benches/kernels.rs`).
 //!
-//! Every kernel is timed single-threaded on both dispatch paths by
-//! pinning `LECA_SIMD` and refreshing the cached decision between runs;
-//! the two paths are bit-identical (see `tests/simd_parity.rs`), so this
-//! is purely a latency comparison. Also times the end-to-end
-//! `InferenceSession::classify_batch` to report an images/sec delta.
+//! Every kernel is timed single-threaded on each dispatchable backend by
+//! pinning `LECA_BACKEND` and refreshing the cached decision between
+//! runs; all backends are bit-identical (see `tests/simd_parity.rs` and
+//! `tests/backend_conformance.rs`), so this is purely a latency
+//! comparison. Also times the end-to-end
+//! `InferenceSession::classify_batch` to report an images/sec delta, and
+//! measures the GEMM autotuner's blocking choice against the static
+//! default.
 
 use leca_core::config::LecaConfig;
 use leca_core::encoder::Modality;
 use leca_core::pipeline::LecaPipeline;
 use leca_core::session::{InferenceSession, Precision};
 use leca_nn::backbone::tiny_cnn;
-use leca_tensor::ops::simd::{self, MR, NR};
+use leca_tensor::backend::{self, autotune, MR, NR};
 use leca_tensor::{ops, parallel, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,16 +42,18 @@ fn time_ns(iters: u32, mut body: impl FnMut()) -> f64 {
     samples[SAMPLES / 2]
 }
 
-fn pin_simd(path: &str) {
-    std::env::set_var("LECA_SIMD", path);
-    simd::refresh_kernel_path();
+fn pin_backend(name: &str) {
+    std::env::set_var("LECA_BACKEND", name);
+    backend::refresh_backend();
 }
 
-/// Times `body` once per dispatch path, returning `(scalar_ns, avx2_ns)`.
-fn on_both_paths(iters: u32, mut body: impl FnMut()) -> (f64, f64) {
-    pin_simd("off");
+/// Times `body` once per backend, returning `(scalar_ns, avx2_ns)`. (On
+/// hosts without AVX2 the second leg reruns the scalar backend and the
+/// ratio reads 1.0.)
+fn on_both_backends(iters: u32, mut body: impl FnMut()) -> (f64, f64) {
+    pin_backend("scalar");
     let scalar = time_ns(iters, &mut body);
-    pin_simd("avx2");
+    pin_backend("avx2");
     let vector = time_ns(iters, &mut body);
     (scalar, vector)
 }
@@ -61,12 +66,31 @@ fn json_row(name: &str, scalar_ns: f64, avx2_ns: f64) -> String {
     )
 }
 
+/// `usize::MAX` blocking parameters mean "unbounded"; render them as a
+/// JSON string so the numbers stay readable.
+fn json_dim(v: usize) -> String {
+    if v == usize::MAX {
+        "\"max\"".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn json_blocking(b: autotune::GemmBlocking) -> String {
+    format!(
+        "{{\"mc\": {}, \"kc\": {}, \"nc\": {}}}",
+        json_dim(b.mc),
+        json_dim(b.kc),
+        json_dim(b.nc)
+    )
+}
+
 fn main() {
     std::env::set_var("LECA_THREADS", "1");
     parallel::refresh_num_threads();
     let avx2_available = {
-        pin_simd("avx2");
-        simd::kernel_path() == simd::KernelPath::Avx2
+        pin_backend("avx2");
+        backend::active().name() == "avx2"
     };
 
     let mut rng = StdRng::seed_from_u64(7);
@@ -76,9 +100,9 @@ fn main() {
     let k = 256;
     let ap: Vec<f32> = (0..k * MR).map(|i| (i % 97) as f32 * 0.013 - 0.5).collect();
     let bp: Vec<f32> = (0..k * NR).map(|i| (i % 89) as f32 * 0.011 - 0.4).collect();
-    let (s, v) = on_both_paths(20_000, || {
+    let (s, v) = on_both_backends(20_000, || {
         let mut acc = [[0.0f32; NR]; MR];
-        simd::microkernel(k, &ap, &bp, &mut acc);
+        backend::microkernel(k, &ap, &bp, &mut acc);
         std::hint::black_box(acc);
     });
     println!(
@@ -89,7 +113,7 @@ fn main() {
 
     let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
-    let (s, v) = on_both_paths(20, || {
+    let (s, v) = on_both_backends(20, || {
         std::hint::black_box(a.matmul(&b).expect("matmul"));
     });
     println!(
@@ -97,10 +121,11 @@ fn main() {
         s / v
     );
     rows.push(json_row("matmul_64x144x4096", s, v));
+    let matmul_avx2_ns = v;
 
     let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
     let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
-    let (s, v) = on_both_paths(20, || {
+    let (s, v) = on_both_backends(20, || {
         std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv"));
     });
     println!(
@@ -121,7 +146,7 @@ fn main() {
         .map(|i| ((i % 239) as i32 - 119) as i8)
         .collect();
     let mut qacc = vec![0i32; qa.tiles() * MR * qn];
-    let (s, v) = on_both_paths(20, || {
+    let (s, v) = on_both_backends(20, || {
         let b = ops::QOperand::Strided {
             data: &qb,
             rs: qn,
@@ -138,7 +163,7 @@ fn main() {
     rows.push(json_row("qgemm_64x144x4096", s, v));
 
     let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
-    let (s, v) = on_both_paths(50, || {
+    let (s, v) = on_both_backends(50, || {
         std::hint::black_box(ops::softmax_rows(&logits).expect("softmax"));
     });
     println!(
@@ -146,6 +171,70 @@ fn main() {
         s / v
     );
     rows.push(json_row("softmax_rows_256x1000", s, v));
+
+    // Per-backend sections: every registered backend, whether it
+    // dispatches on this machine, and its matmul latency under the
+    // blocking the process is actually using (static here — autotune is
+    // measured separately below).
+    let mut backend_rows = Vec::new();
+    for be in backend::registered() {
+        let name = be.name();
+        let dispatchable = backend::dispatchable(*be);
+        let entry = if dispatchable {
+            pin_backend(name);
+            let ns = time_ns(20, || {
+                std::hint::black_box(a.matmul(&b).expect("matmul"));
+            });
+            println!("backend {name:<8} matmul {ns:>12.1} ns  (static blocking)");
+            format!(
+                "    {{\"backend\": \"{name}\", \"dispatchable\": true, \
+                 \"blocking\": \"static\", \"matmul_ns\": {ns:.1}}}"
+            )
+        } else {
+            println!("backend {name:<8} not dispatchable on this machine");
+            format!(
+                "    {{\"backend\": \"{name}\", \"dispatchable\": false, \
+                 \"blocking\": \"static\", \"matmul_ns\": null}}"
+            )
+        };
+        backend_rows.push(entry);
+    }
+
+    // Autotune-vs-static: run the first-use tuner against a fresh profile
+    // path, then time the bench matmul under the tuned blocking and under
+    // the static default. Both runs are bit-identical; only the schedule
+    // differs.
+    let profile = std::env::temp_dir().join(format!(
+        "leca-bench-autotune-{}.profile",
+        std::process::id()
+    ));
+    pin_backend("avx2");
+    std::env::set_var("LECA_AUTOTUNE_PROFILE", &profile);
+    std::env::set_var("LECA_AUTOTUNE", "1");
+    let tuned_blocking = autotune::refresh_blocking();
+    let tuned_ns = time_ns(20, || {
+        std::hint::black_box(a.matmul(&b).expect("matmul"));
+    });
+    std::env::remove_var("LECA_AUTOTUNE");
+    std::env::remove_var("LECA_AUTOTUNE_PROFILE");
+    let static_blocking = autotune::refresh_blocking();
+    let _ = std::fs::remove_file(&profile);
+    println!(
+        "autotune matmul_64x144x4096: static {matmul_avx2_ns:>12.1} ns  tuned {tuned_ns:>12.1} ns  \
+         x{:.3}  (mc={} kc={} nc={})",
+        matmul_avx2_ns / tuned_ns,
+        json_dim(tuned_blocking.mc),
+        json_dim(tuned_blocking.kc),
+        json_dim(tuned_blocking.nc),
+    );
+    let autotune_json = format!(
+        "{{\"backend\": \"{}\", \"static_ns\": {matmul_avx2_ns:.1}, \"autotuned_ns\": {tuned_ns:.1}, \
+         \"speedup\": {:.3}, \"static_blocking\": {}, \"autotuned_blocking\": {}}}",
+        if avx2_available { "avx2" } else { "scalar" },
+        matmul_avx2_ns / tuned_ns,
+        json_blocking(static_blocking),
+        json_blocking(tuned_blocking),
+    );
 
     // End-to-end pooled inference: images/sec through the Soft pipeline.
     let cfg = LecaConfig::new(2, 4, 3.0).expect("config");
@@ -156,7 +245,7 @@ fn main() {
     let n_imgs = batch.shape()[0] as f64;
     let mut preds = Vec::new();
     session.warm_up(&[8, 3, 16, 16]).expect("warm-up");
-    let (s, v) = on_both_paths(30, || {
+    let (s, v) = on_both_backends(30, || {
         session
             .classify_batch(&batch, &mut preds)
             .expect("classify");
@@ -168,15 +257,15 @@ fn main() {
     );
 
     // Same session, int8 mode: calibrate on the bench batch, compile the
-    // engine, and time the quantized classify path on both dispatch
-    // paths. The headline number is int8-avx2 vs f32-avx2 throughput.
+    // engine, and time the quantized classify path on both backends. The
+    // headline number is int8-avx2 vs f32-avx2 throughput.
     session.enable_int8(&batch).expect("int8 engine");
     for _ in 0..2 {
         session
             .classify_batch_with(&batch, &mut preds, Precision::Int8)
             .expect("int8 warm");
     }
-    let (s8, v8) = on_both_paths(30, || {
+    let (s8, v8) = on_both_backends(30, || {
         session
             .classify_batch_with(&batch, &mut preds, Precision::Int8)
             .expect("int8 classify");
@@ -188,16 +277,18 @@ fn main() {
          x{int8_speedup:.2} vs f32 avx2"
     );
 
-    std::env::remove_var("LECA_SIMD");
-    simd::refresh_kernel_path();
+    std::env::remove_var("LECA_BACKEND");
+    backend::refresh_backend();
 
     let json = format!
     (
-        "{{\n  \"avx2_available\": {avx2_available},\n  \"threads\": 1,\n  \"kernels\": [\n{}\n  ],\n  \
+        "{{\n  \"avx2_available\": {avx2_available},\n  \"threads\": 1,\n  \"backends\": [\n{}\n  ],\n  \
+         \"autotune\": {autotune_json},\n  \"kernels\": [\n{}\n  ],\n  \
          \"classify_batch\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar_ips:.0}, \
          \"avx2_imgs_per_sec\": {avx2_ips:.0}, \"speedup\": {:.3}}},\n  \
          \"classify_batch_int8\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar8_ips:.0}, \
          \"avx2_imgs_per_sec\": {avx28_ips:.0}, \"speedup_vs_f32_avx2\": {int8_speedup:.3}}}\n}}\n",
+        backend_rows.join(",\n"),
         rows.join(",\n"),
         avx2_ips / scalar_ips
     );

@@ -23,13 +23,13 @@
 //!
 //! Activation grids come from a [`QuantCalibration`] recorded by
 //! [`QuantizedEngine::calibrate`] on representative data; the table is a
-//! `leca_nn` [`Layer`](leca_nn::Layer) whose ranges persist through the
+//! per-[`Layer`] table whose ranges persist through the
 //! CRC-checked checkpoint format (`leca_nn::serialize`), so a deployed
 //! sensor can ship its calibration next to its weights.
 //!
 //! Everything downstream of the f32 encoder conv is integer arithmetic
 //! with round-to-nearest-even epilogues that are bit-identical across the
-//! `LECA_SIMD` dispatch paths and `LECA_THREADS` counts (see
+//! `LECA_BACKEND` kernel backends and `LECA_THREADS` counts (see
 //! `leca_tensor::ops::qgemm`), and the f32 stages use the same
 //! scalar-order kernels on every path — int8 logits are bit-deterministic
 //! across every runtime knob.

@@ -332,7 +332,7 @@ impl<'a> InferenceSession<'a> {
         eprintln!(
             "leca: warm-up {:?} on `{}` kernels, {} thread(s)",
             input_shape,
-            leca_tensor::ops::simd::kernel_path().name(),
+            leca_tensor::backend::active().name(),
             leca_tensor::parallel::num_threads(),
         );
         let x = Tensor::zeros(input_shape);

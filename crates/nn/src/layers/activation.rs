@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Result};
-use leca_tensor::ops::simd;
+use leca_tensor::backend;
 use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Length check shared by the masked backward passes, returning the
@@ -37,7 +37,7 @@ impl Relu {
 
     fn cache_mask(&mut self, x: &Tensor, ws: &Workspace) {
         let mut mask = ws.take(x.shape());
-        simd::relu_mask(x.as_slice(), mask.as_mut_slice());
+        backend::relu_mask(x.as_slice(), mask.as_mut_slice());
         self.mask = Some(mask);
     }
 }
@@ -51,16 +51,16 @@ impl Layer for Relu {
         // Not `v.max(0.0)`: f32::max drops NaN operands, which would
         // silently launder a poisoned activation into a healthy zero and
         // hide divergence from the trainer's non-finite-loss detector.
-        // `simd::relu` keeps the NaN-passing branch on both paths.
+        // `backend::relu` keeps the NaN-passing branch on both paths.
         let mut out = Tensor::zeros(x.shape());
-        simd::relu(x.as_slice(), out.as_mut_slice());
+        backend::relu(x.as_slice(), out.as_mut_slice());
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.take().ok_or(NnError::NoForwardCache("relu"))?;
         let mut out = checked_grad_buf("relu backward", &mask, grad_out)?;
-        simd::relu_backward(mask.as_slice(), grad_out.as_slice(), out.as_mut_slice());
+        backend::relu_backward(mask.as_slice(), grad_out.as_slice(), out.as_mut_slice());
         Ok(out)
     }
 
@@ -69,7 +69,7 @@ impl Layer for Relu {
             self.cache_mask(x, ws);
         }
         let mut out = ws.take_from(x);
-        simd::relu_inplace(out.as_mut_slice());
+        backend::relu_inplace(out.as_mut_slice());
         Ok(out)
     }
 
@@ -103,7 +103,7 @@ impl LeakyRelu {
 
     fn cache_mask(&mut self, x: &Tensor, ws: &Workspace) {
         let mut mask = ws.take(x.shape());
-        simd::relu_mask(x.as_slice(), mask.as_mut_slice());
+        backend::relu_mask(x.as_slice(), mask.as_mut_slice());
         self.mask = Some(mask);
     }
 }
@@ -115,7 +115,7 @@ impl Layer for LeakyRelu {
             self.cache_mask(x, &pool);
         }
         let mut out = Tensor::zeros(x.shape());
-        simd::leaky_relu(x.as_slice(), self.alpha, out.as_mut_slice());
+        backend::leaky_relu(x.as_slice(), self.alpha, out.as_mut_slice());
         Ok(out)
     }
 
@@ -125,7 +125,7 @@ impl Layer for LeakyRelu {
             .take()
             .ok_or(NnError::NoForwardCache("leaky_relu"))?;
         let mut out = checked_grad_buf("leaky_relu backward", &mask, grad_out)?;
-        simd::leaky_relu_backward(
+        backend::leaky_relu_backward(
             mask.as_slice(),
             grad_out.as_slice(),
             self.alpha,
@@ -139,7 +139,7 @@ impl Layer for LeakyRelu {
             self.cache_mask(x, ws);
         }
         let mut out = ws.take_from(x);
-        simd::leaky_relu_inplace(out.as_mut_slice(), self.alpha);
+        backend::leaky_relu_inplace(out.as_mut_slice(), self.alpha);
         Ok(out)
     }
 

@@ -1,5 +1,5 @@
 use crate::{Layer, Mode, NnError, Param, Result};
-use leca_tensor::{ops, PooledTensor, Tensor, Workspace};
+use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Batch normalization over the channel dimension of NCHW activations.
 ///
@@ -267,7 +267,14 @@ impl Layer for BatchNorm2d {
             );
             for ni in 0..n {
                 let plane = (ni * c + ci) * hw..(ni * c + ci + 1) * hw;
-                ops::simd::bn_affine(&src[plane.clone()], &mut dst[plane], mean, inv_std, g, b);
+                leca_tensor::backend::bn_affine(
+                    &src[plane.clone()],
+                    &mut dst[plane],
+                    mean,
+                    inv_std,
+                    g,
+                    b,
+                );
             }
         }
         Ok(out)

@@ -56,7 +56,7 @@ impl Layer for Linear {
         let data = y.as_mut_slice();
         let bias = &self.bias.value.as_slice()[..o];
         for r in 0..n {
-            ops::simd::add_assign(&mut data[r * o..(r + 1) * o], bias);
+            leca_tensor::backend::add_assign(&mut data[r * o..(r + 1) * o], bias);
         }
         Ok(y)
     }
@@ -80,7 +80,7 @@ impl Layer for Linear {
         let data = y.as_mut_slice();
         let bias = &self.bias.value.as_slice()[..o];
         for r in 0..n {
-            ops::simd::add_assign(&mut data[r * o..(r + 1) * o], bias);
+            leca_tensor::backend::add_assign(&mut data[r * o..(r + 1) * o], bias);
         }
         Ok(y)
     }

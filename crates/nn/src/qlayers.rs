@@ -20,7 +20,7 @@
 
 use crate::layers::{BatchNorm2d, Conv2d, ConvTranspose2d, Linear};
 use crate::{Layer, Mode, NnError, Result};
-use leca_tensor::ops::simd;
+use leca_tensor::backend;
 use leca_tensor::ops::{qgemm, Conv2dGeometry, PackedQMat, QIm2col, QOperand};
 use leca_tensor::{QTensor, QuantParams, Tensor};
 
@@ -377,7 +377,7 @@ impl QConv2d {
         }
         let (oh, ow) = self.out_dims(h, w)?;
         let n = n_imgs * oh * ow;
-        self.acc.resize(self.weights.tiles() * simd::MR * n, 0);
+        self.acc.resize(self.weights.tiles() * backend::MR * n, 0);
         let view = QOperand::Im2col(QIm2col {
             data: x,
             c: self.in_ch,
@@ -429,7 +429,7 @@ impl QConv2d {
             let b = self.bias[oi] / oq.scale;
             let row = &self.acc[oi * n..(oi + 1) * n];
             for img in 0..n_imgs {
-                simd::requant_i32(
+                backend::requant_i32(
                     &row[img * hw..(img + 1) * hw],
                     m,
                     b,
@@ -475,9 +475,9 @@ impl QConv2d {
             let row = &self.acc[oi * n..(oi + 1) * n];
             for img in 0..n_imgs {
                 let dst = &mut out[(img * o + oi) * hw..(img * o + oi + 1) * hw];
-                simd::dequant_i32(&row[img * hw..(img + 1) * hw], m, self.bias[oi], dst);
+                backend::dequant_i32(&row[img * hw..(img + 1) * hw], m, self.bias[oi], dst);
                 if relu {
-                    simd::relu_inplace(dst);
+                    backend::relu_inplace(dst);
                 }
             }
         }
@@ -594,7 +594,7 @@ impl QConvTranspose2d {
             });
         }
         let n = n_imgs * h * w;
-        self.acc.resize(self.weights.tiles() * simd::MR * n, 0);
+        self.acc.resize(self.weights.tiles() * backend::MR * n, 0);
         let view = QOperand::Nchw {
             data: x,
             c: self.in_ch,
@@ -607,7 +607,7 @@ impl QConvTranspose2d {
             let (oc, rem) = (r / (k * k), r % (k * k));
             let (ky, kx) = (rem / k, rem % k);
             let m = self.input.scale * self.weights.scales()[r];
-            simd::dequant_i32(
+            backend::dequant_i32(
                 &self.acc[r * n..(r + 1) * n],
                 m,
                 self.bias[oc],
@@ -685,7 +685,8 @@ impl QLinear {
                 actual: out.len(),
             });
         }
-        self.acc.resize(self.weights.tiles() * simd::MR * n_rows, 0);
+        self.acc
+            .resize(self.weights.tiles() * backend::MR * n_rows, 0);
         // B is xᵀ: get(p, j) = x[j * in + p].
         let view = QOperand::Strided {
             data: x,
@@ -697,7 +698,7 @@ impl QLinear {
         self.frow.resize(n_rows, 0.0);
         for oi in 0..o {
             let m = self.input.scale * self.weights.scales()[oi];
-            simd::dequant_i32(
+            backend::dequant_i32(
                 &self.acc[oi * n_rows..(oi + 1) * n_rows],
                 m,
                 self.bias[oi],
@@ -714,7 +715,7 @@ impl QLinear {
 /// Quantizes the f32 batch `src` onto `params`'s grid (used between f32
 /// stages and the int8 tier; vectorized on the AVX2 path).
 pub fn quantize_batch(src: &[f32], params: QuantParams, out: &mut [i8]) {
-    simd::quantize_q8(src, 1.0 / params.scale, params.zero_point, out);
+    backend::quantize_q8(src, 1.0 / params.scale, params.zero_point, out);
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Service configuration and its environment knobs.
 //!
 //! Three knobs are deployment-facing and readable from the environment
-//! (mirroring `LECA_THREADS` / `LECA_SIMD`):
+//! (mirroring `LECA_THREADS` / `LECA_BACKEND`, and parsed by the same
+//! [`leca_tensor::runtime_env`] helpers):
 //!
 //! * `LECA_SERVE_SHARDS` — worker shards (each pins one warm
 //!   [`leca_core::InferenceSession`]).
@@ -16,6 +17,7 @@
 
 use crate::error::{ServeError, ServeResult};
 use leca_core::Precision;
+use leca_tensor::runtime_env;
 
 /// Per-tenant circuit-breaker policy.
 ///
@@ -134,12 +136,12 @@ impl ServeConfig {
         if let Some(v) = read_env("LECA_SERVE_MAX_BATCH") {
             cfg.max_batch = v as usize;
         }
-        if let Ok(v) = std::env::var("LECA_SERVE_PRECISION") {
-            match v.to_ascii_lowercase().as_str() {
-                "f32" => cfg.default_precision = Precision::F32,
-                "int8" => cfg.default_precision = Precision::Int8,
-                _ => {}
-            }
+        match runtime_env::choice("LECA_SERVE_PRECISION", &["f32", "int8"]) {
+            Ok("f32") => cfg.default_precision = Precision::F32,
+            Ok("int8") => cfg.default_precision = Precision::Int8,
+            // Unset or unrecognized (e.g. "fp16"): keep the default, the
+            // same ignore-garbage contract as the integer knobs.
+            _ => {}
         }
         cfg
     }
@@ -206,11 +208,11 @@ impl ServeConfig {
     }
 }
 
-fn read_env(key: &str) -> Option<u64> {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&v| v > 0)
+fn read_env(key: &'static str) -> Option<u64> {
+    // Typed parse via the shared helper; any error (unset, garbage, zero)
+    // collapses to "keep the default", preserving the documented
+    // ignore-garbage contract.
+    runtime_env::positive_u64(key).ok()
 }
 
 #[cfg(test)]

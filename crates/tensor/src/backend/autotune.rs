@@ -1,0 +1,378 @@
+//! First-run GEMM block-size autotuner with a CRC-checked on-disk profile.
+//!
+//! The GEMM driver partitions its loops by a [`GemmBlocking`]: `mc` rows
+//! of A per worker chunk, `kc` reduction steps per packed slab, `nc`
+//! columns of B per packed pass. The static default reproduces the
+//! historical fixed blocking exactly and is always used unless
+//! `LECA_AUTOTUNE=1` — autotuning is **opt-in**, so every existing golden
+//! is produced by the deterministic static path by default.
+//!
+//! With autotuning enabled, the first consult benchmarks a small grid of
+//! `(mc, kc, nc)` configurations on a representative GEMM shape for the
+//! *active backend on this machine*, picks the fastest (keeping the static
+//! blocking unless a candidate is decisively faster), and caches the
+//! winner in a profile file (`LECA_AUTOTUNE_PROFILE` overrides the
+//! location). The profile reuses the checkpoint-footer idiom from
+//! `leca-nn`'s serializer — `crc32(payload) · payload_len · magic` — so a
+//! truncated or bit-flipped profile is detected, discarded and re-tuned
+//! rather than trusted.
+//!
+//! Blocking **never** affects numerics: the microkernel loads and stores
+//! its accumulator tile, so splitting the reduction into `kc`-sized chunks
+//! continues each output element's single in-order FP chain (see
+//! [`super::microkernel_with`]); `mc`/`nc` are pure work partitioning.
+//! Autotuned and static results are therefore bit-identical — the
+//! determinism suites run both.
+
+use crate::runtime_env;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// GEMM loop partitioning consulted by the driver in `ops/gemm.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Minimum rows of A (and of the output) per parallel worker chunk.
+    pub mc: usize,
+    /// Reduction (K) steps per packed slab; `usize::MAX` = unbounded
+    /// (pack the whole reduction at once).
+    pub kc: usize,
+    /// Columns of B per packed pass; `usize::MAX` = unbounded. Rounded
+    /// down to a multiple of [`super::NR`] by the driver.
+    pub nc: usize,
+}
+
+impl GemmBlocking {
+    /// The historical fixed blocking: 32-row worker chunks, unbounded
+    /// `kc`/`nc` (pack all of B once, walk the full reduction per tile).
+    /// This is the deterministic fallback whenever autotuning is off,
+    /// disabled, or the profile is unreadable.
+    pub const STATIC: GemmBlocking = GemmBlocking {
+        mc: 32,
+        kc: usize::MAX,
+        nc: usize::MAX,
+    };
+}
+
+const BLK_UNSET: u8 = 0;
+const BLK_SET: u8 = 1;
+
+static STATE: AtomicU8 = AtomicU8::new(BLK_UNSET);
+static CACHED_MC: AtomicUsize = AtomicUsize::new(0);
+static CACHED_KC: AtomicUsize = AtomicUsize::new(0);
+static CACHED_NC: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes tuner runs (the tuner is expensive; racing first-callers
+/// must not both benchmark).
+static TUNE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Returns the process-wide GEMM blocking.
+///
+/// [`GemmBlocking::STATIC`] unless `LECA_AUTOTUNE=1`, in which case the
+/// on-disk profile (or a fresh tuning run) decides. Computed **once per
+/// process** and cached — same contract as [`super::active`]; tests use
+/// [`refresh_blocking`] after changing the environment.
+pub fn blocking() -> GemmBlocking {
+    if STATE.load(Ordering::Relaxed) == BLK_SET {
+        GemmBlocking {
+            mc: CACHED_MC.load(Ordering::Relaxed),
+            kc: CACHED_KC.load(Ordering::Relaxed),
+            nc: CACHED_NC.load(Ordering::Relaxed),
+        }
+    } else {
+        refresh_blocking()
+    }
+}
+
+/// Re-reads `LECA_AUTOTUNE` / `LECA_AUTOTUNE_PROFILE`, re-resolves the
+/// blocking (loading or regenerating the profile as needed), replaces the
+/// cache and returns the new value — the test hook for [`blocking`].
+pub fn refresh_blocking() -> GemmBlocking {
+    let _guard = TUNE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let blk = resolve();
+    CACHED_MC.store(blk.mc, Ordering::Relaxed);
+    CACHED_KC.store(blk.kc, Ordering::Relaxed);
+    CACHED_NC.store(blk.nc, Ordering::Relaxed);
+    STATE.store(BLK_SET, Ordering::Relaxed);
+    blk
+}
+
+/// True when `LECA_AUTOTUNE` is set to a truthy flag value.
+pub fn autotune_enabled() -> bool {
+    matches!(runtime_env::flag("LECA_AUTOTUNE"), Ok(true))
+}
+
+/// The profile location: `LECA_AUTOTUNE_PROFILE`, else a per-user file in
+/// the OS temp directory.
+pub fn profile_path() -> PathBuf {
+    match runtime_env::raw("LECA_AUTOTUNE_PROFILE") {
+        Ok(p) if !p.is_empty() => PathBuf::from(p),
+        _ => std::env::temp_dir().join("leca-autotune-v1.profile"),
+    }
+}
+
+fn resolve() -> GemmBlocking {
+    if !autotune_enabled() {
+        return GemmBlocking::STATIC;
+    }
+    let path = profile_path();
+    let backend = super::active().name();
+    if let Some(blk) = read_profile(&path, backend) {
+        return blk;
+    }
+    // Missing, corrupt (CRC mismatch) or stale profile: re-tune on this
+    // machine and rewrite it.
+    let blk = tune();
+    let _ = write_profile(&path, blk, backend);
+    blk
+}
+
+// ---------------------------------------------------------------------
+// Profile file format
+// ---------------------------------------------------------------------
+//
+// payload := "LATP" · version:u32 · mr:u32 · nr:u32
+//            · mc:u64 · kc:u64 · nc:u64
+//            · backend_len:u32 · backend_name bytes
+// file    := payload · crc32(payload):u32 · payload_len:u64 · "LAT1"
+//
+// All integers little-endian. The footer mirrors the checkpoint format in
+// `leca-nn::serialize` (crc · len · magic) so the same torn-write and
+// bit-rot reasoning applies: validate the trailer first, then the CRC,
+// then the semantic fields.
+
+const PAYLOAD_MAGIC: &[u8; 4] = b"LATP";
+const FOOTER_MAGIC: &[u8; 4] = b"LAT1";
+const VERSION: u32 = 1;
+const FOOTER_LEN: usize = 4 + 8 + 4;
+
+/// CRC-32 (reflected, poly `0xEDB8_8320`) — the same bytewise formulation
+/// as `leca-nn::serialize::crc32`, duplicated here because `leca-tensor`
+/// sits below `leca-nn` in the crate DAG.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serializes a profile for `blocking` + `backend` and writes it to
+/// `path` atomically (tmp + rename). Public so tests (and the bench
+/// harness) can plant profiles.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the write or rename.
+pub fn write_profile(path: &Path, blocking: GemmBlocking, backend: &str) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(PAYLOAD_MAGIC);
+    payload.extend_from_slice(&VERSION.to_le_bytes());
+    payload.extend_from_slice(&(super::MR as u32).to_le_bytes());
+    payload.extend_from_slice(&(super::NR as u32).to_le_bytes());
+    payload.extend_from_slice(&(blocking.mc as u64).to_le_bytes());
+    payload.extend_from_slice(&(blocking.kc as u64).to_le_bytes());
+    payload.extend_from_slice(&(blocking.nc as u64).to_le_bytes());
+    payload.extend_from_slice(&(backend.len() as u32).to_le_bytes());
+    payload.extend_from_slice(backend.as_bytes());
+
+    let mut bytes = payload.clone();
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(FOOTER_MAGIC);
+
+    let tmp = path.with_extension("profile.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and validates the profile at `path` for `backend`. `None` on any
+/// defect — missing file, bad trailer, CRC mismatch, version/tile/backend
+/// staleness, or degenerate block values — in which case the caller
+/// re-tunes and rewrites.
+pub fn read_profile(path: &Path, backend: &str) -> Option<GemmBlocking> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < FOOTER_LEN {
+        return None;
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[12..16] != FOOTER_MAGIC {
+        return None;
+    }
+    let stored_len = u64::from_le_bytes(footer[4..12].try_into().ok()?) as usize;
+    if stored_len != body.len() {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(footer[0..4].try_into().ok()?);
+    if crc32(body) != stored_crc {
+        return None;
+    }
+
+    let mut r = Reader { buf: body, at: 0 };
+    if r.take(4)? != PAYLOAD_MAGIC.as_slice() || r.u32()? != VERSION {
+        return None;
+    }
+    if r.u32()? as usize != super::MR || r.u32()? as usize != super::NR {
+        return None;
+    }
+    let mc = r.u64()? as usize;
+    let kc = r.u64()? as usize;
+    let nc = r.u64()? as usize;
+    let blen = r.u32()? as usize;
+    let bname = r.take(blen)?;
+    if bname != backend.as_bytes() || r.at != body.len() {
+        return None;
+    }
+    if mc == 0 || kc == 0 || nc == 0 {
+        return None;
+    }
+    Some(GemmBlocking { mc, kc, nc })
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuner
+// ---------------------------------------------------------------------
+
+/// Candidate grid. Deliberately small: the point is recovering the large
+/// wins (cache-fitting `kc`, panel-reusing `nc`), not exhaustive search.
+/// [`GemmBlocking::STATIC`] is always a candidate, so tuning can never do
+/// worse than the default beyond measurement noise — and the winner must
+/// beat static by >2% to displace it.
+const MC_CANDIDATES: [usize; 3] = [16, 32, 64];
+const KC_CANDIDATES: [usize; 2] = [128, usize::MAX];
+const NC_CANDIDATES: [usize; 2] = [1024, usize::MAX];
+
+/// Tuning workload: one mid-sized GEMM in the shape family the inference
+/// path actually runs (im2col'd conv layers — short M, moderate K, wide N).
+const TUNE_M: usize = 64;
+const TUNE_K: usize = 256;
+const TUNE_N: usize = 2048;
+
+/// Median-of-3 wall time of one `gemm` call under `blk`, in nanoseconds.
+fn time_config(a: &[f32], b: &[f32], out: &mut [f32], blk: GemmBlocking) -> u128 {
+    // One warm-up call faults in the pack scratch for this config.
+    crate::ops::gemm_strided_with_blocking(TUNE_M, TUNE_N, TUNE_K, a, b, out, blk);
+    let mut samples = [0u128; 3];
+    for s in &mut samples {
+        let t0 = Instant::now();
+        crate::ops::gemm_strided_with_blocking(TUNE_M, TUNE_N, TUNE_K, a, b, out, blk);
+        *s = t0.elapsed().as_nanos();
+    }
+    samples.sort_unstable();
+    samples[1]
+}
+
+/// Benchmarks the candidate grid and returns the winner (static blocking
+/// unless a candidate is >2% faster).
+fn tune() -> GemmBlocking {
+    let a: Vec<f32> = (0..TUNE_M * TUNE_K)
+        .map(|i| (i % 97) as f32 * 0.013 - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..TUNE_K * TUNE_N)
+        .map(|i| (i % 89) as f32 * 0.011 - 0.4)
+        .collect();
+    let mut out = vec![0.0f32; TUNE_M * TUNE_N];
+
+    let static_ns = time_config(&a, &b, &mut out, GemmBlocking::STATIC);
+    let mut best = (GemmBlocking::STATIC, static_ns);
+    for mc in MC_CANDIDATES {
+        for kc in KC_CANDIDATES {
+            for nc in NC_CANDIDATES {
+                let blk = GemmBlocking { mc, kc, nc };
+                if blk == GemmBlocking::STATIC {
+                    continue;
+                }
+                let ns = time_config(&a, &b, &mut out, blk);
+                if ns < best.1 {
+                    best = (blk, ns);
+                }
+            }
+        }
+    }
+    // Displacing the deterministic default requires a decisive (>2%) win,
+    // not a noise-level one.
+    if best.1.saturating_mul(100) < static_ns.saturating_mul(98) {
+        best.0
+    } else {
+        GemmBlocking::STATIC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard CRC-32 ("IEEE") check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn profile_roundtrip_and_rejection() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leca-autotune-unit-test.profile");
+        let blk = GemmBlocking {
+            mc: 24,
+            kc: 192,
+            nc: 1536,
+        };
+        write_profile(&path, blk, "scalar").expect("write profile");
+        assert_eq!(read_profile(&path, "scalar"), Some(blk));
+        // Backend-name staleness.
+        assert_eq!(read_profile(&path, "avx2"), None);
+        // Single-bit corruption in the payload trips the CRC.
+        let mut bytes = std::fs::read(&path).expect("read back");
+        bytes[6] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert_eq!(read_profile(&path, "scalar"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_profile_rejected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leca-autotune-unit-test-trunc.profile");
+        write_profile(&path, GemmBlocking::STATIC, "scalar").expect("write profile");
+        let bytes = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+        assert_eq!(read_profile(&path, "scalar"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn static_blocking_matches_historical_constants() {
+        assert_eq!(
+            GemmBlocking::STATIC,
+            GemmBlocking {
+                mc: 32,
+                kc: usize::MAX,
+                nc: usize::MAX
+            }
+        );
+    }
+}

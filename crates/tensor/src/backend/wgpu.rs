@@ -1,0 +1,56 @@
+//! `WgpuBackend` — a compile-only stub that locks the [`KernelBackend`]
+//! trait shape down for the planned GPU tier.
+//!
+//! Gated behind the `wgpu` cargo feature (`cargo check --features wgpu`).
+//! The stub implements **no** kernels: every call inherits the trait's
+//! default body and returns a typed [`super::BackendError::Unsupported`],
+//! so [`super::dispatchable`] reports `false` and the registry never
+//! auto-selects it. A future PR replaces the defaults one kernel at a
+//! time with WGSL dispatches (cubek-style blueprint → selector → routine
+//! layering) without touching any call site — that is the whole point of
+//! the trait seam.
+//!
+//! No external `wgpu` crate is linked yet; the feature is a pure cfg gate
+//! so the offline workspace builds unchanged.
+
+use super::KernelBackend;
+
+/// Stub GPU backend: registered (under the `wgpu` feature) but never
+/// dispatchable — every kernel reports `Unsupported`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WgpuBackend;
+
+impl KernelBackend for WgpuBackend {
+    fn name(&self) -> &'static str {
+        "wgpu"
+    }
+    // Every kernel method deliberately inherits the `Unsupported` default.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{dispatchable, registered, BackendError, KernelResult, MR, NR};
+
+    #[test]
+    fn stub_reports_unsupported_and_never_dispatches() {
+        let be = WgpuBackend;
+        let mut acc = [[0.0f32; NR]; MR];
+        let err = be.microkernel(0, &[], &[], &mut acc).unwrap_err();
+        assert_eq!(
+            err,
+            BackendError::Unsupported {
+                backend: "wgpu",
+                kernel: "microkernel"
+            }
+        );
+        let r: KernelResult = be.relu_inplace(&mut []);
+        assert!(r.is_err());
+        assert!(!dispatchable(&be), "stub must fail the dispatch probe");
+        let reg = registered();
+        assert!(
+            reg.iter().any(|b| b.name() == "wgpu"),
+            "stub must be registered under the feature"
+        );
+    }
+}

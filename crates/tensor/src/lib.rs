@@ -34,9 +34,11 @@ mod init;
 mod shape;
 mod tensor;
 
+pub mod backend;
 pub mod ops;
 pub mod parallel;
 pub mod quant;
+pub mod runtime_env;
 pub mod workspace;
 
 pub use error::TensorError;

@@ -402,7 +402,10 @@ pub fn conv2d_into(
         );
         if let Some(b) = bias {
             for (oi, &bv) in b.as_slice().iter().enumerate() {
-                super::simd::add_scalar_inplace(&mut out_mat[oi * row_len..(oi + 1) * row_len], bv);
+                crate::backend::add_scalar_inplace(
+                    &mut out_mat[oi * row_len..(oi + 1) * row_len],
+                    bv,
+                );
             }
         }
         c_nm_to_nchw_slice(&out_mat, n, o, oh * ow, out.as_mut_slice());
@@ -609,7 +612,7 @@ pub fn conv_transpose2d_into(
         let data = out.as_mut_slice();
         for ni in 0..n {
             for (oi, &bv) in b.as_slice().iter().enumerate() {
-                super::simd::add_scalar_inplace(
+                crate::backend::add_scalar_inplace(
                     &mut data[(ni * o + oi) * hw..(ni * o + oi + 1) * hw],
                     bv,
                 );

@@ -11,7 +11,8 @@ mod pool;
 mod qgemm;
 mod reduce;
 pub mod reference;
-pub mod simd;
+
+pub(crate) use gemm::gemm_strided_with_blocking;
 
 pub use conv::{
     col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, conv2d_into, conv_transpose2d,

@@ -72,7 +72,7 @@ pub fn avg_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
                 let r0 = &src[(plane * h + 2 * oy) * w..(plane * h + 2 * oy) * w + w];
                 let r1 = &src[(plane * h + 2 * oy + 1) * w..(plane * h + 2 * oy + 1) * w + w];
                 let o = &mut dst[(plane * oh + oy) * ow..(plane * oh + oy + 1) * ow];
-                super::simd::avg_pool_k2(r0, r1, o, inv);
+                crate::backend::avg_pool_k2(r0, r1, o, inv);
             }
         }
         return Ok(());
@@ -226,7 +226,7 @@ pub fn max_pool2d_into(x: &Tensor, k: usize, out: &mut Tensor) -> Result<()> {
                 let r0 = &src[(plane * h + 2 * oy) * w..(plane * h + 2 * oy) * w + w];
                 let r1 = &src[(plane * h + 2 * oy + 1) * w..(plane * h + 2 * oy + 1) * w + w];
                 let o = &mut dst[(plane * oh + oy) * ow..(plane * oh + oy + 1) * ow];
-                super::simd::max_pool_k2(r0, r1, o);
+                crate::backend::max_pool_k2(r0, r1, o);
             }
         }
         return Ok(());

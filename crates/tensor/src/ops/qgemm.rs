@@ -8,7 +8,7 @@
 //!   [`MR`]-row aligned, so the output accumulator is sized in whole tiles
 //!   (`tiles * MR * n`; rows past the logical `m` are scratch).
 //! * Operands are **zero-point-corrected i16 pairs** along the reduction
-//!   axis (layouts documented on [`simd::qmicrokernel_with`]); padding —
+//!   axis (layouts documented on [`backend::qmicrokernel_with`]); padding —
 //!   both the odd-`k` pair tail and conv's spatial padding — packs as `0`,
 //!   which *is* the corrected representation of the real value zero, so no
 //!   correction terms are needed anywhere.
@@ -17,10 +17,10 @@
 //! accumulator is one chain over strictly increasing pair index, threads
 //! split disjoint output tiles, and integer arithmetic has no rounding at
 //! all — the quantized path is bit-deterministic across `LECA_THREADS`
-//! *and* `LECA_SIMD` by construction (the parity suite still proves the
-//! latter).
+//! *and* `LECA_BACKEND` by construction (the parity suite still proves
+//! the latter).
 
-use super::simd::{self, MR, NR};
+use crate::backend::{self, MR, NR};
 use crate::parallel::par_rows_mut;
 use std::cell::RefCell;
 
@@ -442,7 +442,7 @@ pub fn qgemm(a: &PackedQMat, b: &QOperand, n: usize, acc: &mut [i32]) {
 
         // Compute over disjoint whole-tile row ranges; the weight tiles
         // are already packed, so workers go straight to the microkernel.
-        let path = simd::kernel_path();
+        let be = backend::active();
         let packed_b = &*packed_b;
         par_rows_mut(acc, tiles, MR * n, QMC_TILES, |tile_range, chunk| {
             for (local, t) in tile_range.enumerate() {
@@ -452,8 +452,8 @@ pub fn qgemm(a: &PackedQMat, b: &QOperand, n: usize, acc: &mut [i32]) {
                     let j0 = jp * NR;
                     let jn = NR.min(n - j0);
                     let mut tile_acc = [[0i32; NR]; MR];
-                    simd::qmicrokernel_with(
-                        path,
+                    backend::qmicrokernel_with(
+                        be,
                         kp2,
                         ap,
                         &packed_b[jp * kp2 * NR * 2..(jp + 1) * kp2 * NR * 2],

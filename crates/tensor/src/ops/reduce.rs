@@ -101,21 +101,28 @@ pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
             rhs: vec![rows, cols],
         });
     }
+    let src = x.as_slice();
     let data = out.as_mut_slice();
-    data.copy_from_slice(x.as_slice());
     for r in 0..rows {
+        let xrow = &src[r * cols..(r + 1) * cols];
         let row = &mut data[r * cols..(r + 1) * cols];
-        let m = super::simd::row_max(row);
+        let m = crate::backend::row_max(xrow);
+        // The subtraction rides the vectorized add kernel: IEEE-754
+        // guarantees `v - m == v + (-m)` bit for bit, so shifting by the
+        // negated max is the exact same value the scalar loop produced
+        // (and writing x - m straight into `out` replaces what used to be
+        // a full-matrix copy).
+        crate::backend::add_scalar(xrow, -m, row);
         // The exp + running-sum pass is a single sequential dependency
         // chain; vectorizing it would reassociate the sum and break the
         // bit-exactness contract, so it stays scalar on every path.
         let mut z = 0.0;
         for v in row.iter_mut() {
-            *v = (*v - m).exp();
+            *v = v.exp();
             z += *v;
         }
         let inv = 1.0 / z;
-        super::simd::scale_inplace(row, inv);
+        crate::backend::scale_inplace(row, inv);
     }
     Ok(())
 }

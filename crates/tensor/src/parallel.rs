@@ -72,10 +72,11 @@ pub fn refresh_num_threads() -> usize {
 static CACHED: AtomicUsize = AtomicUsize::new(0);
 
 fn read_thread_env() -> usize {
-    std::env::var("LECA_THREADS")
+    // `positive_u64` already rejects zero, garbage, and empty values; any
+    // such error falls back to auto-detection rather than aborting.
+    crate::runtime_env::positive_u64("LECA_THREADS")
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v > 0)
+        .map(|v| v as usize)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|p| p.get())

@@ -16,7 +16,7 @@
 //! The code `-128` is never produced: restricting to `[-127, 127]` keeps
 //! `q - zero_point` inside `[-254, 254]`, which lets the AVX2 kernel use
 //! `_mm256_madd_epi16` (pairwise i16×i16 → i32) with no saturation — see
-//! `ops::simd` for the kernel-level argument.
+//! `crate::backend` for the kernel-level argument.
 //!
 //! Quantization **refuses non-finite input** with a typed
 //! [`TensorError::NonFinite`]: NaN or ±inf would otherwise be silently

@@ -400,7 +400,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary_kernel(other, "zip_map", crate::ops::simd::add)
+        self.binary_kernel(other, "zip_map", crate::backend::add)
     }
 
     /// Elementwise difference.
@@ -409,7 +409,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary_kernel(other, "zip_map", crate::ops::simd::sub)
+        self.binary_kernel(other, "zip_map", crate::backend::sub)
     }
 
     /// Elementwise product (Hadamard).
@@ -418,7 +418,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
-        self.binary_kernel(other, "zip_map", crate::ops::simd::mul)
+        self.binary_kernel(other, "zip_map", crate::backend::mul)
     }
 
     /// Accumulates `other` into `self` (`self += other`), in place.
@@ -434,7 +434,7 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        crate::ops::simd::add_assign(&mut self.data, &other.data);
+        crate::backend::add_assign(&mut self.data, &other.data);
         Ok(())
     }
 
@@ -451,28 +451,28 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        crate::ops::simd::axpy(&mut self.data, &other.data, scale);
+        crate::backend::axpy(&mut self.data, &other.data, scale);
         Ok(())
     }
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
         let mut out = self.clone();
-        crate::ops::simd::add_scalar_inplace(&mut out.data, s);
+        crate::backend::add_scalar_inplace(&mut out.data, s);
         out
     }
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
         let mut out = self.clone();
-        crate::ops::simd::scale_inplace(&mut out.data, s);
+        crate::backend::scale_inplace(&mut out.data, s);
         out
     }
 
     /// Clamps every element to `[lo, hi]`.
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         let mut out = Tensor::zeros(self.shape());
-        crate::ops::simd::clamp(&self.data, lo, hi, &mut out.data);
+        crate::backend::clamp(&self.data, lo, hi, &mut out.data);
         out
     }
 
@@ -540,7 +540,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn add_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_kernel_into(other, out, crate::ops::simd::add)
+        self.binary_kernel_into(other, out, crate::backend::add)
     }
 
     /// Shape checks shared by the `_into` binary twins, then a
@@ -569,7 +569,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn sub_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_kernel_into(other, out, crate::ops::simd::sub)
+        self.binary_kernel_into(other, out, crate::backend::sub)
     }
 
     /// [`Tensor::mul`] writing into `out`.
@@ -578,7 +578,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when any shape differs.
     pub fn mul_into(&self, other: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_kernel_into(other, out, crate::ops::simd::mul)
+        self.binary_kernel_into(other, out, crate::backend::mul)
     }
 
     /// [`Tensor::scale`] writing into `out`.
@@ -588,7 +588,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
     pub fn scale_into(&self, s: f32, out: &mut Tensor) -> Result<()> {
         self.check_out("map_into", out)?;
-        crate::ops::simd::scale(&self.data, s, &mut out.data);
+        crate::backend::scale(&self.data, s, &mut out.data);
         Ok(())
     }
 
@@ -599,7 +599,7 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when `out`'s shape differs.
     pub fn clamp_into(&self, lo: f32, hi: f32, out: &mut Tensor) -> Result<()> {
         self.check_out("map_into", out)?;
-        crate::ops::simd::clamp(&self.data, lo, hi, &mut out.data);
+        crate::backend::clamp(&self.data, lo, hi, &mut out.data);
         Ok(())
     }
 

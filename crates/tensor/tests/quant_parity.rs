@@ -1,8 +1,8 @@
 //! Bit-exactness parity suite for the int8 tier — same discipline as
 //! `simd_parity.rs`.
 //!
-//! Each case computes the scalar reference via `ops::simd::scalar::*`
-//! directly, then the dispatched wrapper under `LECA_SIMD=avx2`, and
+//! Each case computes the scalar reference via `backend::scalar::*`
+//! directly, then the dispatched wrapper under `LECA_BACKEND=avx2`, and
 //! asserts **bitwise** equality: i32 accumulators and i8 codes compare
 //! with `==`, f32 dequant outputs with `to_bits`. The blocked `qgemm` is
 //! additionally checked against the unpacked, unpaired, unthreaded
@@ -10,34 +10,34 @@
 //! a matching bug in both kernel bodies. On hosts without AVX2 the forced
 //! path degrades to scalar and every assertion holds trivially.
 
+use leca_tensor::backend::{self as backend, scalar, MR, NR};
 use leca_tensor::ops::reference::qmatmul_naive;
-use leca_tensor::ops::simd::{self, scalar, MR, NR};
 use leca_tensor::ops::{qgemm, PackedQMat, QOperand};
 use leca_tensor::quant::{QuantParams, QMAX, QMIN};
 use leca_tensor::{QTensor, Tensor, TensorError};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
-/// `LECA_SIMD` is process-global; serialize every test that flips it.
+/// `LECA_BACKEND` is process-global; serialize every test that flips it.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs `body` with the AVX2 path requested (auto-degrading to scalar on
 /// hosts without it), restoring the previous dispatch state afterwards.
 fn with_avx2<T>(body: impl FnOnce() -> T) -> T {
-    with_simd("avx2", body)
+    with_backend("avx2", body)
 }
 
-fn with_simd<T>(value: &str, body: impl FnOnce() -> T) -> T {
+fn with_backend<T>(value: &str, body: impl FnOnce() -> T) -> T {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let old = std::env::var("LECA_SIMD").ok();
-    std::env::set_var("LECA_SIMD", value);
-    simd::refresh_kernel_path();
+    let old = std::env::var("LECA_BACKEND").ok();
+    std::env::set_var("LECA_BACKEND", value);
+    backend::refresh_backend();
     let out = body();
     match old {
-        Some(v) => std::env::set_var("LECA_SIMD", v),
-        None => std::env::remove_var("LECA_SIMD"),
+        Some(v) => std::env::set_var("LECA_BACKEND", v),
+        None => std::env::remove_var("LECA_BACKEND"),
     }
-    simd::refresh_kernel_path();
+    backend::refresh_backend();
     out
 }
 
@@ -137,13 +137,13 @@ proptest! {
         let mut got = [[17i32; NR]; MR];
         with_avx2(|| {
             scalar::qmicrokernel(kp2, &ap, &bp, &mut want);
-            simd::qmicrokernel(kp2, &ap, &bp, &mut got);
+            backend::qmicrokernel(kp2, &ap, &bp, &mut got);
         });
         prop_assert_eq!(got, want);
     }
 
     /// The full blocked qgemm: identical i32 accumulators across
-    /// `LECA_SIMD=off`/`avx2`, and both equal to the naive unpacked
+    /// `LECA_BACKEND=scalar`/`avx2`, and both equal to the naive unpacked
     /// oracle (`ops::reference::qmatmul_naive`).
     #[test]
     fn qgemm_bit_exact_across_paths_and_matches_oracle(
@@ -164,7 +164,7 @@ proptest! {
             acc
         };
         let on_avx2 = with_avx2(run);
-        let on_scalar = with_simd("off", run);
+        let on_scalar = with_backend("scalar", run);
         prop_assert_eq!(&on_avx2, &on_scalar, "paths disagree");
         let oracle = qmatmul_naive(&w, m, k, &b, n, zp);
         for i in 0..m {
@@ -197,17 +197,17 @@ proptest! {
             let mut want8 = vec![0i8; len];
             let mut got8 = vec![0i8; len];
             scalar::quantize_q8(&src, inv, zp, &mut want8);
-            simd::quantize_q8(&src, inv, zp, &mut got8);
+            backend::quantize_q8(&src, inv, zp, &mut got8);
             prop_assert_eq!(&got8, &want8, "quantize_q8");
 
             scalar::requant_i32(&acc, m, b, zp, relu, &mut want8);
-            simd::requant_i32(&acc, m, b, zp, relu, &mut got8);
+            backend::requant_i32(&acc, m, b, zp, relu, &mut got8);
             prop_assert_eq!(&got8, &want8, "requant_i32");
 
             let mut wantf = vec![0.0f32; len];
             let mut gotf = vec![0.0f32; len];
             scalar::dequant_i32(&acc, m, b, &mut wantf);
-            simd::dequant_i32(&acc, m, b, &mut gotf);
+            backend::dequant_i32(&acc, m, b, &mut gotf);
             assert_f32_bits_eq(&gotf, &wantf)
         })?;
     }
@@ -306,7 +306,7 @@ fn rounding_ties_to_even_on_both_paths() {
     let want: Vec<i8> = vec![0, 0, 2, -2, 2, -2, 4, -4, 126];
     with_avx2(|| {
         let mut got = vec![0i8; src.len()];
-        simd::quantize_q8(&src, 1.0, 0, &mut got);
+        backend::quantize_q8(&src, 1.0, 0, &mut got);
         assert_eq!(got, want, "dispatched path");
         let mut got_scalar = vec![0i8; src.len()];
         scalar::quantize_q8(&src, 1.0, 0, &mut got_scalar);

@@ -1,36 +1,36 @@
 //! Bit-exactness parity suite: every dispatched SIMD kernel vs its scalar
 //! twin.
 //!
-//! Each case computes the scalar reference via `ops::simd::scalar::*`
-//! directly, then the dispatched wrapper under `LECA_SIMD=avx2`, and
+//! Each case computes the scalar reference via `backend::scalar::*`
+//! directly, then the dispatched wrapper under `LECA_BACKEND=avx2`, and
 //! asserts **bitwise** equality (`f32::to_bits`, so NaN payloads count
 //! too). Inputs are NaN-poisoned and lengths deliberately straddle the
 //! 8-lane AVX2 width so both the vector body and the scalar tail are
 //! exercised. On hosts without AVX2 the forced path degrades to scalar
 //! and every assertion holds trivially — the suite stays portable.
 
-use leca_tensor::ops::simd::{self, scalar, MR, NR};
+use leca_tensor::backend::{self as backend, scalar, MR, NR};
 use leca_tensor::ops::{avg_pool2d_into, matmul, max_pool2d_into, softmax_rows};
 use leca_tensor::Tensor;
 use proptest::prelude::*;
 use std::sync::Mutex;
 
-/// `LECA_SIMD` is process-global; serialize every test that flips it.
+/// `LECA_BACKEND` is process-global; serialize every test that flips it.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs `body` with the AVX2 path requested (auto-degrading to scalar on
 /// hosts without it), restoring the previous dispatch state afterwards.
 fn with_avx2<T>(body: impl FnOnce() -> T) -> T {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let old = std::env::var("LECA_SIMD").ok();
-    std::env::set_var("LECA_SIMD", "avx2");
-    simd::refresh_kernel_path();
+    let old = std::env::var("LECA_BACKEND").ok();
+    std::env::set_var("LECA_BACKEND", "avx2");
+    backend::refresh_backend();
     let out = body();
     match old {
-        Some(v) => std::env::set_var("LECA_SIMD", v),
-        None => std::env::remove_var("LECA_SIMD"),
+        Some(v) => std::env::set_var("LECA_BACKEND", v),
+        None => std::env::remove_var("LECA_BACKEND"),
     }
-    simd::refresh_kernel_path();
+    backend::refresh_backend();
     out
 }
 
@@ -99,32 +99,32 @@ proptest! {
         let mut got = vec![0.0f32; len];
         with_avx2(|| -> Result<(), TestCaseError> {
             scalar::add(&a, &b, &mut want);
-            simd::add(&a, &b, &mut got);
+            backend::add(&a, &b, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::sub(&a, &b, &mut want);
-            simd::sub(&a, &b, &mut got);
+            backend::sub(&a, &b, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::mul(&a, &b, &mut want);
-            simd::mul(&a, &b, &mut got);
+            backend::mul(&a, &b, &mut got);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::add_assign(&mut want, &b);
-            simd::add_assign(&mut got, &b);
+            backend::add_assign(&mut got, &b);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::axpy(&mut want, &b, 0.37);
-            simd::axpy(&mut got, &b, 0.37);
+            backend::axpy(&mut got, &b, 0.37);
             assert_bits_eq(&got, &want)?;
 
             scalar::relu_backward(&a, &b, &mut want);
-            simd::relu_backward(&a, &b, &mut got);
+            backend::relu_backward(&a, &b, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::leaky_relu_backward(&a, &b, 0.1, &mut want);
-            simd::leaky_relu_backward(&a, &b, 0.1, &mut got);
+            backend::leaky_relu_backward(&a, &b, 0.1, &mut got);
             assert_bits_eq(&got, &want)
         })?;
     }
@@ -142,49 +142,49 @@ proptest! {
         let mut got = vec![0.0f32; len];
         with_avx2(|| -> Result<(), TestCaseError> {
             scalar::scale(&a, s, &mut want);
-            simd::scale(&a, s, &mut got);
+            backend::scale(&a, s, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::add_scalar(&a, s, &mut want);
-            simd::add_scalar(&a, s, &mut got);
+            backend::add_scalar(&a, s, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::clamp(&a, -1.25, 2.5, &mut want);
-            simd::clamp(&a, -1.25, 2.5, &mut got);
+            backend::clamp(&a, -1.25, 2.5, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::relu(&a, &mut want);
-            simd::relu(&a, &mut got);
+            backend::relu(&a, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::leaky_relu(&a, 0.2, &mut want);
-            simd::leaky_relu(&a, 0.2, &mut got);
+            backend::leaky_relu(&a, 0.2, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::relu_mask(&a, &mut want);
-            simd::relu_mask(&a, &mut got);
+            backend::relu_mask(&a, &mut got);
             assert_bits_eq(&got, &want)?;
             scalar::bn_affine(&a, &mut want, 0.3, 1.7, 0.9, -0.2);
-            simd::bn_affine(&a, &mut got, 0.3, 1.7, 0.9, -0.2);
+            backend::bn_affine(&a, &mut got, 0.3, 1.7, 0.9, -0.2);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::scale_inplace(&mut want, s);
-            simd::scale_inplace(&mut got, s);
+            backend::scale_inplace(&mut got, s);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::add_scalar_inplace(&mut want, s);
-            simd::add_scalar_inplace(&mut got, s);
+            backend::add_scalar_inplace(&mut got, s);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::relu_inplace(&mut want);
-            simd::relu_inplace(&mut got);
+            backend::relu_inplace(&mut got);
             assert_bits_eq(&got, &want)?;
 
             want.copy_from_slice(&a);
             got.copy_from_slice(&a);
             scalar::leaky_relu_inplace(&mut want, 0.2);
-            simd::leaky_relu_inplace(&mut got, 0.2);
+            backend::leaky_relu_inplace(&mut got, 0.2);
             assert_bits_eq(&got, &want)
         })?;
     }
@@ -199,7 +199,7 @@ proptest! {
         // sign-of-zero tie wobble cannot fire here; softmax parity below
         // covers the consumer end-to-end regardless.
         let a = gen_vec(pick_len(lsel), seed, nan_seed);
-        let (want, got) = with_avx2(|| (scalar::row_max(&a), simd::row_max(&a)));
+        let (want, got) = with_avx2(|| (scalar::row_max(&a), backend::row_max(&a)));
         prop_assert_eq!(got.to_bits(), want.to_bits());
     }
 
@@ -216,10 +216,10 @@ proptest! {
         let mut got = vec![0.0f32; out_len];
         with_avx2(|| -> Result<(), TestCaseError> {
             scalar::avg_pool_k2(&r0, &r1, &mut want, 0.25);
-            simd::avg_pool_k2(&r0, &r1, &mut got, 0.25);
+            backend::avg_pool_k2(&r0, &r1, &mut got, 0.25);
             assert_bits_eq(&got, &want)?;
             scalar::max_pool_k2(&r0, &r1, &mut want);
-            simd::max_pool_k2(&r0, &r1, &mut got);
+            backend::max_pool_k2(&r0, &r1, &mut got);
             assert_bits_eq(&got, &want)
         })?;
     }
@@ -236,7 +236,7 @@ proptest! {
         let mut got = [[0.1f32; NR]; MR];
         with_avx2(|| {
             scalar::microkernel(k, &ap, &bp, &mut want);
-            simd::microkernel(k, &ap, &bp, &mut got);
+            backend::microkernel(k, &ap, &bp, &mut got);
         });
         for (gr, wr) in got.iter().zip(&want) {
             assert_bits_eq(gr, wr)?;
@@ -260,15 +260,15 @@ proptest! {
         let on_avx2 = with_avx2(|| matmul(&a, &b).unwrap());
         let on_scalar = {
             let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-            let old = std::env::var("LECA_SIMD").ok();
-            std::env::set_var("LECA_SIMD", "off");
-            simd::refresh_kernel_path();
+            let old = std::env::var("LECA_BACKEND").ok();
+            std::env::set_var("LECA_BACKEND", "scalar");
+            backend::refresh_backend();
             let y = matmul(&a, &b).unwrap();
             match old {
-                Some(v) => std::env::set_var("LECA_SIMD", v),
-                None => std::env::remove_var("LECA_SIMD"),
+                Some(v) => std::env::set_var("LECA_BACKEND", v),
+                None => std::env::remove_var("LECA_BACKEND"),
             }
-            simd::refresh_kernel_path();
+            backend::refresh_backend();
             y
         };
         assert_bits_eq(on_avx2.as_slice(), on_scalar.as_slice())?;
@@ -296,15 +296,15 @@ proptest! {
         let on_avx2 = with_avx2(run);
         let on_scalar = {
             let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-            let old = std::env::var("LECA_SIMD").ok();
-            std::env::set_var("LECA_SIMD", "off");
-            simd::refresh_kernel_path();
+            let old = std::env::var("LECA_BACKEND").ok();
+            std::env::set_var("LECA_BACKEND", "scalar");
+            backend::refresh_backend();
             let y = run();
             match old {
-                Some(v) => std::env::set_var("LECA_SIMD", v),
-                None => std::env::remove_var("LECA_SIMD"),
+                Some(v) => std::env::set_var("LECA_BACKEND", v),
+                None => std::env::remove_var("LECA_BACKEND"),
             }
-            simd::refresh_kernel_path();
+            backend::refresh_backend();
             y
         };
         assert_bits_eq(on_avx2.0.as_slice(), on_scalar.0.as_slice())?;
@@ -325,7 +325,7 @@ fn lane_boundary_and_nan_semantics() {
             }
             src[len / 2] = f32::NAN;
             let mut out = vec![0.0f32; len];
-            simd::relu(&src, &mut out);
+            backend::relu(&src, &mut out);
             let mut want = vec![0.0f32; len];
             scalar::relu(&src, &mut want);
             assert_eq!(
@@ -341,7 +341,7 @@ fn lane_boundary_and_nan_semantics() {
         let mask = [0.0f32, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
         let g = [f32::NAN; 9];
         let mut out = [7.0f32; 9];
-        simd::relu_backward(&mask, &g, &mut out);
+        backend::relu_backward(&mask, &g, &mut out);
         for (i, v) in out.iter().enumerate() {
             if mask[i] == 0.0 {
                 assert_eq!(v.to_bits(), 0.0f32.to_bits());

@@ -22,7 +22,7 @@ use leca::core::pipeline::LecaPipeline;
 use leca::nn::backbone::tiny_cnn;
 use leca::nn::optim::Adam;
 use leca::nn::{Layer, Mode};
-use leca::tensor::ops::simd::refresh_kernel_path;
+use leca::tensor::backend::refresh_backend;
 use leca::tensor::parallel::refresh_num_threads;
 use leca::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -37,10 +37,11 @@ const GOLDEN_FAULTY_LOGITS_CHECKSUM: u64 = 0x9e2abb0697a247cc;
 const GOLDEN_FAULTY_LOSS: u32 = 0x3fb3698f;
 
 /// Int8 golden, captured when the quantized engine landed (scalar qgemm,
-/// `LECA_SIMD=off`, `LECA_THREADS=1`). The int8 path quantizes with
-/// round-to-nearest-even and requantizes through exact i32 accumulators,
-/// so every SIMD/thread leg must reproduce this bit pattern — and the
-/// f32 goldens above must stay untouched by the quantization machinery.
+/// `LECA_SIMD=off` — today `LECA_BACKEND=scalar` — and `LECA_THREADS=1`).
+/// The int8 path quantizes with round-to-nearest-even and requantizes
+/// through exact i32 accumulators, so every backend/thread leg must
+/// reproduce this bit pattern — and the f32 goldens above must stay
+/// untouched by the quantization machinery.
 const GOLDEN_INT8_LOGITS_CHECKSUM: u64 = 0xed4e9cb5aa79e081;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -60,18 +61,18 @@ fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Runs `body` with `LECA_SIMD` set to `path`, restoring the previous
+/// Runs `body` with `LECA_BACKEND` set to `name`, restoring the previous
 /// value (and cached dispatch) afterwards.
-fn with_simd<T>(path: &str, body: impl FnOnce() -> T) -> T {
-    let old = std::env::var("LECA_SIMD").ok();
-    std::env::set_var("LECA_SIMD", path);
-    refresh_kernel_path();
+fn with_backend<T>(name: &str, body: impl FnOnce() -> T) -> T {
+    let old = std::env::var("LECA_BACKEND").ok();
+    std::env::set_var("LECA_BACKEND", name);
+    refresh_backend();
     let out = body();
     match old {
-        Some(v) => std::env::set_var("LECA_SIMD", v),
-        None => std::env::remove_var("LECA_SIMD"),
+        Some(v) => std::env::set_var("LECA_BACKEND", v),
+        None => std::env::remove_var("LECA_BACKEND"),
     }
-    refresh_kernel_path();
+    refresh_backend();
     out
 }
 
@@ -148,17 +149,17 @@ fn losses_bit_identical_across_thread_counts() {
 
 #[test]
 fn noisy_training_matches_pre_rewrite_goldens() {
-    // Crossed with LECA_SIMD: the vector kernels must reproduce the
-    // pre-rewrite scalar goldens bit for bit on both dispatch paths.
+    // Crossed with LECA_BACKEND: every registered kernel backend must
+    // reproduce the pre-rewrite scalar goldens bit for bit.
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for simd in ["off", "avx2"] {
+    for backend in ["scalar", "avx2"] {
         for threads in [1, 8] {
-            let (l1, l2) = with_simd(simd, || with_threads(threads, noisy_train_losses));
+            let (l1, l2) = with_backend(backend, || with_threads(threads, noisy_train_losses));
             assert_eq!(
                 (l1, l2),
                 (GOLDEN_NOISY_LOSS1, GOLDEN_NOISY_LOSS2),
                 "Noisy-modality losses drifted from pre-rewrite goldens at \
-                 LECA_SIMD={simd} LECA_THREADS={threads} (got 0x{l1:08x} / 0x{l2:08x})"
+                 LECA_BACKEND={backend} LECA_THREADS={threads} (got 0x{l1:08x} / 0x{l2:08x})"
             );
         }
     }
@@ -167,16 +168,16 @@ fn noisy_training_matches_pre_rewrite_goldens() {
 #[test]
 fn int8_logits_match_golden_across_simd_and_threads() {
     // The precision axis of the determinism matrix: the int8 engine's
-    // logits are pinned to one golden across every LECA_SIMD x
+    // logits are pinned to one golden across every LECA_BACKEND x
     // LECA_THREADS leg, while the f32 goldens above stay untouched
     // (asserted by their own tests in this same process).
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for simd in ["off", "avx2"] {
+    for backend in ["scalar", "avx2"] {
         for threads in [1, 8] {
-            let ck = with_simd(simd, || with_threads(threads, int8_logits_checksum));
+            let ck = with_backend(backend, || with_threads(threads, int8_logits_checksum));
             assert_eq!(
                 ck, GOLDEN_INT8_LOGITS_CHECKSUM,
-                "int8 logits drifted from the golden at LECA_SIMD={simd} \
+                "int8 logits drifted from the golden at LECA_BACKEND={backend} \
                  LECA_THREADS={threads} (got 0x{ck:016x})"
             );
         }
@@ -186,14 +187,14 @@ fn int8_logits_match_golden_across_simd_and_threads() {
 #[test]
 fn fault_plan_results_match_pre_rewrite_goldens() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for simd in ["off", "avx2"] {
+    for backend in ["scalar", "avx2"] {
         for threads in [1, 8] {
-            let (ck, loss) = with_simd(simd, || with_threads(threads, faulty_results));
+            let (ck, loss) = with_backend(backend, || with_threads(threads, faulty_results));
             assert_eq!(
                 (ck, loss),
                 (GOLDEN_FAULTY_LOGITS_CHECKSUM, GOLDEN_FAULTY_LOSS),
                 "Faulty-modality results drifted from pre-rewrite goldens at \
-                 LECA_SIMD={simd} LECA_THREADS={threads} (got 0x{ck:016x} / 0x{loss:08x})"
+                 LECA_BACKEND={backend} LECA_THREADS={threads} (got 0x{ck:016x} / 0x{loss:08x})"
             );
         }
     }

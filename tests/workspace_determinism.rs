@@ -18,7 +18,7 @@ use leca::core::pipeline::LecaPipeline;
 use leca::core::session::InferenceSession;
 use leca::nn::backbone::tiny_cnn;
 use leca::nn::{Layer, Mode};
-use leca::tensor::ops::simd::refresh_kernel_path;
+use leca::tensor::backend::refresh_backend;
 use leca::tensor::parallel::refresh_num_threads;
 use leca::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -42,18 +42,19 @@ fn with_threads<T>(threads: usize, body: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Runs `body` with `LECA_SIMD` set to `path` (`"off"` / `"avx2"`),
-/// restoring the previous value (and cached dispatch) afterwards.
-fn with_simd<T>(path: &str, body: impl FnOnce() -> T) -> T {
-    let old = std::env::var("LECA_SIMD").ok();
-    std::env::set_var("LECA_SIMD", path);
-    refresh_kernel_path();
+/// Runs `body` with `LECA_BACKEND` set to `name` (`"scalar"` /
+/// `"avx2"`), restoring the previous value (and cached dispatch)
+/// afterwards.
+fn with_backend<T>(name: &str, body: impl FnOnce() -> T) -> T {
+    let old = std::env::var("LECA_BACKEND").ok();
+    std::env::set_var("LECA_BACKEND", name);
+    refresh_backend();
     let out = body();
     match old {
-        Some(v) => std::env::set_var("LECA_SIMD", v),
-        None => std::env::remove_var("LECA_SIMD"),
+        Some(v) => std::env::set_var("LECA_BACKEND", v),
+        None => std::env::remove_var("LECA_BACKEND"),
     }
-    refresh_kernel_path();
+    refresh_backend();
     out
 }
 
@@ -118,27 +119,27 @@ fn workspace_path_is_thread_count_invariant() {
 }
 
 #[test]
-fn workspace_path_is_kernel_path_invariant() {
-    // The full LECA_SIMD x LECA_THREADS matrix: every leg must produce
+fn workspace_path_is_kernel_backend_invariant() {
+    // The full LECA_BACKEND x LECA_THREADS matrix: every leg must produce
     // byte-identical logits (checksums are order-sensitive and bit-level).
     // On hosts without AVX2 the `avx2` leg degrades to scalar and the
     // assertion holds trivially.
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     for modality in [Modality::Soft, Modality::Hard] {
         let mut legs = Vec::new();
-        for simd in ["off", "avx2"] {
+        for backend in ["scalar", "avx2"] {
             for threads in [1, 8] {
-                let got = with_simd(simd, || {
+                let got = with_backend(backend, || {
                     with_threads(threads, || forward_vs_session(modality))
                 });
-                legs.push((simd, threads, got));
+                legs.push((backend, threads, got));
             }
         }
         let (_, _, reference) = &legs[0];
-        for (simd, threads, got) in &legs {
+        for (backend, threads, got) in &legs {
             assert_eq!(
                 got, reference,
-                "{modality:?} diverged at LECA_SIMD={simd} LECA_THREADS={threads}"
+                "{modality:?} diverged at LECA_BACKEND={backend} LECA_THREADS={threads}"
             );
         }
     }
@@ -171,28 +172,28 @@ fn int8_session_results() -> (Vec<u64>, Vec<usize>) {
 }
 
 #[test]
-fn int8_path_is_invariant_across_the_simd_thread_matrix() {
+fn int8_path_is_invariant_across_the_backend_thread_matrix() {
     // The quantized engine accumulates in exact i32 arithmetic and its
     // epilogues round deterministically, so — like the f32 workspace
-    // path — every LECA_SIMD x LECA_THREADS leg must be bit-identical,
+    // path — every LECA_BACKEND x LECA_THREADS leg must be bit-identical,
     // and repeated passes through the cached scratch must not drift.
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut legs = Vec::new();
-    for simd in ["off", "avx2"] {
+    for backend in ["scalar", "avx2"] {
         for threads in [1, 8] {
-            let got = with_simd(simd, || with_threads(threads, int8_session_results));
+            let got = with_backend(backend, || with_threads(threads, int8_session_results));
             assert!(
                 got.0.windows(2).all(|w| w[0] == w[1]),
-                "int8 logits drifted across passes at LECA_SIMD={simd} LECA_THREADS={threads}"
+                "int8 logits drifted across passes at LECA_BACKEND={backend} LECA_THREADS={threads}"
             );
-            legs.push((simd, threads, got));
+            legs.push((backend, threads, got));
         }
     }
     let (_, _, reference) = &legs[0];
-    for (simd, threads, got) in &legs {
+    for (backend, threads, got) in &legs {
         assert_eq!(
             got, reference,
-            "int8 diverged at LECA_SIMD={simd} LECA_THREADS={threads}"
+            "int8 diverged at LECA_BACKEND={backend} LECA_THREADS={threads}"
         );
     }
 }
