@@ -97,6 +97,10 @@ pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
         "crates/tensor/src/backend/qavx2.rs",
         "int8 AVX2 qgemm microkernel (bounds argued per load/store, Miri-exempt via cfg)",
     ),
+    (
+        "crates/tensor/src/backend/fastmath.rs",
+        "FMA kernel bodies + vectorized exp (bounds argued per load/store, Miri-exempt via cfg)",
+    ),
 ];
 
 /// Files allowed to spawn threads directly. All other library code must
@@ -1074,6 +1078,19 @@ mod tests {
         assert_eq!(d[0].line, 1);
         // The same source inside the backend layer is the sanctioned home.
         assert!(audit_file("crates/tensor/src/backend/avx2.rs", src)
+            .iter()
+            .all(|d| d.rule != rules::ISA_CONFINEMENT));
+
+        // The fast-math tier's FMA spellings are confined identically:
+        // fused-multiply intrinsics, the two-feature attribute and the
+        // fma CPUID probe.
+        let fma = "use core::arch::x86_64::_mm256_fmadd_ps;\n\
+                   #[target_feature(enable = \"avx2\", enable = \"fma\")]\n\
+                   fn f() { if std::is_x86_feature_detected!(\"fma\") {} }\n";
+        let d = audit_file("crates/core/src/session.rs", fma);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == rules::ISA_CONFINEMENT));
+        assert!(audit_file("crates/tensor/src/backend/fastmath.rs", fma)
             .iter()
             .all(|d| d.rule != rules::ISA_CONFINEMENT));
     }

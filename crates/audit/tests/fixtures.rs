@@ -90,10 +90,31 @@ fn binary_fails_on_seeded_violations_with_file_line_diagnostics() {
         );
     }
 
+    // The FMA tier's tokens are confined exactly like plain AVX2: the
+    // intrinsic import, the two-feature attribute and the fma CPUID probe
+    // each get their line when they appear outside the backend layer.
+    for line in [5, 7, 14] {
+        assert!(
+            stdout.contains(&format!(
+                "crates/nn/src/bad_fma.rs:{line}: [{}]",
+                rules::ISA_CONFINEMENT
+            )),
+            "missing isa-confinement diagnostic for fma line {line} in:\n{stdout}"
+        );
+    }
+
     // The clean control crate contributes nothing.
     assert!(
         !stdout.contains("clean/src/good.rs"),
         "control fixture must stay clean:\n{stdout}"
+    );
+
+    // Nor does the sanctioned fast-math backend module: FMA intrinsics,
+    // target_feature(avx2, fma) and documented unsafe are all at home
+    // under crates/tensor/src/backend/.
+    assert!(
+        !stdout.contains("backend/fastmath.rs"),
+        "sanctioned fastmath fixture must stay clean:\n{stdout}"
     );
 }
 

@@ -1,0 +1,15 @@
+// Seeded violation fixture: FMA-tier intrinsics escaping the backend
+// layer. The fast-math tier made "fma" a second feature token; it must be
+// confined to crates/tensor/src/backend/ exactly like plain AVX2.
+
+use core::arch::x86_64::_mm256_fmadd_ps;
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn stray_fma(a: f32) -> f32 {
+    let _ = _mm256_fmadd_ps;
+    a
+}
+
+pub fn detect_fma() -> bool {
+    std::is_x86_feature_detected!("fma")
+}

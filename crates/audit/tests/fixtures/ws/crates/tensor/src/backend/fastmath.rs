@@ -1,0 +1,26 @@
+// Control fixture: the fast-math tier's sanctioned home. FMA intrinsics,
+// the two-feature target_feature attribute and documented unsafe under
+// crates/tensor/src/backend/ must contribute zero diagnostics.
+
+use core::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+
+#[target_feature(enable = "avx2", enable = "fma")]
+pub fn sanctioned_fma_kernel(dst: &mut [f32], src: &[f32], s: f32) {
+    let n = dst.len().min(src.len());
+    let vs = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n <= dst.len(), src.len(); unaligned load/store
+        // of 8 f32 stays in bounds.
+        unsafe {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let x = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_fmadd_ps(vs, x, d));
+        }
+        i += 8;
+    }
+}
+
+pub fn probe() -> bool {
+    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+}

@@ -1,70 +1,36 @@
 //! Kernel speed table across registered backends, emitted as
-//! `BENCH_kernels.json` at the repo root (machine-readable companion to
-//! the criterion `simd` group in `benches/kernels.rs`).
+//! `BENCH_kernels.json` at the repo root.
 //!
-//! Every kernel is timed single-threaded on each dispatchable backend by
-//! pinning `LECA_BACKEND` and refreshing the cached decision between
-//! runs; all backends are bit-identical (see `tests/simd_parity.rs` and
-//! `tests/backend_conformance.rs`), so this is purely a latency
-//! comparison. Also times the end-to-end
-//! `InferenceSession::classify_batch` to report an images/sec delta, and
-//! measures the GEMM autotuner's blocking choice against the static
-//! default.
+//! Built on the structured harness (`leca_bench::{workload, profiler,
+//! harness}`): every named workload is timed single-threaded under
+//! `scalar`, `avx2` and `fastmath` by pinning `LECA_BACKEND` and
+//! refreshing the cached decision between runs. The bit-exact backends
+//! are bit-identical (see `tests/backend_conformance.rs`), so their
+//! columns are purely a latency comparison; the fastmath column trades
+//! bounded rounding differences (tolerance-tested) for throughput. Also
+//! times the end-to-end `InferenceSession::classify_batch` (f32 and
+//! int8) and the autotuner's three schedule families (strided GEMM, conv
+//! GEMM, int8 qgemm chunking) against the static defaults.
+//!
+//! `--smoke` runs every workload end to end with a cut-down timing
+//! policy and **does not** rewrite `BENCH_kernels.json` — it is the CI
+//! sanity gate, not a measurement.
 
+use leca_bench::harness::{pin_backend, unpin_backend, Harness, KernelRun};
+use leca_bench::profiler::Profiler;
+use leca_bench::workload::standard_kernels;
 use leca_core::config::LecaConfig;
 use leca_core::encoder::Modality;
 use leca_core::pipeline::LecaPipeline;
 use leca_core::session::{InferenceSession, Precision};
 use leca_nn::backbone::tiny_cnn;
-use leca_tensor::backend::{self, autotune, MR, NR};
+use leca_tensor::backend::{self, autotune, MR};
 use leca_tensor::{ops, parallel, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
-/// Median-of-`SAMPLES` wall time of `body`, in nanoseconds per call.
-fn time_ns(iters: u32, mut body: impl FnMut()) -> f64 {
-    const SAMPLES: usize = 7;
-    // Warm-up: fault in buffers, thread-locals and branch predictors.
-    for _ in 0..iters.div_ceil(4).max(1) {
-        body();
-    }
-    let mut samples: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                body();
-            }
-            t0.elapsed().as_nanos() as f64 / f64::from(iters)
-        })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[SAMPLES / 2]
-}
-
-fn pin_backend(name: &str) {
-    std::env::set_var("LECA_BACKEND", name);
-    backend::refresh_backend();
-}
-
-/// Times `body` once per backend, returning `(scalar_ns, avx2_ns)`. (On
-/// hosts without AVX2 the second leg reruns the scalar backend and the
-/// ratio reads 1.0.)
-fn on_both_backends(iters: u32, mut body: impl FnMut()) -> (f64, f64) {
-    pin_backend("scalar");
-    let scalar = time_ns(iters, &mut body);
-    pin_backend("avx2");
-    let vector = time_ns(iters, &mut body);
-    (scalar, vector)
-}
-
-fn json_row(name: &str, scalar_ns: f64, avx2_ns: f64) -> String {
-    format!(
-        "    {{\"name\": \"{name}\", \"scalar_ns\": {scalar_ns:.1}, \
-         \"avx2_ns\": {avx2_ns:.1}, \"speedup\": {:.3}}}",
-        scalar_ns / avx2_ns
-    )
-}
+/// The backend columns of the published table, in emission order.
+const COLUMNS: [&str; 3] = ["scalar", "avx2", "fastmath"];
 
 /// `usize::MAX` blocking parameters mean "unbounded"; render them as a
 /// JSON string so the numbers stay readable.
@@ -85,57 +51,96 @@ fn json_blocking(b: autotune::GemmBlocking) -> String {
     )
 }
 
+/// Median ns for one (workload, backend) cell out of the harness rows.
+fn cell(runs: &[KernelRun], workload: &str, backend: &str) -> Option<f64> {
+    runs.iter()
+        .find(|r| r.workload == workload && r.backend == backend)
+        .and_then(|r| r.stats)
+        .map(|s| s.median_ns)
+}
+
+fn ratio_str(num: Option<f64>, den: Option<f64>) -> String {
+    match (num, den) {
+        (Some(n), Some(d)) if d > 0.0 => format!("{:.3}", n / d),
+        _ => "null".to_string(),
+    }
+}
+
 fn main() {
-    std::env::set_var("LECA_THREADS", "1");
-    parallel::refresh_num_threads();
-    let avx2_available = {
-        pin_backend("avx2");
-        backend::active().name() == "avx2"
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let profiler = if smoke {
+        Profiler::smoke()
+    } else {
+        Profiler::standard()
     };
 
+    std::env::set_var("LECA_THREADS", "1");
+    parallel::refresh_num_threads();
+    let avx2_available = leca_bench::harness::backend_dispatchable("avx2");
+    let fastmath_available = leca_bench::harness::backend_dispatchable("fastmath");
+
+    // ----- named kernel workloads across all backend columns -----
+    let harness = Harness::new(profiler, &COLUMNS);
+    let mut workloads = standard_kernels(7);
+    let runs = harness.run_all(&mut workloads);
+
+    let mut kernel_rows = Vec::new();
+    for wl in &workloads {
+        let s = cell(&runs, wl.name, "scalar");
+        let v = cell(&runs, wl.name, "avx2");
+        let f = cell(&runs, wl.name, "fastmath");
+        let fmt = |ns: Option<f64>| {
+            ns.map(|n| format!("{n:>12.1}"))
+                .unwrap_or_else(|| "         n/a".to_string())
+        };
+        println!(
+            "{:<22} scalar {} ns  avx2 {} ns  fastmath {} ns",
+            wl.name,
+            fmt(s),
+            fmt(v),
+            fmt(f)
+        );
+        kernel_rows.push(format!(
+            "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"avx2_ns\": {}, \"fastmath_ns\": {}, \
+             \"speedup\": {}, \"fastmath_vs_avx2\": {}}}",
+            wl.name,
+            s.map(|n| format!("{n:.1}")).unwrap_or("null".into()),
+            v.map(|n| format!("{n:.1}")).unwrap_or("null".into()),
+            f.map(|n| format!("{n:.1}")).unwrap_or("null".into()),
+            ratio_str(s, v),
+            ratio_str(v, f),
+        ));
+    }
+
+    // ----- per-backend availability section -----
+    let mut backend_rows = Vec::new();
+    for be in backend::registered() {
+        let name = be.name();
+        let dispatchable = backend::dispatchable(*be);
+        let matmul_ns = if dispatchable {
+            cell(&runs, "matmul_64x144x4096", name)
+        } else {
+            None
+        };
+        backend_rows.push(format!(
+            "    {{\"backend\": \"{name}\", \"dispatchable\": {dispatchable}, \
+             \"bit_exact\": {}, \"matmul_ns\": {}}}",
+            be.bit_exact(),
+            matmul_ns
+                .map(|n| format!("{n:.1}"))
+                .unwrap_or("null".into()),
+        ));
+    }
+
+    // ----- autotune families vs static, on the preferred bit-exact
+    // backend -----
+    let tune_backend = if avx2_available { "avx2" } else { "scalar" };
+    pin_backend(tune_backend);
     let mut rng = StdRng::seed_from_u64(7);
-    let mut rows = Vec::new();
-
-    // Raw register-tile microkernel, one packed K=256 panel pair.
-    let k = 256;
-    let ap: Vec<f32> = (0..k * MR).map(|i| (i % 97) as f32 * 0.013 - 0.5).collect();
-    let bp: Vec<f32> = (0..k * NR).map(|i| (i % 89) as f32 * 0.011 - 0.4).collect();
-    let (s, v) = on_both_backends(20_000, || {
-        let mut acc = [[0.0f32; NR]; MR];
-        backend::microkernel(k, &ap, &bp, &mut acc);
-        std::hint::black_box(acc);
-    });
-    println!(
-        "microkernel_k256:      scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
-        s / v
-    );
-    rows.push(json_row("microkernel_k256", s, v));
-
     let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
     let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
-    let (s, v) = on_both_backends(20, || {
-        std::hint::black_box(a.matmul(&b).expect("matmul"));
-    });
-    println!(
-        "matmul_64x144x4096:    scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
-        s / v
-    );
-    rows.push(json_row("matmul_64x144x4096", s, v));
-    let matmul_avx2_ns = v;
-
-    let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
-    let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
-    let (s, v) = on_both_backends(20, || {
-        std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv"));
-    });
-    println!(
-        "conv2d_8x16x32x32_3x3: scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
-        s / v
-    );
-    rows.push(json_row("conv2d_8x16x32x32_3x3", s, v));
-
-    // Int8 GEMM at the same geometry as the f32 matmul row: prepacked
-    // weights, strided i8 activations, i32 accumulators.
+    let cx = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+    let cw = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
     let (qm, qk, qn) = (64usize, 144usize, 4096usize);
     let qw: Vec<i8> = (0..qm * qk)
         .map(|i| ((i % 251) as i32 - 125) as i8)
@@ -146,97 +151,99 @@ fn main() {
         .map(|i| ((i % 239) as i32 - 119) as i8)
         .collect();
     let mut qacc = vec![0i32; qa.tiles() * MR * qn];
-    let (s, v) = on_both_backends(20, || {
-        let b = ops::QOperand::Strided {
-            data: &qb,
-            rs: qn,
-            cs: 1,
-            zp: 3,
-        };
-        ops::qgemm(&qa, &b, qn, &mut qacc);
-        std::hint::black_box(&mut qacc);
-    });
-    println!(
-        "qgemm_64x144x4096:     scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
-        s / v
-    );
-    rows.push(json_row("qgemm_64x144x4096", s, v));
 
-    let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
-    let (s, v) = on_both_backends(50, || {
-        std::hint::black_box(ops::softmax_rows(&logits).expect("softmax"));
-    });
-    println!(
-        "softmax_rows_256x1000: scalar {s:>12.1} ns  avx2 {v:>12.1} ns  x{:.2}",
-        s / v
-    );
-    rows.push(json_row("softmax_rows_256x1000", s, v));
+    let static_gemm_ns = profiler
+        .time(20, || {
+            std::hint::black_box(a.matmul(&b).expect("matmul"));
+        })
+        .median_ns;
+    let static_conv_ns = profiler
+        .time(20, || {
+            std::hint::black_box(ops::conv2d(&cx, &cw, None, 1, 1).expect("conv"));
+        })
+        .median_ns;
+    let static_qgemm_ns = profiler
+        .time(20, || {
+            let op = ops::QOperand::Strided {
+                data: &qb,
+                rs: qn,
+                cs: 1,
+                zp: 3,
+            };
+            ops::qgemm(&qa, &op, qn, &mut qacc);
+            std::hint::black_box(&mut qacc);
+        })
+        .median_ns;
+    let static_blocking = autotune::blocking();
 
-    // Per-backend sections: every registered backend, whether it
-    // dispatches on this machine, and its matmul latency under the
-    // blocking the process is actually using (static here — autotune is
-    // measured separately below).
-    let mut backend_rows = Vec::new();
-    for be in backend::registered() {
-        let name = be.name();
-        let dispatchable = backend::dispatchable(*be);
-        let entry = if dispatchable {
-            pin_backend(name);
-            let ns = time_ns(20, || {
-                std::hint::black_box(a.matmul(&b).expect("matmul"));
-            });
-            println!("backend {name:<8} matmul {ns:>12.1} ns  (static blocking)");
-            format!(
-                "    {{\"backend\": \"{name}\", \"dispatchable\": true, \
-                 \"blocking\": \"static\", \"matmul_ns\": {ns:.1}}}"
-            )
-        } else {
-            println!("backend {name:<8} not dispatchable on this machine");
-            format!(
-                "    {{\"backend\": \"{name}\", \"dispatchable\": false, \
-                 \"blocking\": \"static\", \"matmul_ns\": null}}"
-            )
-        };
-        backend_rows.push(entry);
-    }
-
-    // Autotune-vs-static: run the first-use tuner against a fresh profile
-    // path, then time the bench matmul under the tuned blocking and under
-    // the static default. Both runs are bit-identical; only the schedule
-    // differs.
     let profile = std::env::temp_dir().join(format!(
         "leca-bench-autotune-{}.profile",
         std::process::id()
     ));
-    pin_backend("avx2");
     std::env::set_var("LECA_AUTOTUNE_PROFILE", &profile);
     std::env::set_var("LECA_AUTOTUNE", "1");
-    let tuned_blocking = autotune::refresh_blocking();
-    let tuned_ns = time_ns(20, || {
-        std::hint::black_box(a.matmul(&b).expect("matmul"));
-    });
+    autotune::refresh_blocking();
+    let tuned_gemm = autotune::blocking();
+    let tuned_conv = autotune::conv_blocking();
+    let tuned_qgemm_tiles = autotune::qgemm_mc_tiles();
+    let tuned_gemm_ns = profiler
+        .time(20, || {
+            std::hint::black_box(a.matmul(&b).expect("matmul"));
+        })
+        .median_ns;
+    let tuned_conv_ns = profiler
+        .time(20, || {
+            std::hint::black_box(ops::conv2d(&cx, &cw, None, 1, 1).expect("conv"));
+        })
+        .median_ns;
+    let tuned_qgemm_ns = profiler
+        .time(20, || {
+            let op = ops::QOperand::Strided {
+                data: &qb,
+                rs: qn,
+                cs: 1,
+                zp: 3,
+            };
+            ops::qgemm(&qa, &op, qn, &mut qacc);
+            std::hint::black_box(&mut qacc);
+        })
+        .median_ns;
     std::env::remove_var("LECA_AUTOTUNE");
     std::env::remove_var("LECA_AUTOTUNE_PROFILE");
-    let static_blocking = autotune::refresh_blocking();
+    autotune::refresh_blocking();
     let _ = std::fs::remove_file(&profile);
+
     println!(
-        "autotune matmul_64x144x4096: static {matmul_avx2_ns:>12.1} ns  tuned {tuned_ns:>12.1} ns  \
-         x{:.3}  (mc={} kc={} nc={})",
-        matmul_avx2_ns / tuned_ns,
-        json_dim(tuned_blocking.mc),
-        json_dim(tuned_blocking.kc),
-        json_dim(tuned_blocking.nc),
+        "autotune[{tune_backend}] gemm:  static {static_gemm_ns:>12.1} ns  tuned {tuned_gemm_ns:>12.1} ns  x{:.3}  {}",
+        static_gemm_ns / tuned_gemm_ns,
+        json_blocking(tuned_gemm),
+    );
+    println!(
+        "autotune[{tune_backend}] conv:  static {static_conv_ns:>12.1} ns  tuned {tuned_conv_ns:>12.1} ns  x{:.3}  {}",
+        static_conv_ns / tuned_conv_ns,
+        json_blocking(tuned_conv),
+    );
+    println!(
+        "autotune[{tune_backend}] qgemm: static {static_qgemm_ns:>12.1} ns  tuned {tuned_qgemm_ns:>12.1} ns  x{:.3}  mc_tiles={tuned_qgemm_tiles}",
+        static_qgemm_ns / tuned_qgemm_ns,
     );
     let autotune_json = format!(
-        "{{\"backend\": \"{}\", \"static_ns\": {matmul_avx2_ns:.1}, \"autotuned_ns\": {tuned_ns:.1}, \
-         \"speedup\": {:.3}, \"static_blocking\": {}, \"autotuned_blocking\": {}}}",
-        if avx2_available { "avx2" } else { "scalar" },
-        matmul_avx2_ns / tuned_ns,
+        "{{\"backend\": \"{tune_backend}\", \"static_blocking\": {}, \"families\": {{\n      \
+         \"gemm\": {{\"static_ns\": {static_gemm_ns:.1}, \"autotuned_ns\": {tuned_gemm_ns:.1}, \
+         \"speedup\": {:.3}, \"autotuned_blocking\": {}}},\n      \
+         \"conv\": {{\"static_ns\": {static_conv_ns:.1}, \"autotuned_ns\": {tuned_conv_ns:.1}, \
+         \"speedup\": {:.3}, \"autotuned_blocking\": {}}},\n      \
+         \"qgemm\": {{\"static_ns\": {static_qgemm_ns:.1}, \"autotuned_ns\": {tuned_qgemm_ns:.1}, \
+         \"speedup\": {:.3}, \"autotuned_mc_tiles\": {tuned_qgemm_tiles}}}\n    }}}}",
         json_blocking(static_blocking),
-        json_blocking(tuned_blocking),
+        static_gemm_ns / tuned_gemm_ns,
+        json_blocking(tuned_gemm),
+        static_conv_ns / tuned_conv_ns,
+        json_blocking(tuned_conv),
+        static_qgemm_ns / tuned_qgemm_ns,
     );
 
-    // End-to-end pooled inference: images/sec through the Soft pipeline.
+    // ----- end-to-end pooled inference: images/sec per backend -----
     let cfg = LecaConfig::new(2, 4, 3.0).expect("config");
     let bb = tiny_cnn(4, &mut StdRng::seed_from_u64(0));
     let mut p = LecaPipeline::new(&cfg, Modality::Soft, bb, 7).expect("pipeline");
@@ -245,52 +252,84 @@ fn main() {
     let n_imgs = batch.shape()[0] as f64;
     let mut preds = Vec::new();
     session.warm_up(&[8, 3, 16, 16]).expect("warm-up");
-    let (s, v) = on_both_backends(30, || {
-        session
-            .classify_batch(&batch, &mut preds)
-            .expect("classify");
-    });
-    let (scalar_ips, avx2_ips) = (n_imgs * 1e9 / s, n_imgs * 1e9 / v);
-    println!(
-        "classify_batch 8x3x16x16: scalar {scalar_ips:>9.0} imgs/s  avx2 {avx2_ips:>9.0} imgs/s  x{:.2}",
-        avx2_ips / scalar_ips
-    );
+
+    let classify_on = |session: &mut InferenceSession, name: &str, precision: Precision| {
+        if !leca_bench::harness::backend_dispatchable(name) {
+            return None;
+        }
+        pin_backend(name);
+        let mut preds = Vec::new();
+        let stats = profiler.time(30, || {
+            session
+                .classify_batch_with(&batch, &mut preds, precision)
+                .expect("classify");
+        });
+        Some(stats)
+    };
+
+    let mut f32_ips = Vec::new();
+    for name in COLUMNS {
+        let stats = classify_on(&mut session, name, Precision::F32);
+        let ips = stats.map(|s| n_imgs * 1e9 / s.median_ns);
+        f32_ips.push(ips);
+        if let Some(ips) = ips {
+            println!("classify_batch 8x3x16x16 [{name:<8}] {ips:>9.0} imgs/s");
+        } else {
+            println!("classify_batch 8x3x16x16 [{name:<8}] not dispatchable");
+        }
+    }
 
     // Same session, int8 mode: calibrate on the bench batch, compile the
-    // engine, and time the quantized classify path on both backends. The
+    // engine, and time the quantized classify path per backend. The
     // headline number is int8-avx2 vs f32-avx2 throughput.
+    pin_backend("scalar");
     session.enable_int8(&batch).expect("int8 engine");
     for _ in 0..2 {
         session
             .classify_batch_with(&batch, &mut preds, Precision::Int8)
             .expect("int8 warm");
     }
-    let (s8, v8) = on_both_backends(30, || {
-        session
-            .classify_batch_with(&batch, &mut preds, Precision::Int8)
-            .expect("int8 classify");
-    });
-    let (scalar8_ips, avx28_ips) = (n_imgs * 1e9 / s8, n_imgs * 1e9 / v8);
-    let int8_speedup = avx28_ips / avx2_ips;
-    println!(
-        "classify_batch_int8 8x3x16x16: scalar {scalar8_ips:>9.0} imgs/s  avx2 {avx28_ips:>9.0} imgs/s  \
-         x{int8_speedup:.2} vs f32 avx2"
-    );
+    let mut int8_ips = Vec::new();
+    for name in COLUMNS {
+        let stats = classify_on(&mut session, name, Precision::Int8);
+        let ips = stats.map(|s| n_imgs * 1e9 / s.median_ns);
+        int8_ips.push(ips);
+        if let Some(ips) = ips {
+            println!("classify_batch_int8 8x3x16x16 [{name:<8}] {ips:>9.0} imgs/s");
+        } else {
+            println!("classify_batch_int8 8x3x16x16 [{name:<8}] not dispatchable");
+        }
+    }
+    unpin_backend();
 
-    std::env::remove_var("LECA_BACKEND");
-    backend::refresh_backend();
+    let ips_str = |v: Option<f64>| v.map(|x| format!("{x:.0}")).unwrap_or("null".into());
+    let ips_ratio = |n: Option<f64>, d: Option<f64>| ratio_str(n, d);
 
-    let json = format!
-    (
-        "{{\n  \"avx2_available\": {avx2_available},\n  \"threads\": 1,\n  \"backends\": [\n{}\n  ],\n  \
+    if smoke {
+        println!("\nsmoke mode: all workloads exercised; BENCH_kernels.json left untouched");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"avx2_available\": {avx2_available},\n  \"fastmath_available\": {fastmath_available},\n  \
+         \"threads\": 1,\n  \"backends\": [\n{}\n  ],\n  \
          \"autotune\": {autotune_json},\n  \"kernels\": [\n{}\n  ],\n  \
-         \"classify_batch\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar_ips:.0}, \
-         \"avx2_imgs_per_sec\": {avx2_ips:.0}, \"speedup\": {:.3}}},\n  \
-         \"classify_batch_int8\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {scalar8_ips:.0}, \
-         \"avx2_imgs_per_sec\": {avx28_ips:.0}, \"speedup_vs_f32_avx2\": {int8_speedup:.3}}}\n}}\n",
+         \"classify_batch\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {}, \
+         \"avx2_imgs_per_sec\": {}, \"fastmath_imgs_per_sec\": {}, \"speedup\": {}, \
+         \"fastmath_vs_avx2\": {}}},\n  \
+         \"classify_batch_int8\": {{\"shape\": [8, 3, 16, 16], \"scalar_imgs_per_sec\": {}, \
+         \"avx2_imgs_per_sec\": {}, \"fastmath_imgs_per_sec\": {}, \"speedup_vs_f32_avx2\": {}}}\n}}\n",
         backend_rows.join(",\n"),
-        rows.join(",\n"),
-        avx2_ips / scalar_ips
+        kernel_rows.join(",\n"),
+        ips_str(f32_ips[0]),
+        ips_str(f32_ips[1]),
+        ips_str(f32_ips[2]),
+        ips_ratio(f32_ips[1], f32_ips[0]),
+        ips_ratio(f32_ips[2], f32_ips[1]),
+        ips_str(int8_ips[0]),
+        ips_str(int8_ips[1]),
+        ips_str(int8_ips[2]),
+        ips_ratio(int8_ips[1], f32_ips[1]),
     );
     // crates/bench/ -> repo root.
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

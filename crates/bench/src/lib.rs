@@ -10,10 +10,19 @@
 //! * `LECA_FAST=1` — shrink datasets and epochs for smoke-testing.
 //! * `LECA_EPOCHS=N` — override the LeCA training epoch count.
 //! * `LECA_CACHE_DIR` — checkpoint directory (default `.leca-cache/`).
+//!
+//! The structured kernel-speed harness lives in [`workload`] (named
+//! benchmark bodies), [`profiler`] (warmup + median-of-N timing policy,
+//! with a `--smoke` variant) and [`harness`] (per-backend driver); the
+//! `kernel_speed` binary composes them into `BENCH_kernels.json`.
 
 // This crate promises memory safety by construction: no `unsafe` at all.
 // `leca-audit` verifies this header is present; the compiler enforces it.
 #![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod profiler;
+pub mod workload;
 
 use leca_core::cache;
 use leca_core::config::LecaConfig;

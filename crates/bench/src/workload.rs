@@ -1,0 +1,134 @@
+//! Named benchmark workloads: construction separated from measurement.
+//!
+//! A [`Workload`] owns its inputs (captured in the closure) and knows its
+//! nominal iteration count; the [`crate::profiler`] decides how to time
+//! it and the [`crate::harness`] decides which backends to run it under.
+//! `standard_kernels` builds the canonical kernel set whose names are the
+//! stable keys in `BENCH_kernels.json` — EXPERIMENTS.md quotes them, so
+//! renaming one is a breaking change to the published tables.
+
+use leca_tensor::backend::{self, MR, NR};
+use leca_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One named, self-contained benchmark body.
+pub struct Workload {
+    /// Stable identifier (JSON key and console label).
+    pub name: &'static str,
+    /// Nominal iterations per timing sample (the profiler may scale it).
+    pub iters: u32,
+    body: Box<dyn FnMut()>,
+}
+
+impl Workload {
+    /// Wraps a closure as a named workload.
+    pub fn new(name: &'static str, iters: u32, body: impl FnMut() + 'static) -> Workload {
+        Workload {
+            name,
+            iters,
+            body: Box::new(body),
+        }
+    }
+
+    /// Runs the body once (the profiler calls this in its timed loops).
+    pub fn step(&mut self) {
+        (self.body)();
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("iters", &self.iters)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The canonical single-threaded kernel set: raw microkernel, GEMM, conv,
+/// int8 GEMM and row softmax, at the geometries the published tables use.
+pub fn standard_kernels(seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = Vec::new();
+
+    // Raw register-tile microkernel, one packed K=256 panel pair.
+    let k = 256;
+    let ap: Vec<f32> = (0..k * MR).map(|i| (i % 97) as f32 * 0.013 - 0.5).collect();
+    let bp: Vec<f32> = (0..k * NR).map(|i| (i % 89) as f32 * 0.011 - 0.4).collect();
+    set.push(Workload::new("microkernel_k256", 20_000, move || {
+        let mut acc = [[0.0f32; NR]; MR];
+        backend::microkernel(k, &ap, &bp, &mut acc);
+        std::hint::black_box(acc);
+    }));
+
+    let a = Tensor::rand_uniform(&[64, 144], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[144, 4096], -1.0, 1.0, &mut rng);
+    set.push(Workload::new("matmul_64x144x4096", 20, move || {
+        std::hint::black_box(a.matmul(&b).expect("matmul"));
+    }));
+
+    let x = Tensor::rand_uniform(&[8, 16, 32, 32], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[16, 16, 3, 3], -1.0, 1.0, &mut rng);
+    set.push(Workload::new("conv2d_8x16x32x32_3x3", 20, move || {
+        std::hint::black_box(ops::conv2d(&x, &w, None, 1, 1).expect("conv"));
+    }));
+
+    // Int8 GEMM at the same geometry as the f32 matmul row: prepacked
+    // weights, strided i8 activations, i32 accumulators.
+    let (qm, qk, qn) = (64usize, 144usize, 4096usize);
+    let qw: Vec<i8> = (0..qm * qk)
+        .map(|i| ((i % 251) as i32 - 125) as i8)
+        .collect();
+    let qscales = vec![0.01f32; qm];
+    let qa = ops::PackedQMat::pack(&qw, qm, qk, &qscales);
+    let qb: Vec<i8> = (0..qk * qn)
+        .map(|i| ((i % 239) as i32 - 119) as i8)
+        .collect();
+    let mut qacc = vec![0i32; qa.tiles() * MR * qn];
+    set.push(Workload::new("qgemm_64x144x4096", 20, move || {
+        let b = ops::QOperand::Strided {
+            data: &qb,
+            rs: qn,
+            cs: 1,
+            zp: 3,
+        };
+        ops::qgemm(&qa, &b, qn, &mut qacc);
+        std::hint::black_box(&mut qacc);
+    }));
+
+    let logits = Tensor::rand_uniform(&[256, 1000], -4.0, 4.0, &mut rng);
+    set.push(Workload::new("softmax_rows_256x1000", 50, move || {
+        std::hint::black_box(ops::softmax_rows(&logits).expect("softmax"));
+    }));
+
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_set_has_stable_names() {
+        let names: Vec<&str> = standard_kernels(7).iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "microkernel_k256",
+                "matmul_64x144x4096",
+                "conv2d_8x16x32x32_3x3",
+                "qgemm_64x144x4096",
+                "softmax_rows_256x1000",
+            ]
+        );
+    }
+
+    #[test]
+    fn workloads_are_runnable() {
+        for mut wl in standard_kernels(7) {
+            wl.step();
+            assert!(wl.iters >= 1);
+        }
+    }
+}

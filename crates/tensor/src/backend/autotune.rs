@@ -1,28 +1,37 @@
-//! First-run GEMM block-size autotuner with a CRC-checked on-disk profile.
+//! First-run kernel autotuner with a CRC-checked on-disk profile.
 //!
-//! The GEMM driver partitions its loops by a [`GemmBlocking`]: `mc` rows
-//! of A per worker chunk, `kc` reduction steps per packed slab, `nc`
-//! columns of B per packed pass. The static default reproduces the
-//! historical fixed blocking exactly and is always used unless
-//! `LECA_AUTOTUNE=1` — autotuning is **opt-in**, so every existing golden
-//! is produced by the deterministic static path by default.
+//! Three tuning families share one profile. The f32 GEMM driver
+//! partitions its loops by a [`GemmBlocking`] (`mc` rows of A per worker
+//! chunk, `kc` reduction steps per packed slab, `nc` columns of B per
+//! packed pass) — tuned separately for the **plain strided** family and
+//! the **fused-im2col conv** family, whose packers have different
+//! traversal costs. The int8 qgemm exposes its packing-block knob (output
+//! row-tiles per worker chunk) as the third family. The static defaults
+//! reproduce the historical fixed schedules exactly and are always used
+//! unless `LECA_AUTOTUNE=1` — autotuning is **opt-in**, so every existing
+//! golden is produced by the deterministic static path by default.
 //!
-//! With autotuning enabled, the first consult benchmarks a small grid of
-//! `(mc, kc, nc)` configurations on a representative GEMM shape for the
-//! *active backend on this machine*, picks the fastest (keeping the static
-//! blocking unless a candidate is decisively faster), and caches the
-//! winner in a profile file (`LECA_AUTOTUNE_PROFILE` overrides the
+//! With autotuning enabled, the first consult benchmarks a small grid per
+//! family on a representative workload for the *active backend on this
+//! machine*, picks each winner (keeping the static schedule unless a
+//! candidate is decisively — >2% — faster, per family), and caches all of
+//! them in one profile file (`LECA_AUTOTUNE_PROFILE` overrides the
 //! location). The profile reuses the checkpoint-footer idiom from
 //! `leca-nn`'s serializer — `crc32(payload) · payload_len · magic` — so a
 //! truncated or bit-flipped profile is detected, discarded and re-tuned
-//! rather than trusted.
+//! rather than trusted. The payload is additionally keyed by **backend
+//! name and host CPU feature set** ([`super::cpu_features`]): a profile
+//! tuned under `avx2` is never applied to `fastmath` (or vice versa), and
+//! a profile copied between machines with different ISA levels is
+//! rejected and re-tuned instead of silently mis-applied.
 //!
-//! Blocking **never** affects numerics: the microkernel loads and stores
-//! its accumulator tile, so splitting the reduction into `kc`-sized chunks
-//! continues each output element's single in-order FP chain (see
-//! [`super::microkernel_with`]); `mc`/`nc` are pure work partitioning.
-//! Autotuned and static results are therefore bit-identical — the
-//! determinism suites run both.
+//! Tuned schedules **never** affect numerics: the f32 microkernel loads
+//! and stores its accumulator tile, so splitting the reduction into
+//! `kc`-sized chunks continues each output element's single in-order FP
+//! chain (see [`super::microkernel_with`]); `mc`/`nc` and the qgemm
+//! row-tile chunking are pure work partitioning (i32 accumulation is
+//! exact). Autotuned and static results are therefore bit-identical per
+//! backend — the determinism suites run both.
 
 use crate::runtime_env;
 use std::path::{Path, PathBuf};
@@ -55,26 +64,51 @@ impl GemmBlocking {
     };
 }
 
-const BLK_UNSET: u8 = 0;
-const BLK_SET: u8 = 1;
+/// Everything one tuning run decides, persisted as one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedProfile {
+    /// Blocking for plain strided GEMM (`matmul` and friends).
+    pub gemm: GemmBlocking,
+    /// Blocking for the fused-im2col conv GEMM family.
+    pub conv: GemmBlocking,
+    /// Int8 qgemm packing-block knob: output row-tiles (of `MR` rows) per
+    /// worker chunk.
+    pub qgemm_mc_tiles: usize,
+}
 
-static STATE: AtomicU8 = AtomicU8::new(BLK_UNSET);
+impl TunedProfile {
+    /// All three families at their historical static schedules.
+    pub const STATIC: TunedProfile = TunedProfile {
+        gemm: GemmBlocking::STATIC,
+        conv: GemmBlocking::STATIC,
+        qgemm_mc_tiles: crate::ops::QMC_TILES,
+    };
+}
+
+const TUNE_UNSET: u8 = 0;
+const TUNE_SET: u8 = 1;
+
+static STATE: AtomicU8 = AtomicU8::new(TUNE_UNSET);
 static CACHED_MC: AtomicUsize = AtomicUsize::new(0);
 static CACHED_KC: AtomicUsize = AtomicUsize::new(0);
 static CACHED_NC: AtomicUsize = AtomicUsize::new(0);
+static CONV_MC: AtomicUsize = AtomicUsize::new(0);
+static CONV_KC: AtomicUsize = AtomicUsize::new(0);
+static CONV_NC: AtomicUsize = AtomicUsize::new(0);
+static QGEMM_TILES: AtomicUsize = AtomicUsize::new(0);
 
 /// Serializes tuner runs (the tuner is expensive; racing first-callers
 /// must not both benchmark).
 static TUNE_LOCK: Mutex<()> = Mutex::new(());
 
-/// Returns the process-wide GEMM blocking.
+/// Returns the process-wide **strided-GEMM** blocking.
 ///
 /// [`GemmBlocking::STATIC`] unless `LECA_AUTOTUNE=1`, in which case the
 /// on-disk profile (or a fresh tuning run) decides. Computed **once per
 /// process** and cached — same contract as [`super::active`]; tests use
 /// [`refresh_blocking`] after changing the environment.
 pub fn blocking() -> GemmBlocking {
-    if STATE.load(Ordering::Relaxed) == BLK_SET {
+    if STATE.load(Ordering::Relaxed) == TUNE_SET {
         GemmBlocking {
             mc: CACHED_MC.load(Ordering::Relaxed),
             kc: CACHED_KC.load(Ordering::Relaxed),
@@ -85,17 +119,44 @@ pub fn blocking() -> GemmBlocking {
     }
 }
 
-/// Re-reads `LECA_AUTOTUNE` / `LECA_AUTOTUNE_PROFILE`, re-resolves the
-/// blocking (loading or regenerating the profile as needed), replaces the
-/// cache and returns the new value — the test hook for [`blocking`].
+/// Returns the process-wide **fused-im2col conv** blocking (same caching
+/// contract as [`blocking`]).
+pub fn conv_blocking() -> GemmBlocking {
+    if STATE.load(Ordering::Relaxed) != TUNE_SET {
+        refresh_blocking();
+    }
+    GemmBlocking {
+        mc: CONV_MC.load(Ordering::Relaxed),
+        kc: CONV_KC.load(Ordering::Relaxed),
+        nc: CONV_NC.load(Ordering::Relaxed),
+    }
+}
+
+/// Returns the process-wide int8 qgemm packing-block knob (output
+/// row-tiles per worker chunk; same caching contract as [`blocking`]).
+pub fn qgemm_mc_tiles() -> usize {
+    if STATE.load(Ordering::Relaxed) != TUNE_SET {
+        refresh_blocking();
+    }
+    QGEMM_TILES.load(Ordering::Relaxed)
+}
+
+/// Re-reads `LECA_AUTOTUNE` / `LECA_AUTOTUNE_PROFILE`, re-resolves **all
+/// tuned families** (loading or regenerating the profile as needed),
+/// replaces the cache and returns the new strided-GEMM blocking — the
+/// test hook for [`blocking`] / [`conv_blocking`] / [`qgemm_mc_tiles`].
 pub fn refresh_blocking() -> GemmBlocking {
     let _guard = TUNE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let blk = resolve();
-    CACHED_MC.store(blk.mc, Ordering::Relaxed);
-    CACHED_KC.store(blk.kc, Ordering::Relaxed);
-    CACHED_NC.store(blk.nc, Ordering::Relaxed);
-    STATE.store(BLK_SET, Ordering::Relaxed);
-    blk
+    let p = resolve();
+    CACHED_MC.store(p.gemm.mc, Ordering::Relaxed);
+    CACHED_KC.store(p.gemm.kc, Ordering::Relaxed);
+    CACHED_NC.store(p.gemm.nc, Ordering::Relaxed);
+    CONV_MC.store(p.conv.mc, Ordering::Relaxed);
+    CONV_KC.store(p.conv.kc, Ordering::Relaxed);
+    CONV_NC.store(p.conv.nc, Ordering::Relaxed);
+    QGEMM_TILES.store(p.qgemm_mc_tiles, Ordering::Relaxed);
+    STATE.store(TUNE_SET, Ordering::Relaxed);
+    p.gemm
 }
 
 /// True when `LECA_AUTOTUNE` is set to a truthy flag value.
@@ -108,24 +169,25 @@ pub fn autotune_enabled() -> bool {
 pub fn profile_path() -> PathBuf {
     match runtime_env::raw("LECA_AUTOTUNE_PROFILE") {
         Ok(p) if !p.is_empty() => PathBuf::from(p),
-        _ => std::env::temp_dir().join("leca-autotune-v1.profile"),
+        _ => std::env::temp_dir().join("leca-autotune-v2.profile"),
     }
 }
 
-fn resolve() -> GemmBlocking {
+fn resolve() -> TunedProfile {
     if !autotune_enabled() {
-        return GemmBlocking::STATIC;
+        return TunedProfile::STATIC;
     }
     let path = profile_path();
     let backend = super::active().name();
-    if let Some(blk) = read_profile(&path, backend) {
-        return blk;
+    let features = super::cpu_features();
+    if let Some(p) = read_profile(&path, backend, features) {
+        return p;
     }
     // Missing, corrupt (CRC mismatch) or stale profile: re-tune on this
     // machine and rewrite it.
-    let blk = tune();
-    let _ = write_profile(&path, blk, backend);
-    blk
+    let p = tune();
+    let _ = write_profile(&path, &p, backend, features);
+    p
 }
 
 // ---------------------------------------------------------------------
@@ -133,18 +195,23 @@ fn resolve() -> GemmBlocking {
 // ---------------------------------------------------------------------
 //
 // payload := "LATP" · version:u32 · mr:u32 · nr:u32
-//            · mc:u64 · kc:u64 · nc:u64
+//            · gemm_mc:u64 · gemm_kc:u64 · gemm_nc:u64
+//            · conv_mc:u64 · conv_kc:u64 · conv_nc:u64
+//            · qgemm_mc_tiles:u64
 //            · backend_len:u32 · backend_name bytes
+//            · features_len:u32 · cpu_features bytes
 // file    := payload · crc32(payload):u32 · payload_len:u64 · "LAT1"
 //
 // All integers little-endian. The footer mirrors the checkpoint format in
 // `leca-nn::serialize` (crc · len · magic) so the same torn-write and
 // bit-rot reasoning applies: validate the trailer first, then the CRC,
-// then the semantic fields.
+// then the semantic fields. Version 1 profiles (single GEMM blocking, no
+// feature key) fail the version check and re-tune — exactly the upgrade
+// path the versioned payload exists for.
 
 const PAYLOAD_MAGIC: &[u8; 4] = b"LATP";
 const FOOTER_MAGIC: &[u8; 4] = b"LAT1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const FOOTER_LEN: usize = 4 + 8 + 4;
 
 /// CRC-32 (reflected, poly `0xEDB8_8320`) — the same bytewise formulation
@@ -162,24 +229,34 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Serializes a profile for `blocking` + `backend` and writes it to
+/// Serializes `profile` keyed by `backend` + `features` and writes it to
 /// `path` atomically (tmp + rename). Public so tests (and the bench
 /// harness) can plant profiles.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors from the write or rename.
-pub fn write_profile(path: &Path, blocking: GemmBlocking, backend: &str) -> std::io::Result<()> {
+pub fn write_profile(
+    path: &Path,
+    profile: &TunedProfile,
+    backend: &str,
+    features: &str,
+) -> std::io::Result<()> {
     let mut payload = Vec::new();
     payload.extend_from_slice(PAYLOAD_MAGIC);
     payload.extend_from_slice(&VERSION.to_le_bytes());
     payload.extend_from_slice(&(super::MR as u32).to_le_bytes());
     payload.extend_from_slice(&(super::NR as u32).to_le_bytes());
-    payload.extend_from_slice(&(blocking.mc as u64).to_le_bytes());
-    payload.extend_from_slice(&(blocking.kc as u64).to_le_bytes());
-    payload.extend_from_slice(&(blocking.nc as u64).to_le_bytes());
+    for blk in [profile.gemm, profile.conv] {
+        payload.extend_from_slice(&(blk.mc as u64).to_le_bytes());
+        payload.extend_from_slice(&(blk.kc as u64).to_le_bytes());
+        payload.extend_from_slice(&(blk.nc as u64).to_le_bytes());
+    }
+    payload.extend_from_slice(&(profile.qgemm_mc_tiles as u64).to_le_bytes());
     payload.extend_from_slice(&(backend.len() as u32).to_le_bytes());
     payload.extend_from_slice(backend.as_bytes());
+    payload.extend_from_slice(&(features.len() as u32).to_le_bytes());
+    payload.extend_from_slice(features.as_bytes());
 
     let mut bytes = payload.clone();
     bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -191,11 +268,12 @@ pub fn write_profile(path: &Path, blocking: GemmBlocking, backend: &str) -> std:
     std::fs::rename(&tmp, path)
 }
 
-/// Reads and validates the profile at `path` for `backend`. `None` on any
-/// defect — missing file, bad trailer, CRC mismatch, version/tile/backend
-/// staleness, or degenerate block values — in which case the caller
-/// re-tunes and rewrites.
-pub fn read_profile(path: &Path, backend: &str) -> Option<GemmBlocking> {
+/// Reads and validates the profile at `path` for `backend` on a host with
+/// `features`. `None` on any defect — missing file, bad trailer, CRC
+/// mismatch, version/tile staleness, backend or CPU-feature key mismatch,
+/// or degenerate block values — in which case the caller re-tunes and
+/// rewrites.
+pub fn read_profile(path: &Path, backend: &str, features: &str) -> Option<TunedProfile> {
     let bytes = std::fs::read(path).ok()?;
     if bytes.len() < FOOTER_LEN {
         return None;
@@ -220,18 +298,33 @@ pub fn read_profile(path: &Path, backend: &str) -> Option<GemmBlocking> {
     if r.u32()? as usize != super::MR || r.u32()? as usize != super::NR {
         return None;
     }
-    let mc = r.u64()? as usize;
-    let kc = r.u64()? as usize;
-    let nc = r.u64()? as usize;
+    let mut blks = [GemmBlocking::STATIC; 2];
+    for blk in &mut blks {
+        let mc = r.u64()? as usize;
+        let kc = r.u64()? as usize;
+        let nc = r.u64()? as usize;
+        if mc == 0 || kc == 0 || nc == 0 {
+            return None;
+        }
+        *blk = GemmBlocking { mc, kc, nc };
+    }
+    let qgemm_mc_tiles = r.u64()? as usize;
+    if qgemm_mc_tiles == 0 {
+        return None;
+    }
     let blen = r.u32()? as usize;
-    let bname = r.take(blen)?;
-    if bname != backend.as_bytes() || r.at != body.len() {
+    if r.take(blen)? != backend.as_bytes() {
         return None;
     }
-    if mc == 0 || kc == 0 || nc == 0 {
+    let flen = r.u32()? as usize;
+    if r.take(flen)? != features.as_bytes() || r.at != body.len() {
         return None;
     }
-    Some(GemmBlocking { mc, kc, nc })
+    Some(TunedProfile {
+        gemm: blks[0],
+        conv: blks[1],
+        qgemm_mc_tiles,
+    })
 }
 
 struct Reader<'a> {
@@ -257,47 +350,56 @@ impl<'a> Reader<'a> {
 // Tuner
 // ---------------------------------------------------------------------
 
-/// Candidate grid. Deliberately small: the point is recovering the large
-/// wins (cache-fitting `kc`, panel-reusing `nc`), not exhaustive search.
-/// [`GemmBlocking::STATIC`] is always a candidate, so tuning can never do
-/// worse than the default beyond measurement noise — and the winner must
-/// beat static by >2% to displace it.
+/// Candidate grids. Deliberately small: the point is recovering the large
+/// wins (cache-fitting `kc`, panel-reusing `nc`, worker granularity), not
+/// exhaustive search. The static schedule is always a candidate in each
+/// family, so tuning can never do worse than the default beyond
+/// measurement noise — and a winner must beat static by >2% (per family)
+/// to displace it.
 const MC_CANDIDATES: [usize; 3] = [16, 32, 64];
 const KC_CANDIDATES: [usize; 2] = [128, usize::MAX];
 const NC_CANDIDATES: [usize; 2] = [1024, usize::MAX];
+/// Int8 qgemm worker-chunk candidates (output row-tiles per chunk; the
+/// static schedule is `QMC_TILES = 4`).
+const QGEMM_TILE_CANDIDATES: [usize; 4] = [1, 2, 4, 8];
 
-/// Tuning workload: one mid-sized GEMM in the shape family the inference
-/// path actually runs (im2col'd conv layers — short M, moderate K, wide N).
+/// Strided tuning workload: one mid-sized GEMM in the shape family the
+/// inference path actually runs (short M, moderate K, wide N).
 const TUNE_M: usize = 64;
 const TUNE_K: usize = 256;
 const TUNE_N: usize = 2048;
 
-/// Median-of-3 wall time of one `gemm` call under `blk`, in nanoseconds.
-fn time_config(a: &[f32], b: &[f32], out: &mut [f32], blk: GemmBlocking) -> u128 {
-    // One warm-up call faults in the pack scratch for this config.
-    crate::ops::gemm_strided_with_blocking(TUNE_M, TUNE_N, TUNE_K, a, b, out, blk);
+/// Conv tuning workload: a fused-im2col GEMM with the geometry of a small
+/// backbone conv layer (3x3, stride 1, pad 1 over a 16x16 batch of 4).
+const CONV_O: usize = 32;
+const CONV_N: usize = 4;
+const CONV_C: usize = 16;
+const CONV_HW: usize = 16;
+
+/// Int8 tuning workload shape (`m x k` weights against a `k x n` operand).
+const QTUNE_M: usize = 64;
+const QTUNE_K: usize = 144;
+const QTUNE_N: usize = 2048;
+
+/// Median-of-3 wall time of `body()`, in nanoseconds, after one warm-up
+/// call (faulting in the pack scratch for the measured config).
+fn median3_ns(mut body: impl FnMut()) -> u128 {
+    body();
     let mut samples = [0u128; 3];
     for s in &mut samples {
         let t0 = Instant::now();
-        crate::ops::gemm_strided_with_blocking(TUNE_M, TUNE_N, TUNE_K, a, b, out, blk);
+        body();
         *s = t0.elapsed().as_nanos();
     }
     samples.sort_unstable();
     samples[1]
 }
 
-/// Benchmarks the candidate grid and returns the winner (static blocking
-/// unless a candidate is >2% faster).
-fn tune() -> GemmBlocking {
-    let a: Vec<f32> = (0..TUNE_M * TUNE_K)
-        .map(|i| (i % 97) as f32 * 0.013 - 0.5)
-        .collect();
-    let b: Vec<f32> = (0..TUNE_K * TUNE_N)
-        .map(|i| (i % 89) as f32 * 0.011 - 0.4)
-        .collect();
-    let mut out = vec![0.0f32; TUNE_M * TUNE_N];
-
-    let static_ns = time_config(&a, &b, &mut out, GemmBlocking::STATIC);
+/// Grid-searches one GemmBlocking family: times `static` first, then every
+/// non-static candidate, and keeps the static schedule unless a candidate
+/// wins by >2%.
+fn tune_blocking_family(mut time_blk: impl FnMut(GemmBlocking) -> u128) -> GemmBlocking {
+    let static_ns = time_blk(GemmBlocking::STATIC);
     let mut best = (GemmBlocking::STATIC, static_ns);
     for mc in MC_CANDIDATES {
         for kc in KC_CANDIDATES {
@@ -306,7 +408,7 @@ fn tune() -> GemmBlocking {
                 if blk == GemmBlocking::STATIC {
                     continue;
                 }
-                let ns = time_config(&a, &b, &mut out, blk);
+                let ns = time_blk(blk);
                 if ns < best.1 {
                     best = (blk, ns);
                 }
@@ -322,6 +424,85 @@ fn tune() -> GemmBlocking {
     }
 }
 
+/// Benchmarks all three family grids and returns the combined winners
+/// (each family independently falls back to its static schedule absent a
+/// decisive win).
+fn tune() -> TunedProfile {
+    // --- strided GEMM family ---
+    let a: Vec<f32> = (0..TUNE_M * TUNE_K)
+        .map(|i| (i % 97) as f32 * 0.013 - 0.5)
+        .collect();
+    let b: Vec<f32> = (0..TUNE_K * TUNE_N)
+        .map(|i| (i % 89) as f32 * 0.011 - 0.4)
+        .collect();
+    let mut out = vec![0.0f32; TUNE_M * TUNE_N];
+    let gemm = tune_blocking_family(|blk| {
+        median3_ns(|| {
+            crate::ops::gemm_strided_with_blocking(TUNE_M, TUNE_N, TUNE_K, &a, &b, &mut out, blk)
+        })
+    });
+
+    // --- fused-im2col conv family ---
+    let kdim = CONV_C * 9;
+    let w: Vec<f32> = (0..CONV_O * kdim)
+        .map(|i| (i % 83) as f32 * 0.017 - 0.6)
+        .collect();
+    let x: Vec<f32> = (0..CONV_N * CONV_C * CONV_HW * CONV_HW)
+        .map(|i| (i % 101) as f32 * 0.009 - 0.45)
+        .collect();
+    let mut cout = vec![0.0f32; CONV_O * CONV_N * CONV_HW * CONV_HW];
+    let conv = tune_blocking_family(|blk| {
+        median3_ns(|| {
+            crate::ops::gemm_im2col_with_blocking(
+                CONV_O, &w, &x, CONV_N, CONV_C, CONV_HW, CONV_HW, 3, 3, 1, 1, &mut cout, blk,
+            )
+        })
+    });
+
+    // --- int8 qgemm packing-block family ---
+    let qw: Vec<i8> = (0..QTUNE_M * QTUNE_K)
+        .map(|i| ((i * 37 + 11) % 255) as i8)
+        .collect();
+    let scales = vec![0.02f32; QTUNE_M];
+    let packed = crate::ops::PackedQMat::pack(&qw, QTUNE_M, QTUNE_K, &scales);
+    let qb: Vec<i8> = (0..QTUNE_K * QTUNE_N)
+        .map(|i| ((i * 29 + 5) % 251) as i8)
+        .collect();
+    let qop = crate::ops::QOperand::Strided {
+        data: &qb,
+        rs: QTUNE_N,
+        cs: 1,
+        zp: 3,
+    };
+    let mut qacc = vec![0i32; packed.tiles() * super::MR * QTUNE_N];
+    let static_ns = median3_ns(|| {
+        crate::ops::qgemm_with_mc_tiles(&packed, &qop, QTUNE_N, &mut qacc, crate::ops::QMC_TILES)
+    });
+    let mut qbest = (crate::ops::QMC_TILES, static_ns);
+    for tiles in QGEMM_TILE_CANDIDATES {
+        if tiles == crate::ops::QMC_TILES {
+            continue;
+        }
+        let ns = median3_ns(|| {
+            crate::ops::qgemm_with_mc_tiles(&packed, &qop, QTUNE_N, &mut qacc, tiles)
+        });
+        if ns < qbest.1 {
+            qbest = (tiles, ns);
+        }
+    }
+    let qgemm_mc_tiles = if qbest.1.saturating_mul(100) < static_ns.saturating_mul(98) {
+        qbest.0
+    } else {
+        crate::ops::QMC_TILES
+    };
+
+    TunedProfile {
+        gemm,
+        conv,
+        qgemm_mc_tiles,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,24 +513,51 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
+    const EXOTIC: TunedProfile = TunedProfile {
+        gemm: GemmBlocking {
+            mc: 24,
+            kc: 192,
+            nc: 1536,
+        },
+        conv: GemmBlocking {
+            mc: 16,
+            kc: 128,
+            nc: 1024,
+        },
+        qgemm_mc_tiles: 2,
+    };
+
     #[test]
     fn profile_roundtrip_and_rejection() {
         let dir = std::env::temp_dir();
         let path = dir.join("leca-autotune-unit-test.profile");
-        let blk = GemmBlocking {
-            mc: 24,
-            kc: 192,
-            nc: 1536,
-        };
-        write_profile(&path, blk, "scalar").expect("write profile");
-        assert_eq!(read_profile(&path, "scalar"), Some(blk));
+        write_profile(&path, &EXOTIC, "scalar", "avx2+fma").expect("write profile");
+        assert_eq!(read_profile(&path, "scalar", "avx2+fma"), Some(EXOTIC));
         // Backend-name staleness.
-        assert_eq!(read_profile(&path, "avx2"), None);
+        assert_eq!(read_profile(&path, "avx2", "avx2+fma"), None);
         // Single-bit corruption in the payload trips the CRC.
         let mut bytes = std::fs::read(&path).expect("read back");
         bytes[6] ^= 0x01;
         std::fs::write(&path, &bytes).expect("rewrite");
-        assert_eq!(read_profile(&path, "scalar"), None);
+        assert_eq!(read_profile(&path, "scalar", "avx2+fma"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn feature_set_mismatch_rejects_planted_profile() {
+        // The portability regression: a profile tuned under `avx2` (or on
+        // a machine with a different ISA level) must never be applied to
+        // `fastmath` — the key includes both backend name and CPU
+        // features, so either mismatch forces a re-tune.
+        let dir = std::env::temp_dir();
+        let path = dir.join("leca-autotune-unit-test-key.profile");
+        write_profile(&path, &EXOTIC, "avx2", "avx2").expect("write profile");
+        // Same backend, different host feature set: rejected.
+        assert_eq!(read_profile(&path, "avx2", "avx2+fma"), None);
+        // Same feature set, different backend (`fastmath`): rejected.
+        assert_eq!(read_profile(&path, "fastmath", "avx2"), None);
+        // Exact key: accepted.
+        assert_eq!(read_profile(&path, "avx2", "avx2"), Some(EXOTIC));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -357,10 +565,23 @@ mod tests {
     fn truncated_profile_rejected() {
         let dir = std::env::temp_dir();
         let path = dir.join("leca-autotune-unit-test-trunc.profile");
-        write_profile(&path, GemmBlocking::STATIC, "scalar").expect("write profile");
+        write_profile(&path, &TunedProfile::STATIC, "scalar", "portable").expect("write profile");
         let bytes = std::fs::read(&path).expect("read back");
         std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
-        assert_eq!(read_profile(&path, "scalar"), None);
+        assert_eq!(read_profile(&path, "scalar", "portable"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn degenerate_fields_rejected() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("leca-autotune-unit-test-degen.profile");
+        let zero_tiles = TunedProfile {
+            qgemm_mc_tiles: 0,
+            ..TunedProfile::STATIC
+        };
+        write_profile(&path, &zero_tiles, "scalar", "portable").expect("write profile");
+        assert_eq!(read_profile(&path, "scalar", "portable"), None);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -374,5 +595,7 @@ mod tests {
                 nc: usize::MAX
             }
         );
+        assert_eq!(TunedProfile::STATIC.qgemm_mc_tiles, 4);
+        assert_eq!(TunedProfile::STATIC.conv, GemmBlocking::STATIC);
     }
 }

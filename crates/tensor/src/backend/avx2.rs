@@ -396,6 +396,22 @@ pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, 
     );
 }
 
+/// The exponential stays on the scalar libm path: there is no bitwise
+/// AVX2 twin of `f32::exp`, and the bit-exactness contract forbids a
+/// polynomial substitute here (that is the fastmath tier's trade).
+#[target_feature(enable = "avx2")]
+pub fn exp(src: &[f32], out: &mut [f32]) {
+    scalar::exp(src, out);
+}
+
+/// Sequential dependence chain (exp then running sum) — deliberately the
+/// scalar body, exactly like the f64 plane reductions: vectorizing would
+/// reassociate the sum and break the determinism goldens.
+#[target_feature(enable = "avx2")]
+pub fn exp_sum(dst: &mut [f32]) -> f32 {
+    scalar::exp_sum(dst)
+}
+
 #[target_feature(enable = "avx2")]
 pub fn row_max(xs: &[f32]) -> f32 {
     let n = xs.len();

@@ -3,13 +3,14 @@
 //! Every compute kernel in the workspace dispatches through the
 //! [`KernelBackend`] trait: [`ScalarBackend`] carries the portable
 //! reference bodies in [`scalar`] (the *semantic definitions* — every
-//! other backend must reproduce them bit for bit), [`Avx2Backend`] the
-//! runtime-detected AVX2 bodies, and the feature-gated `WgpuBackend` stub
+//! bit-exact backend must reproduce them bit for bit), [`Avx2Backend`] the
+//! runtime-detected AVX2 bodies, [`FastMathBackend`] the opt-in
+//! relaxed-precision FMA tier, and the feature-gated `WgpuBackend` stub
 //! locks the trait shape down for a future GPU tier. The process-wide
 //! selection is made **once** and cached, mirroring `LECA_THREADS` /
 //! [`crate::parallel::num_threads`]: the `LECA_BACKEND` environment
-//! variable (`scalar` | `avx2` | `auto`; `LECA_SIMD` remains as a
-//! deprecated alias) pins a backend for CI and debugging, and
+//! variable (`scalar` | `avx2` | `fastmath` | `auto`; `LECA_SIMD` remains
+//! as a deprecated alias) pins a backend for CI and debugging, and
 //! [`refresh_backend`] is the in-process test hook.
 //!
 //! # Registry semantics
@@ -17,14 +18,28 @@
 //! [`registered`] lists every compiled-in backend in ascending preference
 //! order. A backend is *dispatchable* when [`dispatchable`] confirms its
 //! availability probe and its CPU-complete kernel surface; `auto` (and
-//! unset) picks the most-preferred dispatchable backend, and requesting an
-//! unavailable backend by name degrades to auto rather than erroring —
-//! backends are bit-identical, so this is a perf choice, not an error.
-//! Incomplete backends (the wgpu stub) return typed
+//! unset) picks the most-preferred dispatchable **bit-exact** backend, and
+//! requesting an unavailable backend by name degrades to auto rather than
+//! erroring — bit-exact backends are bit-identical, so this is a perf
+//! choice, not an error. Incomplete backends (the wgpu stub) return typed
 //! [`BackendError::Unsupported`] from every kernel they do not implement
 //! and are therefore never auto-selected.
 //!
-//! # Why every backend is bit-identical
+//! # The fast-math tier
+//!
+//! [`FastMathBackend`] ([`KernelBackend::bit_exact`] = `false`) trades the
+//! bit-exactness contract for FMA contraction and a vectorized polynomial
+//! `exp`. It never wins auto-selection: it runs only when explicitly
+//! requested, either by name (`LECA_BACKEND=fastmath`) or via the
+//! dedicated opt-in knob (`LECA_FASTMATH=fma`, consulted only when
+//! `LECA_BACKEND` is unset or `auto` — an explicit backend request always
+//! wins, which is what keeps backend-pinning test suites meaningful on CI
+//! legs that export `LECA_FASTMATH`). Its outputs are held to
+//! relative-error bounds against the scalar oracle by tolerance-based
+//! parity tests instead of the bit-exact conformance battery, and the
+//! determinism goldens exclude it.
+//!
+//! # Why every bit-exact backend is bit-identical
 //!
 //! The vector kernels only ever parallelize across **independent
 //! outputs** — the [`NR`] columns of the GEMM register tile, or disjoint
@@ -66,6 +81,12 @@ mod avx2;
 // `avx2`.
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 mod qavx2;
+
+// Relaxed-precision FMA bodies (fused-multiply-add GEMM core, vectorized
+// polynomial `exp`, FMA elementwise epilogues); same Miri/non-x86 story
+// as `avx2`.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod fastmath;
 
 #[cfg(feature = "wgpu")]
 pub mod wgpu;
@@ -123,6 +144,34 @@ fn avx2_available() -> bool {
     false
 }
 
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+fn fastmath_available() -> bool {
+    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+}
+
+/// The fast-math tier needs both AVX2 and FMA; absent either (or under
+/// Miri / off x86), it is never dispatchable.
+#[cfg(any(not(target_arch = "x86_64"), miri))]
+#[allow(dead_code)]
+fn fastmath_available() -> bool {
+    false
+}
+
+/// The host CPU feature set relevant to backend selection, as a stable
+/// string (`"avx2+fma"` / `"avx2"` / `"portable"`). Keyed into the
+/// autotune profile so a blocking tuned on one ISA level is never applied
+/// on another (and so copying a profile between machines invalidates it
+/// rather than silently mis-tuning).
+pub fn cpu_features() -> &'static str {
+    if fastmath_available() {
+        "avx2+fma"
+    } else if avx2_available() {
+        "avx2"
+    } else {
+        "portable"
+    }
+}
+
 /// Declares the [`KernelBackend`] trait (every kernel defaulting to a
 /// typed [`BackendError::Unsupported`]) together with the complete
 /// [`ScalarBackend`] and [`Avx2Backend`] implementations, so the three
@@ -142,6 +191,17 @@ macro_rules! backend_kernels {
             /// Short lowercase name (`"scalar"` / `"avx2"`), used in env
             /// selection, logs and bench output.
             fn name(&self) -> &'static str;
+
+            /// Whether this backend upholds the bit-exactness contract
+            /// (reproduces the [`scalar`] bodies bit for bit). Defaults to
+            /// `true`; relaxed-precision tiers ([`FastMathBackend`])
+            /// override it to `false`, which excludes them from
+            /// auto-selection and from the bit-exact conformance and
+            /// determinism suites — they are covered by tolerance-based
+            /// parity tests instead.
+            fn bit_exact(&self) -> bool {
+                true
+            }
 
             $(
                 $(#[$meta])*
@@ -192,6 +252,36 @@ macro_rules! backend_kernels {
                 }
             )*
         }
+
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        impl KernelBackend for FastMathBackend {
+            fn name(&self) -> &'static str {
+                "fastmath"
+            }
+
+            /// The fast-math tier contracts FMAs and vectorizes `exp`, so
+            /// it does **not** reproduce the scalar bodies bit for bit.
+            fn bit_exact(&self) -> bool {
+                false
+            }
+
+            $(
+                #[inline]
+                fn $name(&self $(, $arg: $ty)*) -> KernelResult$(<$ret>)? {
+                    if !fastmath_available() {
+                        return Err(BackendError::Unsupported {
+                            backend: self.name(),
+                            kernel: stringify!($name),
+                        });
+                    }
+                    // SAFETY: the fastmath bodies are safe
+                    // `#[target_feature(enable = "avx2", enable = "fma")]`
+                    // fns; `fastmath_available()` directly above confirms
+                    // the host has both features.
+                    Ok(unsafe { fastmath::$name($($arg),*) })
+                }
+            )*
+        }
     };
 }
 
@@ -205,6 +295,15 @@ pub struct ScalarBackend;
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Avx2Backend;
+
+/// Opt-in relaxed-precision backend (`x86_64` with runtime-detected
+/// AVX2 + FMA): fused-multiply-add GEMM core, vectorized polynomial `exp`
+/// driving the fused softmax pass, and FMA elementwise epilogues. Not
+/// bit-exact with the scalar oracle — see the module docs for the
+/// selection and testing contract.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastMathBackend;
 
 backend_kernels! {
     /// `MR x NR` register-tile update `acc += A_tile · B_panel` over packed
@@ -260,6 +359,13 @@ backend_kernels! {
     /// BatchNorm affine pass: `g * ((x - mean) * inv_std) + b`, exactly
     /// that operation sequence.
     [avx2] fn bn_affine(&self, src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, b: f32);
+    /// Elementwise `out[i] = src[i].exp()`. Bit-exact backends call libm
+    /// per element; the fast-math tier substitutes its polynomial
+    /// approximation (see [`exp`]).
+    [avx2] fn exp(&self, src: &[f32], out: &mut [f32]);
+    /// Fused in-place exponential + sum: `dst[i] = dst[i].exp()`,
+    /// returning the running sum (see [`exp_sum`] — the softmax core).
+    [avx2] fn exp_sum(&self, dst: &mut [f32]) -> f32;
     /// NaN-skipping maximum (`f32::max` fold from `NEG_INFINITY`).
     [avx2] fn row_max(&self, xs: &[f32]) -> f32;
     /// Fused 2x2 average-pool row pass (see [`avg_pool_k2`]).
@@ -275,12 +381,14 @@ backend_kernels! {
 static SCALAR_BACKEND: ScalarBackend = ScalarBackend;
 #[cfg(all(target_arch = "x86_64", not(miri)))]
 static AVX2_BACKEND: Avx2Backend = Avx2Backend;
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+static FASTMATH_BACKEND: FastMathBackend = FastMathBackend;
 #[cfg(feature = "wgpu")]
 static WGPU_BACKEND: wgpu::WgpuBackend = wgpu::WgpuBackend;
 
 /// Every compiled-in backend, in **ascending preference order**: `auto`
-/// selection picks the highest-indexed dispatchable entry. Scalar sits at
-/// index 0 so selection can never fail.
+/// selection picks the highest-indexed dispatchable *bit-exact* entry.
+/// Scalar sits at index 0 so selection can never fail.
 pub fn registered() -> &'static [&'static dyn KernelBackend] {
     static ALL: &[&dyn KernelBackend] = &[
         &SCALAR_BACKEND,
@@ -291,6 +399,10 @@ pub fn registered() -> &'static [&'static dyn KernelBackend] {
         &WGPU_BACKEND,
         #[cfg(all(target_arch = "x86_64", not(miri)))]
         &AVX2_BACKEND,
+        // Listed above avx2 but screened out of auto-selection by its
+        // `bit_exact() == false`: fastmath runs only on explicit request.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        &FASTMATH_BACKEND,
     ];
     ALL
 }
@@ -312,11 +424,15 @@ static ACTIVE: AtomicUsize = AtomicUsize::new(usize::MAX);
 /// Returns the backend the process dispatches to.
 ///
 /// Honors `LECA_BACKEND=scalar` (or `off`/`0`) to force the scalar
-/// backend, `LECA_BACKEND=avx2` (any registered name) to request one, and
-/// `auto`/unset to auto-detect; a request for an unavailable backend
-/// degrades to auto-detection rather than erroring, so the same invocation
-/// works on any host. `LECA_SIMD` is honored as a deprecated alias when
-/// `LECA_BACKEND` is unset.
+/// backend, `LECA_BACKEND=avx2` (any registered name, including
+/// `fastmath`) to request one, and `auto`/unset to auto-detect; a request
+/// for an unavailable backend degrades to auto-detection rather than
+/// erroring, so the same invocation works on any host. `LECA_SIMD` is
+/// honored as a deprecated alias (warning once per process) when
+/// `LECA_BACKEND` is unset. When `LECA_BACKEND` is unset or `auto`,
+/// `LECA_FASTMATH=fma` opts into the relaxed-precision tier if the host
+/// supports it — an explicit backend name always wins over the fastmath
+/// knob.
 ///
 /// # Semantics
 ///
@@ -342,31 +458,64 @@ pub fn refresh_backend() -> &'static dyn KernelBackend {
     registered()[idx]
 }
 
-/// Highest-preference dispatchable backend (falls back to scalar, which is
-/// always dispatchable).
+/// Highest-preference dispatchable **bit-exact** backend (falls back to
+/// scalar, which is always dispatchable). Non-bit-exact tiers are never
+/// auto-selected: silently relaxing precision because the host happens to
+/// have FMA would break the determinism contract behind users' backs.
 fn auto_index() -> usize {
     let reg = registered();
     (0..reg.len())
         .rev()
-        .find(|&i| dispatchable(reg[i]))
+        .find(|&i| reg[i].bit_exact() && dispatchable(reg[i]))
         .unwrap_or(0)
 }
 
+/// True when `LECA_FASTMATH=fma` opts into the relaxed-precision tier.
+/// `off`/`0` (and unset) decline; anything else is treated as off (the
+/// usual garbage-degrades-to-default contract).
+fn fastmath_requested() -> bool {
+    matches!(
+        runtime_env::choice("LECA_FASTMATH", &["fma", "off", "0"]),
+        Ok("fma")
+    )
+}
+
+/// Selection when no explicit backend name decides: `LECA_FASTMATH=fma`
+/// picks the fastmath tier if the host can dispatch it, otherwise plain
+/// bit-exact auto-detection.
+fn default_index() -> usize {
+    if fastmath_requested() {
+        let reg = registered();
+        if let Some(i) = reg
+            .iter()
+            .position(|be| be.name() == "fastmath" && dispatchable(*be))
+        {
+            return i;
+        }
+    }
+    auto_index()
+}
+
 fn select_index() -> usize {
-    let request = runtime_env::raw("LECA_BACKEND")
-        .or_else(|_| runtime_env::raw("LECA_SIMD"))
+    let backend = runtime_env::raw("LECA_BACKEND").ok();
+    if backend.is_none() && runtime_env::raw("LECA_SIMD").is_ok() {
+        runtime_env::warn_deprecated_alias("LECA_SIMD", "LECA_BACKEND");
+    }
+    let request = backend
+        .ok_or(())
+        .or_else(|()| runtime_env::raw("LECA_SIMD"))
         .ok()
         .map(|v| v.to_ascii_lowercase());
     match request.as_deref() {
         Some("scalar") | Some("off") | Some("0") => 0,
-        Some("auto") | None => auto_index(),
+        Some("auto") | None => default_index(),
         Some(name) => registered()
             .iter()
             .position(|be| be.name() == name && dispatchable(*be))
             // Requesting a backend the host lacks (or an unknown name)
-            // degrades to auto-detection: backends are bit-identical, so
-            // this is a perf choice, not an error.
-            .unwrap_or_else(auto_index),
+            // degrades to auto-detection: bit-exact backends are
+            // bit-identical, so this is a perf choice, not an error.
+            .unwrap_or_else(default_index),
     }
 }
 
@@ -675,6 +824,35 @@ pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, 
     expect(active().bn_affine(src, out, mean, inv_std, g, b));
 }
 
+/// Elementwise exponential: `out[i] = src[i].exp()`.
+///
+/// Bit-exact backends compute libm `exp` per element. The fast-math tier
+/// substitutes a vectorized polynomial approximation: a few ULP of
+/// relative error on normal results, exact `+inf`/`0.0` saturation at the
+/// overflow/underflow boundaries (results in the denormal range may flush
+/// to zero), and NaN in → NaN out.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn exp(src: &[f32], out: &mut [f32]) {
+    check_pair("backend::exp", src.len(), out.len());
+    expect(active().exp(src, out));
+}
+
+/// Fused in-place exponential + sum — the softmax core: `dst[i] =
+/// dst[i].exp()`, returning the sum of the results.
+///
+/// On bit-exact backends this is **exactly** the historical sequential
+/// softmax chain (`*v = v.exp(); z += *v;` element by element), so the
+/// determinism goldens are unchanged. The fast-math tier vectorizes both
+/// the exponential (polynomial, see [`exp`]) and the sum (eight partial
+/// lane sums folded at the end), trading bit-exactness for throughput. A
+/// NaN element poisons the returned sum on every backend.
+pub fn exp_sum(dst: &mut [f32]) -> f32 {
+    expect(active().exp_sum(dst))
+}
+
 /// NaN-skipping maximum (`f32::max` fold semantics): NaN elements are
 /// ignored; an empty or all-NaN slice yields `f32::NEG_INFINITY`. The
 /// softmax row-max pass.
@@ -715,30 +893,44 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// `LECA_BACKEND`/`LECA_SIMD` are process-global state; serialize the
-    /// tests that flip them.
+    /// `LECA_BACKEND`/`LECA_SIMD`/`LECA_FASTMATH` are process-global
+    /// state; serialize the tests that flip them.
     static ENV_LOCK: Mutex<()> = Mutex::new(());
 
-    fn with_backend_env<T>(
+    fn with_selection_env<T>(
         backend: Option<&str>,
         simd_alias: Option<&str>,
+        fastmath: Option<&str>,
         body: impl FnOnce() -> T,
     ) -> T {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let old_backend = std::env::var("LECA_BACKEND").ok();
         let old_simd = std::env::var("LECA_SIMD").ok();
+        let old_fastmath = std::env::var("LECA_FASTMATH").ok();
         let set = |key: &str, v: Option<&str>| match v {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),
         };
         set("LECA_BACKEND", backend);
         set("LECA_SIMD", simd_alias);
+        set("LECA_FASTMATH", fastmath);
         refresh_backend();
         let out = body();
         set("LECA_BACKEND", old_backend.as_deref());
         set("LECA_SIMD", old_simd.as_deref());
+        set("LECA_FASTMATH", old_fastmath.as_deref());
         refresh_backend();
         out
+    }
+
+    fn with_backend_env<T>(
+        backend: Option<&str>,
+        simd_alias: Option<&str>,
+        body: impl FnOnce() -> T,
+    ) -> T {
+        // Ambient `LECA_FASTMATH` (the fastmath CI legs) must not leak
+        // into selection tests that reason about the bit-exact tiers.
+        with_selection_env(backend, simd_alias, None, body)
     }
 
     fn auto_name() -> &'static str {
@@ -788,6 +980,55 @@ mod tests {
         with_backend_env(Some("auto"), Some("off"), || {
             assert_eq!(active().name(), auto_name());
         });
+    }
+
+    fn fastmath_name_when_available() -> &'static str {
+        if fastmath_available() {
+            "fastmath"
+        } else {
+            // Hosts without FMA degrade the request to bit-exact auto.
+            auto_name()
+        }
+    }
+
+    #[test]
+    fn fastmath_knob_opts_in_only_without_explicit_backend() {
+        // LECA_FASTMATH=fma with LECA_BACKEND unset or `auto` selects the
+        // relaxed tier (when the host can dispatch it)...
+        with_selection_env(None, None, Some("fma"), || {
+            assert_eq!(active().name(), fastmath_name_when_available());
+        });
+        with_selection_env(Some("auto"), None, Some("fma"), || {
+            assert_eq!(active().name(), fastmath_name_when_available());
+        });
+        // ...but an explicit backend name always wins — this is what lets
+        // backend-pinning suites stay meaningful on fastmath CI legs.
+        for pinned in ["scalar", "avx2"] {
+            with_selection_env(Some(pinned), None, Some("fma"), || {
+                assert!(active().bit_exact(), "explicit {pinned} must win");
+            });
+        }
+        // Off spellings and garbage decline the opt-in.
+        for v in ["off", "0", "definitely-not-a-mode"] {
+            with_selection_env(None, None, Some(v), || {
+                assert_eq!(active().name(), auto_name());
+            });
+        }
+    }
+
+    #[test]
+    fn fastmath_by_name_and_never_by_auto() {
+        // Requestable via LECA_BACKEND like any registered backend.
+        with_selection_env(Some("fastmath"), None, None, || {
+            assert_eq!(active().name(), fastmath_name_when_available());
+        });
+        // Auto-selection never picks a non-bit-exact backend, no matter
+        // how capable the host is.
+        with_selection_env(None, None, None, || {
+            assert!(active().bit_exact());
+        });
+        let reg = registered();
+        assert!(reg[auto_index()].bit_exact());
     }
 
     #[test]

@@ -179,6 +179,27 @@ pub fn bn_affine(src: &[f32], out: &mut [f32], mean: f32, inv_std: f32, g: f32, 
     }
 }
 
+/// `out[i] = src[i].exp()` — libm exponential per element.
+#[inline]
+pub fn exp(src: &[f32], out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o = x.exp();
+    }
+}
+
+/// In-place exponential + running sum: exactly the historical sequential
+/// softmax chain (`*v = v.exp(); z += *v;`), preserved verbatim so the
+/// scalar path keeps producing every pre-existing golden bit for bit.
+#[inline]
+pub fn exp_sum(dst: &mut [f32]) -> f32 {
+    let mut z = 0.0f32;
+    for v in dst.iter_mut() {
+        *v = v.exp();
+        z += *v;
+    }
+    z
+}
+
 /// `f32::max` fold from `NEG_INFINITY` (NaN operands are skipped).
 #[inline]
 pub fn row_max(xs: &[f32]) -> f32 {

@@ -261,7 +261,63 @@ pub(crate) fn gemm(
     b: &Operand,
     out: &mut [f32],
 ) {
-    gemm_with_blocking(m, n, k, a_data, a_rs, a_cs, b, out, autotune::blocking());
+    // The autotuner tunes the plain strided family and the fused-im2col
+    // (conv) family separately: their traversal cost models differ (the
+    // im2col packer re-gathers B per `kc` slab, so a conv-optimal `kc`
+    // can be pessimal for a plain matmul and vice versa).
+    let blk = match b {
+        Operand::Strided { .. } => autotune::blocking(),
+        Operand::Im2col(_) | Operand::Im2colT(_) => autotune::conv_blocking(),
+    };
+    gemm_with_blocking(m, n, k, a_data, a_rs, a_cs, b, out, blk);
+}
+
+/// Conv-shaped timing entry for the autotuner: one `(o, c·kh·kw) x
+/// (c·kh·kw, n·oh·ow)` multiply against a fused-im2col operand — the exact
+/// shape family `conv2d_into` runs — under an explicit blocking.
+#[allow(clippy::too_many_arguments)] // flat conv geometry mirrors conv2d_into
+pub(crate) fn gemm_im2col_with_blocking(
+    o: usize,
+    weight: &[f32],
+    x: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+    blk: GemmBlocking,
+) {
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let view = Im2colView {
+        data: x,
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        oh,
+        ow,
+    };
+    let kdim = c * kh * kw;
+    let cols = n * oh * ow;
+    gemm_with_blocking(
+        o,
+        cols,
+        kdim,
+        weight,
+        kdim,
+        1,
+        &Operand::Im2col(view),
+        out,
+        blk,
+    );
 }
 
 /// Row-major convenience wrapper over [`gemm_with_blocking`] for a plain

@@ -113,14 +113,13 @@ pub fn softmax_rows_into(x: &Tensor, out: &mut Tensor) -> Result<()> {
         // (and writing x - m straight into `out` replaces what used to be
         // a full-matrix copy).
         crate::backend::add_scalar(xrow, -m, row);
-        // The exp + running-sum pass is a single sequential dependency
-        // chain; vectorizing it would reassociate the sum and break the
-        // bit-exactness contract, so it stays scalar on every path.
-        let mut z = 0.0;
-        for v in row.iter_mut() {
-            *v = v.exp();
-            z += *v;
-        }
+        // The exp + running-sum pass dispatches through the backend's
+        // fused `exp_sum` kernel: bit-exact backends keep the historical
+        // sequential chain verbatim (vectorizing would reassociate the
+        // sum and break the determinism goldens), while the opt-in
+        // fastmath tier substitutes its vectorized polynomial exp with
+        // lane-partial sums — the softmax hot loop this fusion exists for.
+        let z = crate::backend::exp_sum(row);
         let inv = 1.0 / z;
         crate::backend::scale_inplace(row, inv);
     }

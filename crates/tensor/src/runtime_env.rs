@@ -15,6 +15,7 @@
 //! each caches a different derived decision, not the raw string.
 
 use std::fmt;
+use std::sync::Mutex;
 
 /// Why an environment variable could not be interpreted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,10 +129,29 @@ pub fn flag(key: &'static str) -> Result<bool, EnvError> {
     }
 }
 
+/// Emit a deprecation warning for `old` (pointing at `new`) **once per
+/// process**, no matter how many call sites consult the deprecated
+/// variable. Returns `true` iff this call actually warned, so tests can
+/// assert the once-only contract without capturing stderr.
+///
+/// The historical behavior warned (or worse, stayed silent) per call
+/// site; routing every consumer through this single registry is what
+/// makes "exactly once" a process-level guarantee rather than a
+/// per-module accident.
+pub fn warn_deprecated_alias(old: &'static str, new: &'static str) -> bool {
+    static WARNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut warned = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    if warned.contains(&old) {
+        return false;
+    }
+    warned.push(old);
+    eprintln!("leca: warning: {old} is deprecated; set {new} instead");
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
     /// Process-global env mutation; serialize.
     static LOCK: Mutex<()> = Mutex::new(());
@@ -208,6 +228,26 @@ mod tests {
         with_var("LECA_RT_ENV_TEST_R", Some("  avx2 "), || {
             assert_eq!(raw("LECA_RT_ENV_TEST_R").as_deref(), Ok("avx2"));
         });
+    }
+
+    #[test]
+    fn deprecation_warning_fires_exactly_once_per_process() {
+        // First consult warns, every later one (any call site) is silent.
+        assert!(warn_deprecated_alias(
+            "LECA_RT_ENV_TEST_OLD",
+            "LECA_RT_ENV_TEST_NEW"
+        ));
+        for _ in 0..3 {
+            assert!(!warn_deprecated_alias(
+                "LECA_RT_ENV_TEST_OLD",
+                "LECA_RT_ENV_TEST_NEW"
+            ));
+        }
+        // A different deprecated key still gets its own (single) warning.
+        assert!(warn_deprecated_alias(
+            "LECA_RT_ENV_TEST_OLD2",
+            "LECA_RT_ENV_TEST_NEW"
+        ));
     }
 
     #[test]

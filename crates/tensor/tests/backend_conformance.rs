@@ -4,10 +4,13 @@
 //! bodies under `LECA_BACKEND=avx2`, this suite closes the remaining gap:
 //! it walks [`backend::registered`] and exercises **every dispatchable
 //! backend's trait surface directly** (no env pinning needed — trait
-//! method calls bypass the process-wide selection), asserting bitwise
-//! equality against the [`scalar`] reference definitions on NaN-poisoned
-//! inputs whose lengths straddle the vector width. A backend added to the
-//! registry tomorrow is conformance-checked here with zero new test code.
+//! method calls bypass the process-wide selection). Backends that promise
+//! `bit_exact()` are held to bitwise equality against the [`scalar`]
+//! reference definitions on NaN-poisoned inputs whose lengths straddle
+//! the vector width; relaxed-precision tiers (fastmath) run the same
+//! kernel surface under relative-error bounds plus NaN-position
+//! agreement. A backend added to the registry tomorrow is
+//! conformance-checked here with zero new test code.
 //!
 //! The suite also locks down the two registry-adjacent contracts:
 //!
@@ -19,8 +22,8 @@
 
 use leca_tensor::backend::{self, autotune, scalar, KernelBackend, MR, NR};
 use leca_tensor::ops::{
-    avg_pool2d, avg_pool2d_into, matmul, matmul_into, max_pool2d, max_pool2d_into, softmax_rows,
-    softmax_rows_into,
+    avg_pool2d, avg_pool2d_into, conv2d, matmul, matmul_into, max_pool2d, max_pool2d_into, qgemm,
+    softmax_rows, softmax_rows_into, PackedQMat, QOperand,
 };
 use leca_tensor::Tensor;
 use proptest::prelude::*;
@@ -33,13 +36,33 @@ use std::sync::Mutex;
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Every registered backend that can serve the full CPU kernel surface on
-/// this host. Always contains at least scalar; contains avx2 exactly when
-/// the host supports it.
+/// this host. Always contains at least scalar; contains avx2 (and
+/// fastmath) exactly when the host supports them.
 fn dispatchable_backends() -> Vec<&'static dyn KernelBackend> {
     backend::registered()
         .iter()
         .copied()
         .filter(|be| backend::dispatchable(*be))
+        .collect()
+}
+
+/// The dispatchable backends bound by the **bit-exact** contract — the
+/// population for the bitwise batteries below. Non-bit-exact tiers
+/// (fastmath) are excluded here and covered by the tolerance section.
+fn bit_exact_backends() -> Vec<&'static dyn KernelBackend> {
+    dispatchable_backends()
+        .into_iter()
+        .filter(|be| be.bit_exact())
+        .collect()
+}
+
+/// The dispatchable relaxed-precision backends (fastmath when the host
+/// has AVX2+FMA), held to relative-error bounds instead of bitwise
+/// equality.
+fn tolerance_backends() -> Vec<&'static dyn KernelBackend> {
+    dispatchable_backends()
+        .into_iter()
+        .filter(|be| !be.bit_exact())
         .collect()
 }
 
@@ -90,11 +113,11 @@ fn registry_always_offers_scalar_and_auto_choice_is_dispatchable() {
     );
 }
 
-/// Every elementwise kernel on every dispatchable backend, bit-for-bit
+/// Every elementwise kernel on every bit-exact backend, bit-for-bit
 /// against the scalar definition, across the edge-length set.
 #[test]
 fn elementwise_kernels_conform_on_every_backend() {
-    for be in dispatchable_backends() {
+    for be in bit_exact_backends() {
         let name = be.name();
         for (sel, &len) in EDGE_LENS.iter().enumerate() {
             let seed = 0x5eed_0000 + sel as u64;
@@ -191,6 +214,20 @@ fn elementwise_kernels_conform_on_every_backend() {
             scalar::bn_affine(&a, &mut want, 0.4, 1.9, 1.1, -0.3);
             assert_bits(&ctx("bn_affine"), &got, &want);
 
+            be.exp(&a, &mut got).unwrap();
+            scalar::exp(&a, &mut want);
+            assert_bits(&ctx("exp"), &got, &want);
+
+            got.copy_from_slice(&a);
+            want.copy_from_slice(&a);
+            let gz = be.exp_sum(&mut got).unwrap();
+            let wz = scalar::exp_sum(&mut want);
+            assert_bits(&ctx("exp_sum"), &got, &want);
+            assert!(
+                gz.to_bits() == wz.to_bits(),
+                "{name}/exp_sum-sum/len={len}: {gz} vs {wz}"
+            );
+
             let gm = be.row_max(&a).unwrap();
             let wm = scalar::row_max(&a);
             assert!(
@@ -205,7 +242,7 @@ fn elementwise_kernels_conform_on_every_backend() {
 /// they get their own length set).
 #[test]
 fn pool_row_kernels_conform_on_every_backend() {
-    for be in dispatchable_backends() {
+    for be in bit_exact_backends() {
         let name = be.name();
         for out_len in [0usize, 1, 3, 4, 5, 8, 9, 16, 33] {
             let r0 = gen_vec(out_len * 2, 0xabc0 + out_len as u64);
@@ -224,12 +261,12 @@ fn pool_row_kernels_conform_on_every_backend() {
     }
 }
 
-/// f32 microkernel on every backend: fresh accumulation and chunked
-/// continuation (load-accumulate-store across split reductions) must both
-/// match the scalar chain bit for bit.
+/// f32 microkernel on every bit-exact backend: fresh accumulation and
+/// chunked continuation (load-accumulate-store across split reductions)
+/// must both match the scalar chain bit for bit.
 #[test]
 fn microkernel_conforms_including_chunked_continuation() {
-    for be in dispatchable_backends() {
+    for be in bit_exact_backends() {
         let name = be.name();
         for k in [0usize, 1, 2, 3, 7, 8, 17, 64] {
             let ap = gen_vec(k * MR, 0x11 + k as u64);
@@ -270,10 +307,10 @@ fn microkernel_conforms_including_chunked_continuation() {
 }
 
 /// Int8 tier: qmicrokernel plus the quantize / requantize / dequantize
-/// passes, exact against the scalar bodies on every backend.
+/// passes, exact against the scalar bodies on every bit-exact backend.
 #[test]
 fn quant_kernels_conform_on_every_backend() {
-    for be in dispatchable_backends() {
+    for be in bit_exact_backends() {
         let name = be.name();
         for kp2 in [0usize, 1, 2, 5, 16] {
             use rand::Rng;
@@ -323,7 +360,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Randomized cross-backend agreement on a representative kernel mix:
-    /// any dispatchable backend, any length, half-NaN inputs.
+    /// any bit-exact backend, any length, half-NaN inputs.
     #[test]
     fn prop_backends_agree_with_scalar(
         len in 0usize..200,
@@ -332,7 +369,7 @@ proptest! {
     ) {
         let a = gen_vec(len, seed);
         let b = gen_vec(len, seed ^ 0x9e37_79b9);
-        for be in dispatchable_backends() {
+        for be in bit_exact_backends() {
             let mut got = vec![0.0f32; len];
             let mut want = vec![0.0f32; len];
 
@@ -362,6 +399,239 @@ proptest! {
 
             let gm = be.row_max(&a).unwrap();
             prop_assert_eq!(gm.to_bits(), scalar::row_max(&a).to_bits(), "{}/row_max", be.name());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tolerance parity for relaxed-precision (fastmath) backends
+// ---------------------------------------------------------------------
+
+/// Tolerance analogue of [`assert_bits`] for the fast-math tier: lanes
+/// must be NaN exactly where the scalar oracle is NaN (poison may neither
+/// be dropped nor invented), infinities must match exactly, and finite
+/// lanes must satisfy `|got - want| <= atol + rtol * |want|`.
+fn assert_close(ctx: &str, got: &[f32], want: &[f32], rtol: f32, atol: f32) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if w.is_nan() {
+            assert!(g.is_nan(), "{ctx}: lane {i} dropped NaN (got {g})");
+            continue;
+        }
+        assert!(!g.is_nan(), "{ctx}: lane {i} invented NaN (want {w})");
+        if w.is_infinite() {
+            assert!(
+                g.to_bits() == w.to_bits(),
+                "{ctx}: lane {i} infinity mismatch ({g} vs {w})"
+            );
+            continue;
+        }
+        let err = (g - w).abs();
+        let bound = atol + rtol * w.abs();
+        assert!(
+            err <= bound,
+            "{ctx}: lane {i} off by {err:e} (> {bound:e}): {g} vs {w}"
+        );
+    }
+}
+
+/// Every f32 kernel on every relaxed-precision backend, within tight
+/// relative error of the scalar oracle with NaN positions preserved —
+/// the FMA-contracted epilogues (`axpy`, `bn_affine`, `dequant_i32`),
+/// the vectorized exponential, and the exact-forwarded remainder.
+///
+/// On hosts without AVX2+FMA the backend list is empty and the test
+/// passes vacuously (the fastmath tier is simply not dispatchable).
+#[test]
+fn fastmath_kernels_within_tolerance_of_scalar() {
+    const RTOL: f32 = 1e-5;
+    const ATOL: f32 = 1e-6;
+    for be in tolerance_backends() {
+        let name = be.name();
+        for (sel, &len) in EDGE_LENS.iter().enumerate() {
+            let seed = 0xfa51_0000 + sel as u64;
+            let a = gen_vec(len, seed);
+            let b = gen_vec(len, seed ^ 0xffff);
+            let mut got = vec![0.0f32; len];
+            let mut want = vec![0.0f32; len];
+
+            let ctx = |k: &str| format!("{name}/{k}/len={len}");
+
+            // FMA-contracted elementwise epilogues.
+            got.copy_from_slice(&b);
+            want.copy_from_slice(&b);
+            be.axpy(&mut got, &a, 0.37).unwrap();
+            scalar::axpy(&mut want, &a, 0.37);
+            assert_close(&ctx("axpy"), &got, &want, RTOL, ATOL);
+
+            be.bn_affine(&a, &mut got, 0.4, 1.9, 1.1, -0.3).unwrap();
+            scalar::bn_affine(&a, &mut want, 0.4, 1.9, 1.1, -0.3);
+            assert_close(&ctx("bn_affine"), &got, &want, RTOL, ATOL);
+
+            let acc: Vec<i32> = (0..len as i32).map(|i| i * 1717 - 20_000).collect();
+            be.dequant_i32(&acc, 0.031, -0.7, &mut got).unwrap();
+            scalar::dequant_i32(&acc, 0.031, -0.7, &mut want);
+            assert_close(&ctx("dequant_i32"), &got, &want, RTOL, ATOL);
+
+            // The vectorized exponential and the fused softmax core.
+            be.exp(&a, &mut got).unwrap();
+            scalar::exp(&a, &mut want);
+            assert_close(&ctx("exp"), &got, &want, RTOL, ATOL);
+
+            if !a.iter().any(|v| v.is_nan()) {
+                got.copy_from_slice(&a);
+                want.copy_from_slice(&a);
+                let gz = be.exp_sum(&mut got).unwrap();
+                let wz = scalar::exp_sum(&mut want);
+                assert_close(&ctx("exp_sum"), &got, &want, RTOL, ATOL);
+                let zbound = ATOL + 1e-4 * wz.abs();
+                assert!(
+                    (gz - wz).abs() <= zbound,
+                    "{name}/exp_sum-sum/len={len}: {gz} vs {wz}"
+                );
+            }
+
+            // Exact-forwarded kernels still satisfy the (weaker)
+            // tolerance contract this tier advertises.
+            be.add(&a, &b, &mut got).unwrap();
+            scalar::add(&a, &b, &mut want);
+            assert_close(&ctx("add"), &got, &want, RTOL, ATOL);
+
+            be.relu(&a, &mut got).unwrap();
+            scalar::relu(&a, &mut want);
+            assert_close(&ctx("relu"), &got, &want, RTOL, ATOL);
+
+            be.leaky_relu(&a, 0.01, &mut got).unwrap();
+            scalar::leaky_relu(&a, 0.01, &mut want);
+            assert_close(&ctx("leaky_relu"), &got, &want, RTOL, ATOL);
+        }
+    }
+}
+
+/// The fast-math f32 microkernel: within accumulation-scaled tolerance of
+/// the scalar chain on fresh accumulation, and — critically — chunked
+/// continuation must be bit-identical to one-shot *on the same backend*
+/// (the kc-blocked GEMM driver depends on this even on the relaxed tier;
+/// it is what keeps fastmath results independent of the blocking).
+#[test]
+fn fastmath_microkernel_tolerance_and_exact_chunking() {
+    for be in tolerance_backends() {
+        let name = be.name();
+        for k in [0usize, 1, 2, 3, 7, 8, 17, 64] {
+            let ap = gen_vec(k * MR, 0x31 + k as u64);
+            let bp = gen_vec(k * NR, 0x42 + k as u64);
+
+            let mut got = [[0.1f32; NR]; MR];
+            let mut want = [[0.1f32; NR]; MR];
+            be.microkernel(k, &ap, &bp, &mut got).unwrap();
+            scalar::microkernel(k, &ap, &bp, &mut want);
+            // FMA contraction shifts rounding per term; scale the absolute
+            // slack with the reduction depth (|terms| <= 16 each).
+            let atol = 1e-6 + k as f32 * 16.0 * 1e-6;
+            for i in 0..MR {
+                assert_close(
+                    &format!("{name}/microkernel/k={k}/row={i}"),
+                    &got[i],
+                    &want[i],
+                    1e-4,
+                    atol,
+                );
+            }
+
+            for split in 0..=k {
+                let mut acc = [[0.1f32; NR]; MR];
+                be.microkernel(split, &ap[..split * MR], &bp[..split * NR], &mut acc)
+                    .unwrap();
+                be.microkernel(k - split, &ap[split * MR..], &bp[split * NR..], &mut acc)
+                    .unwrap();
+                for i in 0..MR {
+                    assert_bits(
+                        &format!("{name}/microkernel-chunked/k={k}/split={split}/row={i}"),
+                        &acc[i],
+                        &got[i],
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fast-math relaxes only f32 arithmetic: the integer (int8) kernels are
+/// exact forwarders and must stay bit-identical to scalar — the quantized
+/// inference tier keeps its determinism guarantees on every backend.
+#[test]
+fn fastmath_integer_kernels_stay_exact() {
+    for be in tolerance_backends() {
+        let name = be.name();
+        for kp2 in [0usize, 1, 2, 5, 16] {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(kp2 as u64 + 7);
+            let ap: Vec<i16> = (0..kp2 * MR * 2)
+                .map(|_| rng.gen_range(-127i16..128))
+                .collect();
+            let bp: Vec<i16> = (0..kp2 * NR * 2)
+                .map(|_| rng.gen_range(-127i16..128))
+                .collect();
+            let mut got = [[3i32; NR]; MR];
+            let mut want = [[3i32; NR]; MR];
+            be.qmicrokernel(kp2, &ap, &bp, &mut got).unwrap();
+            scalar::qmicrokernel(kp2, &ap, &bp, &mut want);
+            assert_eq!(got, want, "{name}/qmicrokernel/kp2={kp2}");
+        }
+        for &len in EDGE_LENS {
+            let mut rng = StdRng::seed_from_u64(len as u64 + 99);
+            let src: Vec<f32> = Tensor::rand_uniform(&[len.max(1)], -30.0, 30.0, &mut rng)
+                .as_slice()[..len]
+                .to_vec();
+            let mut got8 = vec![0i8; len];
+            let mut want8 = vec![0i8; len];
+            be.quantize_q8(&src, 4.2, 3, &mut got8).unwrap();
+            scalar::quantize_q8(&src, 4.2, 3, &mut want8);
+            assert_eq!(got8, want8, "{name}/quantize_q8/len={len}");
+
+            let acc: Vec<i32> = (0..len as i32).map(|i| i * 1717 - 20_000).collect();
+            for relu in [false, true] {
+                be.requant_i32(&acc, 0.004, 1.5, -2, relu, &mut got8)
+                    .unwrap();
+                scalar::requant_i32(&acc, 0.004, 1.5, -2, relu, &mut want8);
+                assert_eq!(got8, want8, "{name}/requant_i32/len={len}/relu={relu}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomized NaN-poisoned tolerance parity for the fast-math tier:
+    /// any length, any seed, any scale — FMA-contracted kernels and the
+    /// vectorized exponential stay within bounds and never lose poison.
+    #[test]
+    fn prop_fastmath_within_tolerance(
+        len in 0usize..200,
+        seed in 0u64..u64::MAX,
+        s in -4.0f32..4.0,
+    ) {
+        let a = gen_vec(len, seed);
+        let b = gen_vec(len, seed ^ 0x9e37_79b9);
+        for be in tolerance_backends() {
+            let name = be.name();
+            let mut got = vec![0.0f32; len];
+            let mut want = vec![0.0f32; len];
+
+            got.copy_from_slice(&b);
+            want.copy_from_slice(&b);
+            be.axpy(&mut got, &a, s).unwrap();
+            scalar::axpy(&mut want, &a, s);
+            assert_close(&format!("{name}/axpy"), &got, &want, 1e-5, 1e-6);
+
+            be.bn_affine(&a, &mut got, s, 1.9, 1.1, -0.3).unwrap();
+            scalar::bn_affine(&a, &mut want, s, 1.9, 1.1, -0.3);
+            assert_close(&format!("{name}/bn_affine"), &got, &want, 1e-5, 1e-6);
+
+            be.exp(&a, &mut got).unwrap();
+            scalar::exp(&a, &mut want);
+            assert_close(&format!("{name}/exp"), &got, &want, 1e-5, 1e-6);
         }
     }
 }
@@ -509,6 +779,19 @@ const EXOTIC: autotune::GemmBlocking = autotune::GemmBlocking {
     nc: 1536,
 };
 
+/// Full v2 profile built around [`EXOTIC`]: the conv blocking and qgemm
+/// chunk granularity are likewise off-grid / non-default so each family's
+/// plant is independently observable.
+const EXOTIC_PROFILE: autotune::TunedProfile = autotune::TunedProfile {
+    gemm: EXOTIC,
+    conv: autotune::GemmBlocking {
+        mc: 40,
+        kc: 96,
+        nc: 768,
+    },
+    qgemm_mc_tiles: 2,
+};
+
 #[test]
 fn autotune_off_means_static() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -525,9 +808,10 @@ fn autotune_off_means_static() {
     autotune::refresh_blocking();
 }
 
-/// A planted profile is honored verbatim — and running the real GEMM
-/// under its exotic blocking changes not one output bit vs the static
-/// path (the load-accumulate-store continuation argument, end to end).
+/// A planted profile is honored verbatim across all three tuned families
+/// — and running the real GEMM / conv / int8 qgemm under its exotic
+/// schedules changes not one output bit vs the static path (the
+/// load-accumulate-store continuation argument, end to end).
 #[test]
 fn planted_profile_is_honored_and_blocking_is_bit_invariant() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -543,12 +827,51 @@ fn planted_profile_is_honored_and_blocking_is_bit_invariant() {
     let b = Tensor::rand_uniform(&[259, 1603], -2.0, 2.0, &mut rng);
     let want = matmul(&a, &b).unwrap();
 
-    autotune::write_profile(&path, EXOTIC, backend::active().name()).expect("plant profile");
+    // Conv workload straddling the exotic conv blocking's kc=96 (c*kh*kw =
+    // 14*3*3 = 126 > 96) and its nc=768 (n*oh*ow = 2*25*25 = 1250 > 768).
+    let x = Tensor::rand_uniform(&[2, 14, 25, 25], -2.0, 2.0, &mut rng);
+    let w = Tensor::rand_uniform(&[9, 14, 3, 3], -1.0, 1.0, &mut rng);
+    let conv_want = conv2d(&x, &w, None, 1, 1).unwrap();
+
+    // Int8 qgemm workload spanning several MR-row tiles so the planted
+    // chunk granularity (2 tiles vs the static 4) actually re-partitions.
+    use rand::Rng;
+    let (qm, qk, qn) = (37usize, 29usize, 41usize);
+    let qw: Vec<i8> = (0..qm * qk).map(|_| rng.gen_range(-127i8..127)).collect();
+    let scales = vec![0.37f32; qm];
+    let packed = PackedQMat::pack(&qw, qm, qk, &scales);
+    let rhs: Vec<i8> = (0..qk * qn).map(|_| rng.gen_range(-127i8..127)).collect();
+    let qop = QOperand::Strided {
+        data: &rhs,
+        rs: qn,
+        cs: 1,
+        zp: 3,
+    };
+    let mut qwant = vec![0i32; packed.tiles() * MR * qn];
+    qgemm(&packed, &qop, qn, &mut qwant);
+
+    autotune::write_profile(
+        &path,
+        &EXOTIC_PROFILE,
+        backend::active().name(),
+        backend::cpu_features(),
+    )
+    .expect("plant profile");
     with_autotune(&path, || {
         assert_eq!(
             autotune::blocking(),
             EXOTIC,
             "a valid planted profile must be honored verbatim"
+        );
+        assert_eq!(
+            autotune::conv_blocking(),
+            EXOTIC_PROFILE.conv,
+            "the conv family must be honored independently"
+        );
+        assert_eq!(
+            autotune::qgemm_mc_tiles(),
+            EXOTIC_PROFILE.qgemm_mc_tiles,
+            "the qgemm chunk granularity must be honored"
         );
         let got = matmul(&a, &b).unwrap();
         assert_bits(
@@ -556,6 +879,15 @@ fn planted_profile_is_honored_and_blocking_is_bit_invariant() {
             got.as_slice(),
             want.as_slice(),
         );
+        let conv_got = conv2d(&x, &w, None, 1, 1).unwrap();
+        assert_bits(
+            "autotuned-vs-static conv2d",
+            conv_got.as_slice(),
+            conv_want.as_slice(),
+        );
+        let mut qgot = vec![0i32; packed.tiles() * MR * qn];
+        qgemm(&packed, &qop, qn, &mut qgot);
+        assert_eq!(qgot, qwant, "autotuned-vs-static qgemm (exact i32)");
     });
     let _ = std::fs::remove_file(&path);
 }
@@ -571,13 +903,14 @@ fn corrupt_profile_is_discarded_and_retuned() {
         std::process::id()
     ));
     let be_name = backend::active().name();
-    autotune::write_profile(&path, EXOTIC, be_name).expect("plant profile");
+    let features = backend::cpu_features();
+    autotune::write_profile(&path, &EXOTIC_PROFILE, be_name, features).expect("plant profile");
     // Flip one payload bit: the footer still parses, the CRC must not.
     let mut bytes = std::fs::read(&path).expect("read profile");
     bytes[13] ^= 0x40;
     std::fs::write(&path, &bytes).expect("corrupt profile");
     assert_eq!(
-        autotune::read_profile(&path, be_name),
+        autotune::read_profile(&path, be_name, features),
         None,
         "CRC mismatch must invalidate"
     );
@@ -587,12 +920,14 @@ fn corrupt_profile_is_discarded_and_retuned() {
         assert_ne!(blk, EXOTIC, "a corrupt profile must never be trusted");
         // The winner is static or a grid candidate — all with mc >= 1.
         assert!(blk.mc >= 1 && blk.kc >= 1 && blk.nc >= 1);
-        // And the tuner rewrote a *valid* profile for this machine.
-        assert_eq!(
-            autotune::read_profile(&path, backend::active().name()),
-            Some(blk),
-            "re-tuning must persist a fresh valid profile"
-        );
+        // And the tuner rewrote a *valid* profile for this machine, keyed
+        // to the live backend + CPU feature set, covering every family.
+        let fresh = autotune::read_profile(&path, backend::active().name(), features)
+            .expect("re-tuning must persist a fresh valid profile");
+        assert_eq!(fresh.gemm, blk);
+        assert_eq!(fresh.conv, autotune::conv_blocking());
+        assert_eq!(fresh.qgemm_mc_tiles, autotune::qgemm_mc_tiles());
+        assert!(fresh.qgemm_mc_tiles >= 1);
     });
     let _ = std::fs::remove_file(&path);
 }
