@@ -39,6 +39,8 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod engine;
+
 pub mod rules {
     //! Stable rule identifiers, used in diagnostics and tests.
 
@@ -59,7 +61,32 @@ pub mod rules {
     pub const LINT_HEADER: &str = "lint-header";
     /// ISA intrinsics or CPU-feature detection outside the backend layer.
     pub const ISA_CONFINEMENT: &str = "isa-confinement";
+    /// Iterator float reduction (`.sum::<f32>()`, float-seeded `.fold`)
+    /// outside the sanctioned reduction modules (AST engine only).
+    pub const FLOAT_REDUCTION_ORDER: &str = "float-reduction-order";
+    /// `unwrap`/`expect`/panic-macro/slice-index in the serve steady-state
+    /// path or a `_into` kernel body (AST engine only).
+    pub const PANIC_FREEDOM: &str = "panic-freedom";
+    /// `std::env` access outside `runtime_env` and the sanctioned writers
+    /// (AST engine only).
+    pub const ENV_READ_CONFINEMENT: &str = "env-read-confinement";
+    /// A file the AST engine could not lex/parse — nothing was audited,
+    /// which is itself a violation (AST engine only).
+    pub const PARSE_ERROR: &str = "parse-error";
 }
+
+/// The rules implemented by **both** engines; `--diff-engines` compares
+/// exactly these (the AST-only rules have no lexical counterpart).
+pub const SHARED_RULES: &[&str] = &[
+    rules::UNSAFE_COMMENT,
+    rules::UNSAFE_ALLOWLIST,
+    rules::THREAD_SPAWN,
+    rules::JOINED_SPAWN,
+    rules::HOT_PATH_ALLOC,
+    rules::NONDETERMINISM,
+    rules::LINT_HEADER,
+    rules::ISA_CONFINEMENT,
+];
 
 /// Files allowed to contain `unsafe` (workspace-relative paths), with the
 /// reason they are trusted. Everything else must be safe Rust — the safe
@@ -101,6 +128,10 @@ pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
         "crates/tensor/src/backend/fastmath.rs",
         "FMA kernel bodies + vectorized exp (bounds argued per load/store, Miri-exempt via cfg)",
     ),
+    (
+        "shims/loom/src/lib.rs",
+        "model-checking shim: one pointer round-trip in Condvar::wait (guard lifetime argued)",
+    ),
 ];
 
 /// Files allowed to spawn threads directly. All other library code must
@@ -118,6 +149,10 @@ pub const SPAWN_ALLOWLIST: &[(&str, &str)] = &[
     (
         "crates/serve/src/supervisor.rs",
         "supervised serving shards: long-lived named threads, every handle joined on shutdown",
+    ),
+    (
+        "shims/loom/src/lib.rs",
+        "the model checker spawns the threads it schedules; every handle is joined at model exit",
     ),
 ];
 
@@ -309,7 +344,14 @@ pub fn strip_source(src: &str) -> Vec<Line> {
             }
             St::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped char (never a bare newline ender)
+                    // The escaped char may itself be a literal newline (a
+                    // string line-continuation); it still ends a source
+                    // line, so the line channel must advance or every
+                    // diagnostic after it drifts up by one.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push(Line::default());
+                    }
+                    i += 2;
                 } else if c == '"' {
                     cur.code.push('"');
                     st = St::Code;
@@ -335,6 +377,9 @@ pub fn strip_source(src: &str) -> Vec<Line> {
             }
             St::Char => {
                 if c == '\\' {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push(Line::default());
+                    }
                     i += 2;
                 } else if c == '\'' {
                     cur.code.push('\'');
@@ -392,12 +437,12 @@ pub fn audit_file(rel: &str, src: &str) -> Vec<Diagnostic> {
 /// True when `rel` is library code (compiled into a crate), as opposed to
 /// tests, benches or examples — the spawn rule only binds library code
 /// (tests may spawn threads *to test* the pool).
-fn is_library_code(rel: &str) -> bool {
+pub(crate) fn is_library_code(rel: &str) -> bool {
     let in_src = rel.starts_with("src/") || rel.contains("/src/");
     in_src && !rel.contains("/bin/")
 }
 
-fn allowlisted(list: &[(&str, &str)], rel: &str) -> bool {
+pub(crate) fn allowlisted(list: &[(&str, &str)], rel: &str) -> bool {
     list.iter().any(|(p, _)| *p == rel)
 }
 
@@ -456,7 +501,15 @@ fn unsafe_kind(lines: &[Line], idx: usize, at: usize) -> &'static str {
 /// Accepts a `SAFETY:` comment on the same line (trailing) or on the
 /// contiguous run of comment-only / attribute-only lines directly above.
 fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
-    if lines[idx].comment.contains("SAFETY:") {
+    has_marker_comment(lines, idx, "SAFETY:")
+}
+
+/// Shared adjacency rule for escape-hatch comments (`SAFETY:`,
+/// `PANIC-OK:`): the marker counts when it appears trailing on the flagged
+/// line or on the contiguous run of comment-only / attribute-only lines
+/// directly above it.
+pub(crate) fn has_marker_comment(lines: &[Line], idx: usize, marker: &str) -> bool {
+    if lines[idx].comment.contains(marker) {
         return true;
     }
     let mut i = idx;
@@ -464,7 +517,7 @@ fn has_safety_comment(lines: &[Line], idx: usize) -> bool {
         i -= 1;
         let l = &lines[i];
         if l.is_comment_only() {
-            if l.comment.contains("SAFETY:") {
+            if l.comment.contains(marker) {
                 return true;
             }
         } else if !l.is_attr_only() {
@@ -1103,6 +1156,69 @@ mod tests {
                    let s = \"std::arch\";\n\
                    let my_target_features = 3;\n";
         assert!(audit_file("crates/nn/src/layer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // `\` at end of line inside a string literal is a line
+        // continuation: the literal spans two source lines and the line
+        // channel must account for both, or every diagnostic below the
+        // string drifts up by one.
+        let src = "let s = \"head \\\n  tail\";\nlet t = 'x';\nunsafe { q() };\n";
+        let lines = strip_source(src);
+        assert_eq!(lines.len(), strip_source("a\nb\nc\nd\n").len());
+        let d = audit_file("crates/nn/src/layer.rs", src);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == rules::UNSAFE_ALLOWLIST && d.line == 4),
+            "unsafe must be reported on line 4, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_newline_in_char_position_keeps_line_numbers() {
+        // Not valid Rust, but the scanner must stay line-accurate even on
+        // torn input rather than silently drifting.
+        let src = "let c = '\\\n';\nunsafe { q() };\n";
+        let d = audit_file("crates/nn/src/layer.rs", src);
+        assert!(d.iter().any(|d| d.line == 3), "{d:?}");
+    }
+
+    #[test]
+    fn braces_in_char_literals_do_not_unbalance_kernel_bodies() {
+        // A `'{'` char literal (or `'\u{7F}'` escape) inside an `_into`
+        // body must not shift the body's closing brace: the allocation on
+        // the line after the literal is still inside the kernel.
+        let src = "fn pack_into(out: &mut [u8]) {\n\
+                       let open = '{';\n\
+                       let esc = '\\u{7F}';\n\
+                       let v = Vec::new();\n\
+                   }\n";
+        let d = audit_file("crates/tensor/src/tensor.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, rules::HOT_PATH_ALLOC);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn braces_in_raw_strings_do_not_unbalance_kernel_bodies() {
+        let src = "fn pack_into(out: &mut [u8]) {\n\
+                       let tpl = r#\"{ \"k\": } } }\"#;\n\
+                       let v = Vec::new();\n\
+                   }\n\
+                   fn after() { let w = Vec::new(); }\n";
+        let d = audit_file("crates/tensor/src/tensor.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn matching_brace_spans_char_and_raw_string_braces() {
+        let stripped = strip_source("{ let a = '{'; let b = r\"}}}\"; done() }");
+        let code = &stripped[0].code;
+        let open = code.find('{').expect("open brace");
+        let close = matching_brace(code, open).expect("must match");
+        assert_eq!(close, code.rfind('}').expect("close brace"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use leca_audit::engine::{audit_workspace_ast, diff_engines};
 use leca_audit::{audit_workspace, rules};
 
 fn fixture_root() -> PathBuf {
@@ -103,6 +104,61 @@ fn binary_fails_on_seeded_violations_with_file_line_diagnostics() {
         );
     }
 
+    // AST-only semantic rules, each at its exact line: iterator float
+    // reductions (turbofish sum and float-seeded fold) in the policed
+    // nn tree…
+    for line in [4, 8] {
+        assert!(
+            stdout.contains(&format!(
+                "crates/nn/src/bad_float.rs:{line}: [{}]",
+                rules::FLOAT_REDUCTION_ORDER
+            )),
+            "missing float-reduction diagnostic for line {line} in:\n{stdout}"
+        );
+    }
+
+    // …raw env reads and writes from library code…
+    for line in [4, 8] {
+        assert!(
+            stdout.contains(&format!(
+                "crates/nn/src/bad_env.rs:{line}: [{}]",
+                rules::ENV_READ_CONFINEMENT
+            )),
+            "missing env-confinement diagnostic for line {line} in:\n{stdout}"
+        );
+    }
+
+    // …and panic exits on the serve steady-state path: unchecked index,
+    // `.unwrap()` and `panic!` each get their line, while the PANIC-OK
+    // annotated index (line 17) and the `#[cfg(test)]` module stay clean.
+    for line in [4, 8, 12] {
+        assert!(
+            stdout.contains(&format!(
+                "crates/serve/src/worker.rs:{line}: [{}]",
+                rules::PANIC_FREEDOM
+            )),
+            "missing panic-freedom diagnostic for line {line} in:\n{stdout}"
+        );
+    }
+    for line in [17, 25] {
+        assert!(
+            !stdout.contains(&format!("crates/serve/src/worker.rs:{line}")),
+            "sanctioned panic-freedom control on line {line} must stay clean:\n{stdout}"
+        );
+    }
+
+    // Sanctioned controls for the semantic rules: the reduction module
+    // owns its accumulation order, and the env parsing layer reads the
+    // environment by design.
+    assert!(
+        !stdout.contains("ops/reduce.rs"),
+        "sanctioned reduction fixture must stay clean:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("runtime_env.rs"),
+        "sanctioned env-layer fixture must stay clean:\n{stdout}"
+    );
+
     // The clean control crate contributes nothing.
     assert!(
         !stdout.contains("clean/src/good.rs"),
@@ -131,6 +187,46 @@ fn binary_succeeds_on_real_workspace() {
         out.status.success(),
         "workspace must audit clean\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
+}
+
+#[test]
+fn workspace_is_clean_via_ast_engine() {
+    let (diags, stats) = audit_workspace_ast(&real_root()).expect("workspace is readable");
+    assert!(
+        diags.is_empty(),
+        "AST engine violations:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The prefilter must discard some files but the parser must still
+    // cover the bulk of the tree (every scoped file parses).
+    assert!(stats.parsed > 40, "only parsed {} files", stats.parsed);
+    assert!(
+        stats.skipped > 0,
+        "the lexical prefilter should skip needle-free files"
+    );
+    assert_eq!(stats.files, stats.parsed + stats.skipped);
+}
+
+#[test]
+fn engines_agree_on_shared_rules_over_both_trees() {
+    // The fixture tree seeds shared-rule violations; the real workspace
+    // is clean. Either way, the two engines must produce the identical
+    // (file, line, rule) set for every rule they both implement.
+    for root in [fixture_root(), real_root()] {
+        let (lexical, _) = audit_workspace(&root).expect("tree is readable");
+        let (ast, _) = audit_workspace_ast(&root).expect("tree is readable");
+        let drift = diff_engines(&lexical, &ast);
+        assert!(
+            drift.is_empty(),
+            "engine drift under {}:\n{}",
+            root.display(),
+            drift.join("\n")
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,9 @@
+//! Fixture: raw process-environment access from library code.
+
+pub fn knob() -> Option<String> {
+    std::env::var("LECA_FIXTURE_KNOB").ok()
+}
+
+pub fn pin(v: &str) {
+    std::env::set_var("LECA_FIXTURE_KNOB", v);
+}

@@ -1,0 +1,9 @@
+//! Fixture: iterator float reductions inside the policed nn tree.
+
+pub fn dot(xs: &[f32], ys: &[f32]) -> f32 {
+    xs.iter().zip(ys).map(|(a, b)| a * b).sum::<f32>()
+}
+
+pub fn running_max(xs: &[f32]) -> f32 {
+    xs.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+}

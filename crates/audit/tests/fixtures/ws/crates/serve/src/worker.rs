@@ -1,0 +1,27 @@
+//! Fixture: panic exits and unchecked indexing on the steady-state path.
+
+pub fn pick(xs: &[usize], i: usize) -> usize {
+    xs[i]
+}
+
+pub fn first(xs: &[usize]) -> usize {
+    xs.first().copied().unwrap()
+}
+
+pub fn boom() {
+    panic!("steady state must not die");
+}
+
+pub fn bounded(xs: &[usize], i: usize) -> usize {
+    let i = i % xs.len().max(1);
+    xs[i] // PANIC-OK: `i` is reduced modulo the (non-empty) length above.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_index_and_unwrap() {
+        let xs = [1usize, 2];
+        assert_eq!(xs[1], *xs.last().unwrap());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture control: the sanctioned reduction module owns its
+//! accumulation order, so spelled-out float reductions are at home here.
+
+pub fn sum_slice_f32(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}
+
+pub fn max_abs_f32(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}

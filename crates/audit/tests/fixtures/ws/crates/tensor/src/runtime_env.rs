@@ -1,0 +1,6 @@
+//! Fixture control: the sanctioned env parsing layer reads the
+//! environment directly — that is its whole job.
+
+pub fn raw(key: &'static str) -> Option<String> {
+    std::env::var(key).map(|v| v.trim().to_string()).ok()
+}

@@ -39,21 +39,16 @@ pub type Result<T> = std::result::Result<T, LecaError>;
 
 /// True when `LECA_FAST=1` smoke-test mode is active.
 pub fn fast_mode() -> bool {
-    std::env::var("LECA_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
+    leca_tensor::runtime_env::flag("LECA_FAST").unwrap_or(false)
 }
 
 /// LeCA training epochs (default 4; `LECA_EPOCHS` overrides; 1 in fast
-/// mode).
+/// mode). A zero or unparsable override degrades to the default.
 pub fn leca_epochs() -> usize {
     if fast_mode() {
         return 1;
     }
-    std::env::var("LECA_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
+    leca_tensor::runtime_env::positive_u64("LECA_EPOCHS").map_or(4, |n| n as usize)
 }
 
 /// The proxy dataset (stands in for TinyImageNet; see DESIGN.md).

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 
 /// The checkpoint directory (created on demand).
 pub fn cache_dir() -> PathBuf {
-    std::env::var("LECA_CACHE_DIR")
+    leca_tensor::runtime_env::raw("LECA_CACHE_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from(".leca-cache"))
 }

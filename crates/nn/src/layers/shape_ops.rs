@@ -1,4 +1,5 @@
 use crate::{Layer, Mode, NnError, Result};
+use leca_tensor::ops::reduce;
 use leca_tensor::{PooledTensor, Tensor, Workspace};
 
 /// Flattens `(N, C, H, W)` (or any rank ≥ 2) to `(N, rest)`.
@@ -89,7 +90,7 @@ impl Layer for GlobalAvgPool {
         for ni in 0..n {
             for ci in 0..c {
                 let plane = &x.as_slice()[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
-                out.as_mut_slice()[ni * c + ci] = plane.iter().sum::<f32>() * inv;
+                out.as_mut_slice()[ni * c + ci] = reduce::sum_slice_f32(plane) * inv;
             }
         }
         Ok(out)
@@ -132,7 +133,7 @@ impl Layer for GlobalAvgPool {
         for ni in 0..n {
             for ci in 0..c {
                 let plane = &x.as_slice()[(ni * c + ci) * hw..(ni * c + ci + 1) * hw];
-                out.as_mut_slice()[ni * c + ci] = plane.iter().sum::<f32>() * inv;
+                out.as_mut_slice()[ni * c + ci] = reduce::sum_slice_f32(plane) * inv;
             }
         }
         Ok(out)

@@ -84,6 +84,11 @@ mod config;
 mod error;
 mod metrics;
 mod queue;
+/// Public under `--cfg loom` only, so the model suite can drive the
+/// slot/ticket protocol directly; sealed in normal builds.
+#[cfg(loom)]
+pub mod reply;
+#[cfg(not(loom))]
 mod reply;
 mod service;
 mod supervisor;

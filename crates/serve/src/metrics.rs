@@ -33,6 +33,7 @@ impl LatencyHisto {
     /// Records one sample.
     pub fn record(&self, us: u64) {
         let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        // PANIC-OK: `idx` is clamped to `BUCKETS - 1` on the line above.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);

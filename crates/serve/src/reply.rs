@@ -12,8 +12,19 @@
 //! `tests/serve_alloc.rs` pins this down end to end).
 
 use crate::error::Reply;
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+// Under `--cfg loom` the one-shot protocol runs on the loom shim's
+// primitives so `tests/loom_reply.rs` can explore every set/wait/recycle
+// interleaving. Normal builds compile against std directly.
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(loom)]
+use loom::thread::yield_now;
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::thread::yield_now;
 
 /// A one-shot reply cell. First [`ReplySlot::set`] wins.
 #[derive(Debug, Default)]
@@ -133,6 +144,13 @@ impl Ticket {
         Ticket { slot, pool, id }
     }
 
+    /// Public constructor for the loom model suite (`tests/loom_reply.rs`
+    /// drives the slot/ticket protocol without a running service).
+    #[cfg(loom)]
+    pub fn for_model(slot: Arc<ReplySlot>, pool: Arc<SlotPool>, id: u64) -> Self {
+        Ticket::new(slot, pool, id)
+    }
+
     /// Blocks until the reply arrives, recycling the slot.
     ///
     /// The service guarantees a typed reply for every admitted request —
@@ -163,11 +181,14 @@ impl Ticket {
     /// exclusivity on the warm path; if the race is lost the slot is
     /// dropped and a later `get` allocates a replacement.
     fn finish(self) {
-        for _ in 0..64 {
+        // Loom explores every interleaving, so a handful of yields covers
+        // the protocol; the larger bound is a real-scheduler grace period.
+        const SPINS: usize = if cfg!(loom) { 4 } else { 64 };
+        for _ in 0..SPINS {
             if Arc::strong_count(&self.slot) == 1 {
                 break;
             }
-            std::thread::yield_now();
+            yield_now();
         }
         let Ticket { slot, pool, .. } = self;
         pool.recycle(slot);

@@ -165,6 +165,8 @@ impl Service {
             enqueued_at: now,
             deadline: now + Duration::from_micros(deadline_us),
         };
+        // PANIC-OK: `shard` is `tenant % cfg.shards` and one queue exists
+        // per shard (config validates `shards >= 1`).
         match self.queues[shard].try_push(req) {
             Ok(()) => {
                 self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
@@ -244,6 +246,7 @@ fn validate_payload(payload: &Tensor) -> Result<(), String> {
     if shape.is_empty() || payload.as_slice().is_empty() {
         return Err("empty payload".to_string());
     }
+    // PANIC-OK: the emptiness check above guarantees rank >= 1.
     if shape[0] != 1 {
         return Err(format!(
             "payload must be a single sample with leading batch dim 1, got {shape:?}"

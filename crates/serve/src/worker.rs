@@ -94,9 +94,9 @@ impl WorkerState {
         // `warm_shape` is the payload shape clients submit (`[1, ...]`);
         // the per-sample part is everything after the batch dim.
         let sample = if shape.len() > 1 {
-            &shape[1..]
+            &shape[1..] // PANIC-OK: guarded by `shape.len() > 1`.
         } else {
-            &shape[..]
+            &shape[..] // PANIC-OK: a full-range slice is always in bounds.
         };
         for b in 1..=cfg.max_batch {
             let input = cached_batch(&mut self.batch_cache, b, sample);
@@ -104,6 +104,8 @@ impl WorkerState {
             // Warm-up classifications also double as a health check: a
             // broken rebuild panics here, inside the supervisor's catch.
             if let Err(e) = self.session.classify_batch(input, &mut self.preds) {
+                // PANIC-OK: warm-up is the pre-traffic health check; the
+                // supervisor catches this unwind and rebuilds the worker.
                 panic!("session warm-up failed at batch size {b}: {e}");
             }
             // When the session carries a quantized engine, pre-grow its
@@ -113,6 +115,8 @@ impl WorkerState {
                     self.session
                         .classify_batch_with(input, &mut self.preds, Precision::Int8)
                 {
+                    // PANIC-OK: same pre-traffic health-check contract as
+                    // the f32 warm-up panic above.
                     panic!("int8 warm-up failed at batch size {b}: {e}");
                 }
             }
@@ -124,6 +128,7 @@ impl WorkerState {
 fn cached_batch<'c>(cache: &'c mut Vec<Tensor>, n: usize, sample: &[usize]) -> &'c mut Tensor {
     let pos = cache
         .iter()
+        // PANIC-OK: `first() == Some(..)` proves rank >= 1 before `[1..]`.
         .position(|t| t.shape().first() == Some(&n) && &t.shape()[1..] == sample);
     let idx = match pos {
         Some(i) => i,
@@ -135,6 +140,7 @@ fn cached_batch<'c>(cache: &'c mut Vec<Tensor>, n: usize, sample: &[usize]) -> &
             cache.len() - 1
         }
     };
+    // PANIC-OK: `idx` is a found position or `len - 1` right after a push.
     &mut cache[idx]
 }
 
@@ -245,13 +251,19 @@ pub(crate) fn worker_loop(w: &Worker, st: &mut WorkerState) {
 
         let n = batch.len();
         // Batches never mix tenants, so one precision covers the batch.
+        // PANIC-OK: execution only runs on non-empty batches (the drain
+        // loop skips empty ones), so `batch[0]` exists.
         let precision = w.cfg.precision_for(batch[0].tenant);
+        // PANIC-OK: ingress validation rejects rank-0 payloads, so `[1..]`
+        // is in bounds for every admitted request.
         let sample = &batch[0].payload.shape()[1..];
         let sample_len: usize = sample.iter().product();
         let input = cached_batch(batch_cache, n, sample);
         {
             let rows = input.as_mut_slice();
             for (i, req) in batch.iter().enumerate() {
+                // PANIC-OK: `input` is `[n, sample..]` with `n = len()`, so
+                // row `i < n` spans exactly `sample_len` in-bounds elements.
                 rows[i * sample_len..(i + 1) * sample_len].copy_from_slice(req.payload.as_slice());
             }
         }
@@ -271,6 +283,8 @@ pub(crate) fn worker_loop(w: &Worker, st: &mut WorkerState) {
 
         if w.chaos.worker_panics(w.shard, seq) {
             // Unwinds through `pending`, which answers the whole batch.
+            // PANIC-OK: deliberate fault injection exercising exactly that
+            // unwind path; only fires under a chaos-enabled config.
             panic!(
                 "chaos: injected panic on worker {} (batch seq {seq})",
                 w.shard

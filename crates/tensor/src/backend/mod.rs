@@ -93,6 +93,13 @@ pub mod wgpu;
 
 use crate::runtime_env;
 use std::fmt;
+
+// Under `--cfg loom` the registry cache uses the loom shim's atomics so
+// the model-checking suite (`crates/tensor/tests/loom_backend.rs`) can
+// explore every interleaving of concurrent first-touch initialization.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Microkernel tile height (output rows held in registers).
@@ -448,6 +455,14 @@ pub fn active() -> &'static dyn KernelBackend {
     }
 }
 
+/// Re-arms the not-yet-selected state (loom models only). Loom statics
+/// keep their value across model iterations, so each iteration must reset
+/// the cache explicitly before spawning its racing initializers.
+#[cfg(loom)]
+pub fn reset_backend_cache() {
+    ACTIVE.store(usize::MAX, Ordering::Relaxed);
+}
+
 /// Re-reads `LECA_BACKEND` (and the `LECA_SIMD` alias), replaces the
 /// cached selection and returns the new backend — the test hook for the
 /// once-per-process caching of [`active`] (the parity and determinism
@@ -497,13 +512,7 @@ fn default_index() -> usize {
 }
 
 fn select_index() -> usize {
-    let backend = runtime_env::raw("LECA_BACKEND").ok();
-    if backend.is_none() && runtime_env::raw("LECA_SIMD").is_ok() {
-        runtime_env::warn_deprecated_alias("LECA_SIMD", "LECA_BACKEND");
-    }
-    let request = backend
-        .ok_or(())
-        .or_else(|()| runtime_env::raw("LECA_SIMD"))
+    let request = runtime_env::raw_with_alias("LECA_BACKEND", "LECA_SIMD")
         .ok()
         .map(|v| v.to_ascii_lowercase());
     match request.as_deref() {

@@ -9,7 +9,7 @@ mod gemm;
 mod matmul;
 mod pool;
 mod qgemm;
-mod reduce;
+pub mod reduce;
 pub mod reference;
 
 pub(crate) use gemm::{gemm_im2col_with_blocking, gemm_strided_with_blocking};
@@ -27,5 +27,6 @@ pub use pool::{
 };
 pub use qgemm::{qgemm, PackedQMat, QIm2col, QOperand};
 pub use reduce::{
-    mean_axes_keep_channel, softmax_rows, softmax_rows_into, sum_axis0, sum_spatial_per_channel,
+    max_abs_f32, mean_axes_keep_channel, softmax_rows, softmax_rows_into, sum_axis0, sum_slice_f32,
+    sum_spatial_per_channel,
 };

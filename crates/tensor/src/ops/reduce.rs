@@ -3,6 +3,26 @@
 
 use crate::{Result, Tensor, TensorError};
 
+/// In-order sum of an `f32` slice — THE canonical reduction order of the
+/// determinism contract. Every library-side float sum outside the kernel
+/// backends goes through here (the audit's `float-reduction-order` rule
+/// enforces it), so reassociating an accumulation is a one-file, clearly
+/// visible decision instead of a scattered `.sum::<f32>()`.
+#[inline]
+#[must_use]
+pub fn sum_slice_f32(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}
+
+/// Largest absolute value of a slice, reduced in order; `0.0` for an
+/// empty slice. The quantizer's scale derivation depends on this exact
+/// fold (NaN-propagation aside, callers pre-check finiteness).
+#[inline]
+#[must_use]
+pub fn max_abs_f32(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
 /// Sums a rank-2 tensor over axis 0, producing a `(cols,)` vector.
 ///
 /// # Errors

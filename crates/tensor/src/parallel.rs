@@ -29,9 +29,25 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+// Under `--cfg loom` the sync primitives come from the loom shim so the
+// model-checking suite (`crates/tensor/tests/loom_pool.rs`) can explore
+// every interleaving of the handoff/shutdown protocol. `cfg(loom)` is a
+// verification build only — normal builds compile against std directly.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(loom)]
+use loom::thread::{Builder as ThreadBuilder, JoinHandle};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+#[cfg(not(loom))]
+use std::sync::OnceLock;
+#[cfg(not(loom))]
+use std::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::thread::{Builder as ThreadBuilder, JoinHandle};
 
 /// Returns the number of worker threads to use.
 ///
@@ -199,7 +215,7 @@ impl WorkerPool {
         while workers.len() < want {
             let id = workers.len();
             let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
+            let handle = ThreadBuilder::new()
                 .name(format!("leca-worker-{id}"))
                 .spawn(move || worker_loop(&shared))
                 .expect("failed to spawn pool worker");
@@ -342,6 +358,7 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
+#[cfg(not(loom))]
 fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(WorkerPool::new)
@@ -355,6 +372,7 @@ fn global_pool() -> &'static WorkerPool {
 /// the next [`pool_run`], so calling this mid-workload only costs a
 /// re-spawn.
 pub fn shutdown_global_pool() {
+    #[cfg(not(loom))]
     global_pool().shutdown();
 }
 
@@ -370,6 +388,14 @@ pub fn pool_run<F>(chunks: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    // Under loom there is no process-wide pool: a static pool's workers
+    // would leak across model iterations. Loom models exercise explicit
+    // `WorkerPool` instances; library call sites run inline.
+    #[cfg(loom)]
+    for idx in 0..chunks {
+        f(idx);
+    }
+    #[cfg(not(loom))]
     global_pool().run(chunks, num_threads(), f);
 }
 

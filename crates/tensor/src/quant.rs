@@ -120,7 +120,7 @@ impl QTensor {
         let mut data = Vec::with_capacity(src.len());
         for c in 0..channels {
             let row = &src[c * per..(c + 1) * per];
-            let maxabs = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let maxabs = crate::ops::reduce::max_abs_f32(row);
             let scale = if maxabs > 0.0 {
                 maxabs / QMAX as f32
             } else {

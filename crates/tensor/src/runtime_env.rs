@@ -129,6 +129,26 @@ pub fn flag(key: &'static str) -> Result<bool, EnvError> {
     }
 }
 
+/// The raw string value of `key`, falling back to the deprecated `alias`
+/// when `key` is unset — warning about the alias **once per process**
+/// (via [`warn_deprecated_alias`]). This is THE way to consult a renamed
+/// variable: hand-rolling the read-primary / read-alias / warn dance at
+/// each consumer is exactly how the per-call-site warning drift crept in.
+///
+/// # Errors
+///
+/// [`EnvError::NotSet`] when neither `key` nor `alias` is set.
+pub fn raw_with_alias(key: &'static str, alias: &'static str) -> Result<String, EnvError> {
+    match raw(key) {
+        Ok(v) => Ok(v),
+        Err(_) => {
+            let v = raw(alias)?;
+            warn_deprecated_alias(alias, key);
+            Ok(v)
+        }
+    }
+}
+
 /// Emit a deprecation warning for `old` (pointing at `new`) **once per
 /// process**, no matter how many call sites consult the deprecated
 /// variable. Returns `true` iff this call actually warned, so tests can
@@ -248,6 +268,24 @@ mod tests {
             "LECA_RT_ENV_TEST_OLD2",
             "LECA_RT_ENV_TEST_NEW"
         ));
+    }
+
+    #[test]
+    fn raw_with_alias_prefers_primary_and_falls_back() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("LECA_RT_ENV_TEST_P", "primary");
+        std::env::set_var("LECA_RT_ENV_TEST_A", "aliased");
+        assert_eq!(
+            raw_with_alias("LECA_RT_ENV_TEST_P", "LECA_RT_ENV_TEST_A").as_deref(),
+            Ok("primary")
+        );
+        std::env::remove_var("LECA_RT_ENV_TEST_P");
+        assert_eq!(
+            raw_with_alias("LECA_RT_ENV_TEST_P", "LECA_RT_ENV_TEST_A").as_deref(),
+            Ok("aliased")
+        );
+        std::env::remove_var("LECA_RT_ENV_TEST_A");
+        assert!(raw_with_alias("LECA_RT_ENV_TEST_P", "LECA_RT_ENV_TEST_A").is_err());
     }
 
     #[test]

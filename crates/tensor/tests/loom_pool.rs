@@ -1,0 +1,62 @@
+//! Loom model checks for the worker-pool handoff and shutdown/revive
+//! protocol (`crate::parallel::WorkerPool`).
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p leca-tensor --test
+//! loom_pool --release`; under a normal build this file is empty. Each
+//! model exhaustively explores the interleavings of the dispatcher, the
+//! helper worker and the shutdown path within loom's default preemption
+//! bound, so the properties below hold for *every* schedule, not just the
+//! ones a stress test happens to hit:
+//!
+//! - every chunk of a job runs exactly once (index-claimed handoff);
+//! - the dispatcher's completion wait cannot hang (no lost wakeup between
+//!   `completed == total` and the `done` notify);
+//! - `shutdown` joins every worker even when a worker sits between its
+//!   "queue empty" check and the condvar wait (the flag is raised under
+//!   the queue lock precisely to close that window);
+//! - a shut-down pool revives: the next `run` spawns fresh workers and
+//!   completes.
+#![cfg(loom)]
+
+use leca_tensor::parallel::WorkerPool;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+
+/// Two-participant handoff: the calling thread and one helper claim two
+/// chunks; both run exactly once and the dispatcher's wait terminates.
+#[test]
+fn handoff_runs_every_chunk_exactly_once() {
+    loom::model(|| {
+        let pool = WorkerPool::new();
+        let hits = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.run(2, 2, |idx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            sum.fetch_add(idx + 1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "each chunk exactly once");
+        assert_eq!(sum.load(Ordering::SeqCst), 3, "chunks 0 and 1 both ran");
+        pool.shutdown();
+    });
+}
+
+/// Shutdown must join the helper no matter where it is in its pop/wait
+/// loop, and the pool must revive for a subsequent job.
+#[test]
+fn shutdown_joins_and_revives() {
+    loom::model(|| {
+        let pool = WorkerPool::new();
+        let sum = AtomicUsize::new(0);
+        pool.run(2, 2, |idx| {
+            sum.fetch_add(idx + 1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(pool.worker_count(), 0, "shutdown joins every worker");
+        // Revive: a fresh run after shutdown spawns new workers and
+        // completes under every schedule.
+        pool.run(2, 2, |idx| {
+            sum.fetch_add(idx + 1, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+        pool.shutdown();
+    });
+}
